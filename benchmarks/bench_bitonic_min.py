@@ -1,0 +1,46 @@
+"""Algorithm 2 ablation: the O(log n) bitonic minimum (Lemma 8) vs the
+linear scan it replaces.
+
+Reproduced claims: comparisons grow logarithmically with sequence length
+for duplicate-free input, and the logarithmic version beats the linear scan
+by orders of magnitude at scale.
+"""
+
+import numpy as np
+
+from conftest import report, run_once
+
+from repro.harness.experiments import bitonic_min_scaling
+from repro.localsort.bitonic_min import argmin_bitonic, argmin_bitonic_linear
+
+
+def _bitonic(n: int, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vals = rng.choice(np.arange(4 * n, dtype=np.int64), size=n, replace=False)
+    peak = n // 3
+    return np.roll(
+        np.concatenate([np.sort(vals[:peak]), np.sort(vals[peak:])[::-1]]), n // 7
+    )
+
+
+def test_algorithm2_scaling(benchmark):
+    result = run_once(benchmark, bitonic_min_scaling)
+    report(result)
+    comps = result.column("comparisons")
+    lengths = list(result.rows)
+    # Logarithmic growth: constant additive increment per fixed size ratio.
+    increments = [b - a for a, b in zip(comps, comps[1:])]
+    assert max(increments) <= 6
+    assert lengths[-1] // lengths[0] >= 1 << 12
+
+
+def test_logarithmic_min_wallclock(benchmark):
+    seq = _bitonic(1 << 18)
+    idx = benchmark(argmin_bitonic, seq)
+    assert seq[idx] == seq.min()
+
+
+def test_linear_min_wallclock_reference(benchmark):
+    seq = _bitonic(1 << 18)
+    idx = benchmark(argmin_bitonic_linear, seq)
+    assert seq[idx] == seq.min()

@@ -1,0 +1,23 @@
+"""Chapter 6 comparison: column sort [Lei85] vs the smart bitonic sort.
+
+The paper positions column sort as bitonic sort's closest structural
+relative (4 sorts + 4 redistributions, two of them the blocked↔cyclic
+remaps) with a stricter applicability bound.  Reproduced claims: column
+sort runs correctly wherever ``r >= 2(s-1)**2``, performs exactly 4
+communication steps, and its 4+ full local sorts make it computation-
+heavier than the merge-based smart bitonic sort at these sizes.
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import column_sort_comparison
+
+
+def test_column_sort_comparison(benchmark, sizes):
+    result = run_once(benchmark, column_sort_comparison, sizes=sizes, P=8)
+    report(result)
+    for size, (column, bitonic, sample) in result.rows.items():
+        assert column == column, f"column sort inapplicable at {size}K?"  # not NaN
+        assert sample < bitonic < column, (
+            f"expected sample < smart bitonic < column sort at {size}K"
+        )

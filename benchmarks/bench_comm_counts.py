@@ -1,0 +1,22 @@
+"""§3.2.1 / §3.4: the three communication metrics (remaps R, volume V,
+messages M) — closed forms vs the simulator's exact counts.
+
+Reproduced claims: theory matches measurement exactly for all three
+strategies; smart is optimal on R and V (Theorem 1, §3.4.2); blocked sends
+the fewest messages (§3.4.3).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import comm_counts
+
+
+def test_comm_counts_theory_vs_measured(benchmark):
+    result = run_once(benchmark, comm_counts, sizes=(4,), P=16)
+    report(result)
+    rows = result.rows
+    for strategy, (r_t, r_m, v_t, v_m, m_t, m_m) in rows.items():
+        assert (r_t, v_t, m_t) == (r_m, v_m, m_m), f"{strategy}: theory != measured"
+    assert rows["smart"][0] <= rows["cyclic-blocked"][0] <= rows["blocked"][0]
+    assert rows["smart"][2] <= rows["cyclic-blocked"][2] < rows["blocked"][2]
+    assert rows["blocked"][4] <= rows["smart"][4] <= rows["cyclic-blocked"][4]

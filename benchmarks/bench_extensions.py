@@ -1,0 +1,87 @@
+"""Benchmarks for the paper's future-work extensions (Chapter 7).
+
+Not table/figure reproductions — these quantify the three generalizations
+the thesis proposes and this library implements:
+
+* FFT on the remap framework (one blocked→cyclic remap for n >= P);
+* communication/computation overlap via the Elan-style DMA offload;
+* the memory-hierarchy re-reading of the remap technique (tiled
+  butterfly: slow-memory traffic shrinks by ~lg C).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.fft import ParallelFFT
+from repro.hierarchy import (
+    naive_butterfly_traffic,
+    tiled_butterfly_traffic,
+    tiled_fft,
+)
+from repro.model.machines import MEIKO_CS2
+from repro.records import sort_records
+from repro.sorts import SmartBitonicSort
+from repro.utils.bits import ilog2
+from repro.utils.rng import make_keys
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(1)
+    return rng.normal(size=1 << 16) + 1j * rng.normal(size=1 << 16)
+
+
+def test_parallel_fft(benchmark, signal):
+    res = run_once(benchmark, lambda: ParallelFFT().run(signal, 16, verify=True))
+    # [CKP+93]: one remap, each processor keeps n/P of its points.
+    assert res.stats.remaps == 1
+    n = signal.size // 16
+    assert res.stats.volume_per_proc == n - n // 16
+
+
+def test_dma_offload_overlap(benchmark):
+    keys = make_keys(16 * 16384, seed=4)
+    dma_spec = replace(MEIKO_CS2, dma_offload=True)
+
+    def both():
+        plain = SmartBitonicSort().run(keys, 16).stats
+        dma = SmartBitonicSort(spec=dma_spec).run(keys, 16).stats
+        return plain, dma
+
+    plain, dma = run_once(benchmark, both)
+    print(f"\nDMA offload: transfer busy {plain.per_key('transfer'):.3f} -> "
+          f"{dma.per_key('transfer'):.3f} us/key; makespan "
+          f"{plain.us_per_key:.3f} -> {dma.us_per_key:.3f} us/key")
+    assert dma.mean_breakdown.times["transfer"] < plain.mean_breakdown.times["transfer"]
+    assert dma.elapsed_us <= plain.elapsed_us
+
+
+def test_hierarchy_traffic_reduction(benchmark, signal):
+    cap = 1 << 10
+
+    def run():
+        return tiled_fft(signal, cap)
+
+    res = run_once(benchmark, run)
+    naive = naive_butterfly_traffic(signal.size, cap)
+    tiled = tiled_butterfly_traffic(signal.size, cap)
+    assert res.traffic.total_traffic == tiled
+    ratio = naive / tiled
+    print(f"\nTiled butterfly: {naive:,} -> {tiled:,} slow-memory words "
+          f"({ratio:.1f}x less; lg C = {ilog2(cap)})")
+    assert ratio >= ilog2(cap) * 0.8
+    np.testing.assert_allclose(res.output, np.fft.fft(signal), rtol=1e-9, atol=1e-6)
+
+
+def test_record_sort(benchmark):
+    keys = make_keys(8 * 8192, seed=6)
+    values = np.arange(keys.size)
+    res = run_once(
+        benchmark,
+        lambda: sort_records(SmartBitonicSort(), keys, values, P=8, verify=True),
+    )
+    assert res.stats.remaps > 0

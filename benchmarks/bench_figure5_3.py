@@ -1,0 +1,22 @@
+"""Figure 5.3: total sorting time and speedup for a fixed problem size as
+the machine grows from 2 to 32 processors.
+
+Shape claims reproduced: time falls monotonically with P; speedup grows
+with P but sub-linearly (communication takes a growing share).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import figure5_3
+
+
+def test_figure5_3_scaling(benchmark):
+    result = run_once(benchmark, figure5_3, total_keys_k=128)
+    report(result)
+    secs = result.column("total seconds")
+    assert secs == sorted(secs, reverse=True), "time must fall as P grows"
+    speedups = result.column("speedup vs 1 proc (est)")
+    assert speedups == sorted(speedups), "speedup must grow with P"
+    procs = list(result.rows)
+    # Sub-linear: speedup at 32 procs clearly below the ideal 32.
+    assert speedups[-1] < procs[-1]

@@ -1,0 +1,23 @@
+"""Figure 5.4: breakdown of the smart bitonic sort into communication and
+computation phases on 16 processors.
+
+Shape claim reproduced: as keys/processor grows, the computation share of
+the total time grows (per-remap communication overheads amortize away and,
+at full sizes, cache misses inflate the local phases), and the
+communication share correspondingly shrinks.
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import figure5_4
+
+
+def test_figure5_4_breakdown(benchmark, sizes):
+    result = run_once(benchmark, figure5_4, sizes=sizes, P=16)
+    report(result)
+    comp_pct = result.column("comp %")
+    comm_pct = result.column("comm %")
+    assert comp_pct == sorted(comp_pct), "computation share grows with n"
+    assert comm_pct == sorted(comm_pct, reverse=True)
+    for c, m in zip(comp_pct, comm_pct):
+        assert abs(c + m - 100.0) < 0.5

@@ -1,0 +1,18 @@
+"""Figure 5.7: bitonic vs radix vs sample sort on 16 processors.
+
+Shape claims reproduced: on 16 processors our bitonic sort beats parallel
+radix sort at every size in the sweep, while sample sort remains the
+overall winner (§5.5).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import figure5_7
+
+
+def test_figure5_7_sixteen_procs(benchmark, sizes):
+    result = run_once(benchmark, figure5_7, sizes=sizes)
+    report(result)
+    for size, (bitonic, radix, sample) in result.rows.items():
+        assert bitonic < radix, f"bitonic must beat radix on P=16 at {size}K"
+        assert sample < bitonic, f"sample sort wins overall at {size}K"

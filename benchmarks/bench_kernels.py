@@ -1,0 +1,86 @@
+"""Microbenchmarks of the library's hot kernels (wall-clock, via
+pytest-benchmark's normal statistics, unlike the single-shot table benches).
+
+These do not correspond to a paper table; they keep the Python
+implementations honest (vectorized, no quadratic surprises) as the library
+evolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layouts import blocked_layout, smart_layout, smart_schedule
+from repro.localsort import (
+    batched_bitonic_merge,
+    merge_sorted,
+    p_way_merge,
+    radix_sort,
+    sort_bitonic,
+)
+from repro.network.sequential import bitonic_sort_network
+from repro.remap.plan import build_remap_plan
+
+N_KERNEL = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return np.random.default_rng(0).integers(0, 1 << 31, N_KERNEL, dtype=np.uint32)
+
+
+@pytest.fixture(scope="module")
+def bitonic_seq(keys):
+    half = np.sort(keys[: N_KERNEL // 2])
+    return np.concatenate([half, np.sort(keys[N_KERNEL // 2:])[::-1]])
+
+
+def test_radix_sort_kernel(benchmark, keys):
+    out = benchmark(radix_sort, keys)
+    assert out[0] <= out[-1]
+
+
+def test_sort_bitonic_kernel(benchmark, bitonic_seq):
+    out = benchmark(sort_bitonic, bitonic_seq)
+    assert out[0] <= out[-1]
+
+
+def test_numpy_sort_reference(benchmark, keys):
+    """np.sort on the same data, as a floor for the kernels above."""
+    benchmark(np.sort, keys)
+
+
+def test_batched_bitonic_merge_kernel(benchmark, bitonic_seq):
+    m = bitonic_seq.reshape(64, -1)
+    # Each row of the reshaped bitonic sequence is itself bitonic.
+    benchmark(batched_bitonic_merge, m, True, 1)
+
+
+def test_merge_sorted_kernel(benchmark, keys):
+    x = np.sort(keys[: N_KERNEL // 2])
+    y = np.sort(keys[N_KERNEL // 2:])
+    out = benchmark(merge_sorted, x, y)
+    assert out.size == N_KERNEL
+
+
+def test_p_way_merge_kernel(benchmark, keys):
+    runs = [np.sort(chunk) for chunk in np.split(keys, 16)]
+    out = benchmark(p_way_merge, runs)
+    assert out.size == N_KERNEL
+
+
+def test_remap_plan_kernel(benchmark):
+    old = blocked_layout(1 << 20, 16)
+    new = smart_layout(1 << 20, 16, 17, 17)
+    plan = benchmark(build_remap_plan, old, new, 3)
+    assert plan.elements_sent > 0
+
+
+def test_schedule_construction_kernel(benchmark):
+    sched = benchmark(smart_schedule, 1 << 22, 64)
+    assert sched.num_remaps >= 7
+
+
+def test_sequential_network_kernel(benchmark, keys):
+    small = keys[: 1 << 12]
+    out = benchmark(bitonic_sort_network, small)
+    assert out[0] <= out[-1]

@@ -1,0 +1,26 @@
+"""Chapter 4 ablation: what each local-computation optimization buys.
+
+Four smart-sort variants are compared: merge-based computation with fused
+pack/unpack (the paper's "Smart"), merge-based unfused, simulated
+compare-exchange with fused pack, and simulated unfused (closest to a
+naive remap-based implementation).
+
+Reproduced claims: merge-based computation beats step simulation (Lemma 9:
+linear vs O(n lg n) per phase), fusing pack/unpack into the sorts removes
+most of the remaining communication overhead (§4.3), and the fully
+optimized variant is the fastest.
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import local_compute_ablation
+
+
+def test_local_compute_ablation(benchmark):
+    result = run_once(benchmark, local_compute_ablation, sizes=(8,), P=16)
+    report(result)
+    totals = {k: v[0] for k, v in result.rows.items()}
+    comp = {k: v[1] for k, v in result.rows.items()}
+    assert totals["merge+fused (Smart)"] == min(totals.values())
+    assert comp["merge+fused (Smart)"] < comp["simulate+fused"]
+    assert totals["merge, unfused"] < totals["simulate, unfused"]

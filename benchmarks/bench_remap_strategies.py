@@ -1,0 +1,24 @@
+"""Lemma 5 ablation: transferred volume of the Head / Tail / Middle remap
+placements.
+
+Reproduced claims: V_tail <= V_head < V_middle1 and V_tail <= V_middle2,
+with all placements using the same remap count except Middle1 (one extra).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import remap_strategies
+
+
+def test_remap_placements(benchmark):
+    # P=32, 4K keys/proc: lgP(lgP+1)/2 = 15, lg n = 12 -> remainder 3 > 0,
+    # so all four placements are constructible.
+    result = run_once(benchmark, remap_strategies, sizes=(4,), P=32)
+    report(result)
+    vols = {k: v[1] for k, v in result.rows.items() if isinstance(v[1], int)}
+    remaps = {k: v[0] for k, v in result.rows.items() if isinstance(v[0], int)}
+    assert {"head", "tail", "middle1", "middle2"} <= set(vols)
+    assert vols["tail"] <= vols["head"] < vols["middle1"]
+    assert vols["tail"] <= vols["middle2"]
+    assert remaps["middle1"] == remaps["head"] + 1
+    assert remaps["middle2"] == remaps["head"]

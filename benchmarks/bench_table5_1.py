@@ -1,0 +1,22 @@
+"""Table 5.1 / Figure 5.2: execution time per key of the three bitonic sort
+implementations (Blocked-Merge, Cyclic-Blocked, Smart) on 32 processors.
+
+Shape claims reproduced: Smart < Cyclic-Blocked < Blocked-Merge at every
+size; Blocked-Merge roughly 2-3x Smart; Cyclic-Blocked in between.
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import table5_1
+
+
+def test_table5_1_us_per_key(benchmark, sizes):
+    result = run_once(benchmark, table5_1, sizes=sizes, P=32)
+    report(result)
+    for size, (bm, cb, smart) in result.rows.items():
+        assert smart < cb, f"Smart must beat Cyclic-Blocked at {size}K"
+        assert cb < bm, f"Cyclic-Blocked must beat Blocked-Merge at {size}K"
+        assert 1.5 < bm / smart < 4.0, (
+            f"Blocked-Merge/Smart ratio {bm / smart:.2f} out of the paper's "
+            f"regime at {size}K"
+        )

@@ -1,0 +1,21 @@
+"""Table 5.2 / Figure 5.1: total execution time (seconds) of the three
+bitonic sort implementations on 32 processors.
+
+Shape claims reproduced: same ordering as Table 5.1, and total time grows
+roughly linearly in the keys per processor (doubling the input roughly
+doubles the time — the per-key tables are nearly flat).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import table5_2
+
+
+def test_table5_2_total_seconds(benchmark, sizes):
+    result = run_once(benchmark, table5_2, sizes=sizes, P=32)
+    report(result)
+    for bm, cb, smart in result.rows.values():
+        assert smart < cb < bm
+    smart_col = result.column("Smart")
+    for prev, cur in zip(smart_col, smart_col[1:]):
+        assert 1.5 < cur / prev < 2.5, "total time should ~double per size step"

@@ -1,0 +1,22 @@
+"""Table 5.3 / Figure 5.5: communication time per key for the short- vs
+long-message versions of the smart bitonic sort on 16 processors.
+
+Shape claim reproduced: long messages are roughly an order of magnitude
+faster (the paper measures ~12x on the Meiko CS-2's DMA engine).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import table5_3
+
+
+def test_table5_3_short_vs_long(benchmark, sizes):
+    result = run_once(benchmark, table5_3, sizes=sizes, P=16)
+    report(result)
+    for size, (short, long_) in result.rows.items():
+        ratio = short / long_
+        assert ratio > 8, (
+            f"long messages must be ~an order of magnitude faster; "
+            f"got {ratio:.1f}x at {size}K"
+        )
+        assert short > 10, "short-message comm should be >10 us/key (paper: ~13)"

@@ -1,0 +1,23 @@
+"""Table 5.4 / Figure 5.6: breakdown of the long-message communication phase
+into packing, transfer and unpacking, on 16 processors.
+
+Shape claim reproduced: pack+unpack is the dominant share of the unfused
+long-message communication time ("approximately 80%", §5.4) — which is what
+motivates fusing them into the local sorts (§4.3).
+"""
+
+from conftest import report, run_once
+
+from repro.harness.experiments import table5_4
+
+
+def test_table5_4_breakdown(benchmark, sizes):
+    result = run_once(benchmark, table5_4, sizes=sizes, P=16)
+    report(result)
+    for size, (pack, transfer, unpack) in result.rows.items():
+        share = (pack + unpack) / (pack + transfer + unpack)
+        assert 0.6 < share < 0.95, (
+            f"pack+unpack share {share:.0%} at {size}K outside the paper's "
+            "~70-85% regime"
+        )
+        assert pack > unpack, "packing costs more than unpacking (Table 5.4)"

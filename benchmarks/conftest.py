@@ -1,0 +1,51 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every module here regenerates one table or figure of the paper (see
+DESIGN.md §4).  Each bench
+
+* runs the corresponding harness experiment once under ``pytest-benchmark``
+  (timing the simulated run end to end),
+* asserts the *shape* claims the paper makes about that table/figure, and
+* prints the paper-vs-measured rows so ``pytest benchmarks/
+  --benchmark-only -s`` doubles as the reproduction report.
+
+Default workloads are scaled down (keys/processor in the single-digit K
+range); set ``REPRO_FULL=1`` to run at the paper's 128K–1M keys/processor
+(minutes per table).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scaled-down sweep used by default (keys/proc in K).
+BENCH_SIZES = (4, 8, 16)
+FULL_SIZES = (128, 256, 512, 1024)
+
+
+def bench_sizes() -> tuple:
+    return FULL_SIZES if os.environ.get("REPRO_FULL", "") not in ("", "0") else BENCH_SIZES
+
+
+@pytest.fixture
+def sizes():
+    return bench_sizes()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiments execute full parallel sorts; a single round keeps the
+    suite fast while still producing a timing row per table/figure.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(result) -> None:
+    """Print a paper-vs-measured table regardless of capture settings."""
+    from repro.harness.report import format_result
+
+    print()
+    print(format_result(result))

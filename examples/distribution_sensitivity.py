@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Distribution sensitivity: why being *oblivious* matters (§5.5).
+
+Sample sort picks splitters from a sample of the keys; a skewed
+distribution produces unbalanced buckets, one processor receives far more
+than n keys, and the makespan follows the most loaded node.  Bitonic sort's
+communication pattern is fixed by the network — it cannot be unbalanced by
+any input.
+
+This example runs both sorts over progressively nastier key distributions
+and prints the slowdown each suffers relative to its uniform-input time.
+
+Run:  python examples/distribution_sensitivity.py
+"""
+
+from repro import ParallelSampleSort, SmartBitonicSort, make_keys
+
+DISTRIBUTIONS = [
+    "uniform",
+    "gaussian",
+    "sorted",
+    "low-entropy",
+    "zero-entropy",
+]
+
+
+def main() -> None:
+    P, n = 16, 16 * 1024
+    bitonic = SmartBitonicSort()
+    sample = ParallelSampleSort()
+
+    base = {}
+    print(f"{P} processors, {n // 1024}K keys each; us/key "
+          f"(slowdown vs uniform)\n")
+    print(f"{'distribution':<14} {'bitonic (smart)':>22} {'sample sort':>22}")
+    print("-" * 60)
+    for dist in DISTRIBUTIONS:
+        keys = make_keys(P * n, distribution=dist, seed=9)
+        tb = bitonic.run(keys, P, verify=True).stats.us_per_key
+        ts = sample.run(keys, P, verify=True).stats.us_per_key
+        if dist == "uniform":
+            base = {"b": tb, "s": ts}
+        print(f"{dist:<14} {tb:>14.3f} ({tb / base['b']:>4.2f}x)"
+              f" {ts:>14.3f} ({ts / base['s']:>4.2f}x)")
+
+    print(
+        "\nBitonic sort's times are identical across distributions (its "
+        "compare-exchange pattern is data-independent); sample sort degrades "
+        "as its splitters lose resolution — the paper's argument for bitonic "
+        "sort on skewed inputs (§5.5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

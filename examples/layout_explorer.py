@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Layout explorer: visualize the paper's data layouts and remap schedules.
+
+Renders, for a chosen (N, P):
+
+* the absolute-address bit patterns of the blocked, cyclic and smart
+  layouts (the shaded/unshaded diagrams of Chapter 3, Figures 3.4-3.8);
+* the complete smart remap schedule — which layout is adopted at which
+  network column, how many bits change at each remap (Lemma 3), and the
+  pack masks (§3.3.1);
+* the communication-metric comparison (R / V / M) against cyclic-blocked
+  and blocked remapping, plus the LogP/LogGP communication-time predictions
+  (§3.4) on the Meiko CS-2 parameters.
+
+Run:  python examples/layout_explorer.py [lgN] [lgP]
+(default: the paper's running example, N=256 and P=16 — Figure 3.3/3.4)
+"""
+
+import sys
+
+from repro import MEIKO_CS2, blocked_layout, cyclic_layout, smart_schedule
+from repro.layouts import cyclic_blocked_schedule
+from repro.remap import pack_mask, unpack_mask
+from repro.theory import best_algorithm, counts_for
+from repro.theory.logp_time import loggp_comm_time, logp_comm_time
+
+
+def main() -> None:
+    lgN = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    lgP = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    N, P = 1 << lgN, 1 << lgP
+    n = N // P
+
+    print(f"N = {N} keys on P = {P} processors (n = {n} keys each)\n")
+
+    print("Basic layouts (MSB first; P = processor bit, . = local bit):")
+    print(f"  blocked  {blocked_layout(N, P).pattern()}")
+    print(f"  cyclic   {cyclic_layout(N, P).pattern()}\n")
+
+    sched = smart_schedule(N, P)
+    print("Smart remap schedule (Algorithm 1) — compare Figure 3.4:")
+    print(sched.describe())
+    print()
+
+    print("Pack/unpack masks per remap (S = bit that changes, §3.3.1):")
+    prev = sched.initial_layout
+    for i, ph in enumerate(sched.phases):
+        print(f"  remap {i}: pack {pack_mask(prev, ph.layout)}   "
+              f"unpack {unpack_mask(prev, ph.layout)}")
+        prev = ph.layout
+    print()
+
+    print("Communication metrics (per processor):")
+    print(f"  {'strategy':<16} {'remaps R':>9} {'volume V':>10} {'messages M':>11}")
+    for strat in ("blocked", "cyclic-blocked", "smart"):
+        try:
+            c = counts_for(strat, N, P)
+        except Exception as exc:
+            print(f"  {strat:<16} not applicable: {exc}")
+            continue
+        print(f"  {strat:<16} {c.remaps:>9} {c.volume:>10,} {c.messages:>11,}")
+    try:
+        cb = cyclic_blocked_schedule(N, P)
+        saved = cb.volume_per_processor() - sched.volume_per_processor()
+        print(f"\n  smart remapping saves {cb.num_remaps - sched.num_remaps} remaps "
+              f"and {saved:,} transferred elements/processor vs cyclic-blocked")
+    except Exception:
+        print(f"\n  cyclic-blocked needs N >= P**2; smart has no such restriction")
+
+    net = MEIKO_CS2.network.with_procs(P)
+    print("\nPredicted communication time on the Meiko CS-2 (us/processor):")
+    print(f"  {'strategy':<16} {'short msgs (LogP)':>18} {'long msgs (LogGP)':>18}")
+    for strat in ("blocked", "cyclic-blocked", "smart"):
+        c = counts_for(strat, N, P)
+        print(f"  {strat:<16} {logp_comm_time(c, net):>18,.1f} "
+              f"{loggp_comm_time(c, net):>18,.1f}")
+    best_short, _ = best_algorithm(N, P, net, long_messages=False)
+    best_long, _ = best_algorithm(N, P, net, long_messages=True)
+    print(f"\n  best with short messages: {best_short}")
+    print(f"  best with long messages:  {best_long}"
+          + ("   (blocked wins at tiny P by sending few huge messages, §3.4.3)"
+             if best_long == "blocked" else ""))
+
+
+if __name__ == "__main__":
+    main()

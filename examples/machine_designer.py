@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Machine designer: how LogGP parameters move the algorithmic crossovers.
+
+The paper's closing analysis (§3.4.3) observes that the best remapping
+strategy depends on the machine: "Given the model parameters L, o, g, G and
+P we can decide which algorithm is the best for a given data size n".  This
+example sweeps the long-message bandwidth (1/G) and the per-message gap g
+around the Meiko CS-2 point and reports which strategy has the lowest
+predicted communication time, showing:
+
+* with expensive messages (large g) the blocked strategy's few-huge-
+  messages profile wins further up the P axis;
+* with cheap bandwidth (small G) volume stops mattering and the remap-count
+  advantage of the smart layout dominates;
+* the smart layout is never beaten under short messages (it is optimal on
+  every LogP metric simultaneously, §3.4.2).
+
+Run:  python examples/machine_designer.py
+"""
+
+from dataclasses import replace
+
+from repro import MEIKO_CS2
+from repro.theory import best_algorithm
+
+
+def main() -> None:
+    N = 1 << 20
+    base = MEIKO_CS2.network
+    print(f"Best strategy by predicted LogGP communication time, N = {N:,} keys\n")
+
+    for g_scale, G_scale, label in [
+        (1.0, 1.0, "Meiko CS-2 (calibrated)"),
+        (4.0, 1.0, "4x message gap (expensive small messages)"),
+        (1.0, 4.0, "1/4 long-message bandwidth"),
+        (1.0, 0.1, "10x long-message bandwidth"),
+        (0.25, 0.1, "low-overhead, high-bandwidth fabric"),
+    ]:
+        net = replace(base, g=base.g * g_scale, G=base.G * G_scale)
+        row = []
+        for P in (2, 4, 8, 16, 32, 64):
+            best, _ = best_algorithm(N, P, net.with_procs(P), long_messages=True)
+            row.append(f"P={P}:{best.split('-')[0]:<7}")
+        print(f"{label:<45} " + " ".join(row))
+
+    print("\nProblem-size crossover at P=4 (long messages): few huge messages "
+          "win small problems, low volume wins big ones:")
+    for lgN in range(6, 22, 2):
+        best, table = best_algorithm(1 << lgN, 4, base.with_procs(4))
+        print(f"  N=2^{lgN:<3} best={best:<15} "
+              + "  ".join(f"{k}={v:,.0f}us" for k, v in sorted(table.items())))
+
+    print("\nUnder short messages (pure LogP) the smart layout is optimal on "
+          "remaps, volume AND messages, so it wins for P >= 4 (at P = 2 the "
+          "whole communication region is a single pairwise exchange, which "
+          "the blocked strategy does in one communication step):")
+    for P in (2, 8, 32):
+        best, table = best_algorithm(N, P, base.with_procs(P), long_messages=False)
+        ordered = ", ".join(f"{k}={v:,.0f}us" for k, v in sorted(table.items(),
+                                                                 key=lambda kv: kv[1]))
+        print(f"  P={P:<3} best={best:<8} ({ordered})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Sorting showdown: bitonic vs radix vs sample sort across machine sizes.
+
+Reproduces the §5.5 comparison interactively: all five algorithms run on
+the same workloads over a sweep of processor counts, printing simulated
+time per key and the winner per configuration.  The paper's conclusion —
+sample sort wins overall, bitonic beats radix at small P, and the blocked
+strategy is surprisingly strong at P=2 — falls out of the table.
+
+Run:  python examples/sorting_showdown.py [keys_per_proc_in_K]
+"""
+
+import sys
+
+from repro import (
+    BlockedMergeBitonicSort,
+    CyclicBlockedBitonicSort,
+    ParallelRadixSort,
+    ParallelSampleSort,
+    SmartBitonicSort,
+    make_keys,
+)
+
+
+def main() -> None:
+    nk = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    n = nk * 1024
+    algos = [
+        SmartBitonicSort(),
+        CyclicBlockedBitonicSort(),
+        BlockedMergeBitonicSort(),
+        ParallelRadixSort(),
+        ParallelSampleSort(),
+    ]
+    print(f"{nk}K keys per processor, simulated Meiko CS-2, us/key "
+          f"(* = winner)\n")
+    header = f"{'P':>4} " + "".join(f"{a.name:>16}" for a in algos)
+    print(header)
+    print("-" * len(header))
+    for P in (2, 4, 8, 16, 32, 64):
+        keys = make_keys(P * n, seed=42)
+        times = []
+        for a in algos:
+            try:
+                times.append(a.run(keys, P, verify=True).stats.us_per_key)
+            except Exception:
+                times.append(float("nan"))
+        best = min(t for t in times if t == t)
+        cells = "".join(
+            f"{t:>15.3f}{'*' if t == best else ' '}" if t == t else f"{'n/a':>16}"
+            for t in times
+        )
+        print(f"{P:>4} {cells}")
+    print("\nNotes: bitonic variants slow with lg P (more remap phases); "
+          "radix is flat in P; sample sort pays one redistribution and wins; "
+          "at P=2 few huge messages make even the fixed blocked layout strong.")
+
+
+if __name__ == "__main__":
+    main()

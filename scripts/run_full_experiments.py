@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run every experiment at the paper's full problem sizes and dump the
+paper-vs-measured tables to stdout.  This is the source of EXPERIMENTS.md's
+"executed at paper scale" numbers.
+
+Run:  python scripts/run_full_experiments.py | tee full_results.txt
+(takes tens of minutes: the largest runs sort 32M keys in simulation)
+"""
+
+import sys
+import time
+
+from repro.harness.cli import main as cli_main
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import format_result
+
+ORDER = [
+    "table5.1",
+    "table5.2",
+    "figure5.3",
+    "figure5.4",
+    "table5.3",
+    "table5.4",
+    "figure5.7",
+    "figure5.8",
+    "comm-counts",
+    "remap-strategies",
+    "bitonic-min",
+    "local-compute",
+]
+
+
+def main() -> int:
+    for ident in ORDER:
+        t0 = time.time()
+        result = run_experiment(ident, full=True)
+        print(format_result(result))
+        print(f"[{ident} took {time.time() - t0:.0f}s wall]\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

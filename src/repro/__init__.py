@@ -1,0 +1,102 @@
+"""repro — a reproduction of *Optimizing Parallel Bitonic Sort*
+(Ionescu & Schauser, IPPS 1997).
+
+The package implements the paper's smart-layout parallel bitonic sort —
+the remap-minimal data layout (Definition 7, Theorem 1), the pack/unpack
+long-message remap machinery (§3.3), and the merge-based local computation
+(Chapter 4, including Algorithm 2's O(log n) bitonic minimum) — together
+with every substrate the evaluation needs: a LogP/LogGP-costed simulated
+distributed-memory machine standing in for the 64-node Meiko CS-2, the
+Blocked-Merge and Cyclic-Blocked baselines, and long-message parallel radix
+and sample sorts for the cross-algorithm comparison.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SmartBitonicSort, make_keys
+
+    keys = make_keys(1 << 20)                 # 1M uniform 31-bit keys
+    result = SmartBitonicSort().run(keys, P=32, verify=True)
+    print(result.stats.us_per_key, "simulated us/key")
+    print(result.stats.remaps, "remaps;",
+          result.stats.volume_per_proc, "elements sent per processor")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    LayoutError,
+    ReproError,
+    ScheduleError,
+    SizeError,
+    VerificationError,
+)
+from repro.harness import run_experiment
+from repro.layouts import (
+    blocked_layout,
+    build_schedule,
+    cyclic_layout,
+    smart_layout,
+    smart_schedule,
+)
+from repro.machine import Machine, RunStats
+from repro.model import GENERIC_CLUSTER, MEIKO_CS2, LogGPParams, LogPParams, MachineSpec
+from repro.sorts import (
+    BlockedMergeBitonicSort,
+    CyclicBlockedBitonicSort,
+    ParallelRadixSort,
+    ParallelSampleSort,
+    SmartBitonicSort,
+    SortResult,
+)
+from repro.fft import ParallelFFT
+from repro.records import sort_records
+from repro.theory import best_algorithm, counts_for, predict
+from repro.utils.rng import make_keys
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SizeError",
+    "LayoutError",
+    "ScheduleError",
+    "CommunicationError",
+    "VerificationError",
+    # machine & model
+    "Machine",
+    "RunStats",
+    "MachineSpec",
+    "LogPParams",
+    "LogGPParams",
+    "MEIKO_CS2",
+    "GENERIC_CLUSTER",
+    # layouts
+    "blocked_layout",
+    "cyclic_layout",
+    "smart_layout",
+    "smart_schedule",
+    "build_schedule",
+    # sorts
+    "SmartBitonicSort",
+    "CyclicBlockedBitonicSort",
+    "BlockedMergeBitonicSort",
+    "ParallelRadixSort",
+    "ParallelSampleSort",
+    "SortResult",
+    # extensions
+    "ParallelFFT",
+    "sort_records",
+    # analysis & harness
+    "counts_for",
+    "best_algorithm",
+    "predict",
+    "run_experiment",
+    "make_keys",
+]

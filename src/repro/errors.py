@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes from runtime/verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied.
+
+    Raised for problems that are detectable before any work starts: sizes that
+    are not powers of two, more processors than keys, negative model
+    parameters, layouts that do not cover the requested network column, and so
+    on.
+    """
+
+
+class SizeError(ConfigurationError):
+    """A size argument (``N``, ``P`` or ``n``) violates a structural
+    constraint of the bitonic sorting network (power of two, positivity,
+    divisibility)."""
+
+
+class LayoutError(ConfigurationError):
+    """A data layout was asked to translate an address outside its domain, or
+    a layout's parameters are mutually inconsistent."""
+
+
+class ScheduleError(ConfigurationError):
+    """A remap schedule could not be constructed for the requested
+    ``(N, P)`` pair and strategy (e.g. cyclic-blocked with ``N < P**2``)."""
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """The simulated machine was asked to perform an impossible transfer,
+    such as a message addressed to a processor outside the machine or a
+    payload whose length disagrees with its declared size."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """A self-check failed: a sort produced output that is not a permutation
+    of its input or is not globally sorted.  This indicates a bug in an
+    algorithm implementation, never a user mistake."""

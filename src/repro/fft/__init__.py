@@ -1,0 +1,31 @@
+"""Parallel FFT on the remap framework — the paper's own generalization.
+
+Chapter 7 points out that the remapping techniques "are applicable in a
+large variety of applications (not only parallel).  We can mention here the
+FFT which is based on a butterfly network (i.e. a stage of the bitonic
+sorting network)", and §2.3 notes the cyclic↔blocked remap was first used
+for FFT in [CKP+93].  This package delivers that generalization: a single
+``lg N``-level butterfly (each level touching one absolute-address bit,
+each bit exactly once) executed with sliding-window layouts built from the
+same :class:`~repro.layouts.base.BitFieldLayout` machinery, remapped
+through the same :func:`~repro.remap.exchange.perform_remap`, and costed on
+the same simulated machine.
+
+Because the butterfly touches each bit once, ``ceil(lg P / lg n)`` remaps
+suffice after the initial blocked phase — for the common ``n >= P`` case a
+*single* blocked→cyclic remap, exactly the classic FFT data-layout
+optimization.
+"""
+
+from repro.fft.sequential import bit_reverse_permute, fft_reference
+from repro.fft.layouts import butterfly_schedule, window_layout
+from repro.fft.parallel import FFTResult, ParallelFFT
+
+__all__ = [
+    "fft_reference",
+    "bit_reverse_permute",
+    "window_layout",
+    "butterfly_schedule",
+    "ParallelFFT",
+    "FFTResult",
+]

@@ -1,0 +1,70 @@
+"""Sliding-window layouts for a single butterfly.
+
+A butterfly touches absolute bit ``level - 1`` at level ``level`` — each
+bit exactly once, low to high.  A layout whose *local* field is the bit
+window ``[lo, lo + lg n - 1]`` therefore keeps ``lg n`` consecutive levels
+communication-free; sliding the window left to right covers the whole
+butterfly in ``ceil(lg P / lg n)`` remaps after the initial blocked phase
+(window at ``lo = 0``).  For ``n >= P`` one remap suffices, and the second
+window *is* the cyclic layout — §2.3's classic FFT remap falls out as the
+two-window special case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ScheduleError
+from repro.layouts.base import LOCAL, PROC, BitFieldLayout, Field
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = ["window_layout", "butterfly_schedule"]
+
+
+def window_layout(N: int, P: int, lo: int) -> BitFieldLayout:
+    """The layout whose local address is absolute bits
+    ``lo .. lo + lg n - 1`` (low processor field below, high above).
+
+    ``window_layout(N, P, 0)`` is the blocked layout;
+    ``window_layout(N, P, lg P)`` is the cyclic layout.
+    """
+    N, P, n = require_sizes(N, P)
+    lgN = ilog2(N)
+    lgn = ilog2(n) if n > 1 else 0
+    if not 0 <= lo <= lgN - lgn:
+        raise ScheduleError(
+            f"window start {lo} out of range 0 .. {lgN - lgn} for N={N}, P={P}"
+        )
+    fields = [
+        Field(src_lo=0, width=lo, part=PROC, dst_lo=0),
+        Field(src_lo=lo, width=lgn, part=LOCAL, dst_lo=0),
+        Field(src_lo=lo + lgn, width=lgN - lgn - lo, part=PROC, dst_lo=lo),
+    ]
+    return BitFieldLayout(N, P, fields, name=f"window[{lo}..{lo + lgn - 1}]")
+
+
+def butterfly_schedule(N: int, P: int) -> List[Tuple[BitFieldLayout, range]]:
+    """Phases covering one ``lg N``-level butterfly: a list of
+    ``(layout, levels)`` pairs, the first under the blocked layout (no
+    remap), each subsequent one requiring one remap.
+
+    Levels are 1-based; phase ``i`` covers the levels whose touched bits
+    lie in its window.  Total remaps: ``ceil(lg P / lg n)``.
+    """
+    N, P, n = require_sizes(N, P)
+    lgN = ilog2(N)
+    lgn = ilog2(n) if n > 1 else 0
+    if P == 1:
+        return [(window_layout(N, P, 0), range(1, lgN + 1))]
+    if lgn == 0:
+        raise ScheduleError("the butterfly schedule needs n >= 2 keys per processor")
+    phases: List[Tuple[BitFieldLayout, range]] = []
+    covered = 0  # levels (== bits) completed so far
+    while covered < lgN:
+        lo = min(covered, lgN - lgn)
+        layout = window_layout(N, P, lo)
+        top = min(lo + lgn, lgN)
+        phases.append((layout, range(covered + 1, top + 1)))
+        covered = top
+    return phases

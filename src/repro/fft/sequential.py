@@ -1,0 +1,76 @@
+"""Sequential radix-2 FFT: the ground truth for the parallel version.
+
+The iterative decimation-in-time form makes the butterfly structure
+explicit: after a bit-reversal permutation of the input, level ``s``
+(``1 <= s <= lg N``) combines elements whose indices differ in bit
+``s - 1`` — one absolute-address bit per level, which is exactly one
+column family of the bitonic network's communication structure and what
+lets the data-layout machinery of Chapter 3 drive the FFT unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.utils.bits import bit_reverse, ilog2, is_power_of_two
+
+__all__ = ["bit_reverse_permute", "fft_level", "fft_reference"]
+
+
+def bit_reverse_permute(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` reordered by bit-reversed index (a copy)."""
+    x = np.asarray(x)
+    n = x.shape[0]
+    if n <= 1:
+        return x.copy()
+    if not is_power_of_two(n):
+        raise SizeError(f"FFT length must be a power of two, got {n}")
+    idx = bit_reverse(np.arange(n), ilog2(n))
+    return x[idx].copy()
+
+
+def fft_level(
+    data: np.ndarray,
+    absaddr: np.ndarray,
+    level: int,
+    N: int,
+    local_bit: int,
+    inverse: bool = False,
+) -> None:
+    """Apply butterfly ``level`` in place to a local partition.
+
+    ``absaddr[i]`` is the global (bit-reversed-input) index of local slot
+    ``i``; partners sit at local indices differing in bit ``local_bit``
+    (guaranteed by the layout, as for the sorting network).  The twiddle of
+    a pair is ``exp(-2*pi*1j * j / 2**level)`` with ``j`` the low
+    ``level - 1`` bits of the pair's global index.
+    """
+    n = data.shape[0]
+    half = 1 << local_bit
+    idx = np.arange(n)
+    lo = idx[(idx & half) == 0]
+    hi = lo | half
+    m = 1 << level
+    j = absaddr[lo] & (m // 2 - 1)
+    sign = 2.0 if inverse else -2.0
+    w = np.exp(sign * np.pi * 1j * j / m)
+    t = w * data[hi]
+    u = data[lo]
+    data[lo] = u + t
+    data[hi] = u - t
+
+
+def fft_reference(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Radix-2 DIT FFT of ``x`` (length a power of two); returns a new
+    array in natural order.  ``inverse=True`` computes the unnormalized
+    inverse transform (matching ``np.fft.ifft(x) * N``)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    if n <= 1:
+        return x.copy()
+    data = bit_reverse_permute(x)
+    absaddr = np.arange(n)
+    for level in range(1, ilog2(n) + 1):
+        fft_level(data, absaddr, level, n, local_bit=level - 1, inverse=inverse)
+    return data

@@ -1,0 +1,35 @@
+"""Experiment harness: one runner per table/figure of Chapter 5, paper-value
+tables for comparison, and report formatting.  The pytest benchmarks in
+``benchmarks/`` are thin wrappers over these runners."""
+
+from repro.harness.paper_data import PAPER
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.harness.report import format_result, format_series, format_table
+from repro.harness.export import dump_result, result_to_dict, stats_to_dict
+from repro.harness.sweeps import (
+    SweepResult,
+    compare_sweep,
+    render_heatmap,
+    run_sweep,
+)
+
+__all__ = [
+    "dump_result",
+    "result_to_dict",
+    "stats_to_dict",
+    "SweepResult",
+    "run_sweep",
+    "compare_sweep",
+    "render_heatmap",
+    "PAPER",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "format_result",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,235 @@
+"""Command-line entry point.
+
+``repro-bitonic`` exposes the library's main functions without writing
+Python:
+
+``repro-bitonic experiment <id> [--full]``
+    Reproduce one of the paper's tables/figures (or ``all`` / ``list``).
+    For backwards compatibility a bare experiment id also works:
+    ``repro-bitonic table5.1``.
+``repro-bitonic sort --keys 1048576 --procs 32 [--algorithm smart] ...``
+    Run one parallel sort and print its simulated statistics.
+``repro-bitonic schedule --keys 256 --procs 16``
+    Print the smart remap schedule, patterns and metrics (Figure 3.3/3.4).
+``repro-bitonic predict --keys 33554432 --procs 32``
+    Closed-form time predictions for the three bitonic algorithms.
+``repro-bitonic fft --points 65536 --procs 16``
+    Run the parallel FFT generalization and verify it against NumPy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import format_result
+
+__all__ = ["main"]
+
+
+def _cmd_experiment(args) -> int:
+    if args.id == "list":
+        for ident in sorted(set(EXPERIMENTS)):
+            print(ident)
+        return 0
+    if args.id == "all":
+        seen = set()
+        idents = []
+        for ident, fn in EXPERIMENTS.items():
+            if fn not in seen:
+                seen.add(fn)
+                idents.append(ident)
+    else:
+        idents = [args.id]
+    for ident in idents:
+        print(format_result(run_experiment(ident, full=args.full)))
+        print()
+    return 0
+
+
+def _cmd_sort(args) -> int:
+    from repro.sorts import (
+        BlockedMergeBitonicSort,
+        CyclicBlockedBitonicSort,
+        ParallelRadixSort,
+        ParallelSampleSort,
+        SmartBitonicSort,
+    )
+    from repro.utils.rng import make_keys
+
+    algos = {
+        "smart": lambda: SmartBitonicSort(
+            mode=args.messages, fused=(args.messages == "long" and not args.unfused)
+        ),
+        "cyclic-blocked": lambda: CyclicBlockedBitonicSort(mode=args.messages),
+        "blocked-merge": lambda: BlockedMergeBitonicSort(mode=args.messages),
+        "radix": ParallelRadixSort,
+        "sample": ParallelSampleSort,
+    }
+    if args.algorithm not in algos:
+        print(f"unknown algorithm {args.algorithm!r}; choose from {sorted(algos)}",
+              file=sys.stderr)
+        return 2
+    keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
+    algo = algos[args.algorithm]()
+    result = algo.run(keys, args.procs, verify=True)
+    st = result.stats
+    print(f"{algo.name}: sorted and verified {args.keys:,} keys on "
+          f"{args.procs} processors")
+    print(f"  simulated time   {st.elapsed_us / 1e6:.4f} s  "
+          f"({st.us_per_key:.3f} us/key)")
+    print(f"  computation      {st.computation_per_key:.3f} us/key")
+    print(f"  communication    {st.communication_per_key:.3f} us/key")
+    print(f"  remaps R = {st.remaps}   volume V = {st.volume_per_proc:,}/proc   "
+          f"messages M = {st.messages_per_proc:,}/proc")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.layouts import smart_schedule
+    from repro.viz import render_schedule_map
+
+    sched = smart_schedule(args.keys, args.procs)
+    print(sched.describe())
+    print()
+    print(render_schedule_map(sched))
+    print()
+    print(f"volume  V = {sched.volume_per_processor():,} elements/processor")
+    print(f"messages M = {sched.messages_per_processor():,} per processor")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.theory import predict
+
+    print(f"predicted busy time, N={args.keys:,} keys on P={args.procs} "
+          f"(Meiko CS-2 model):")
+    for algo in ("smart", "cyclic-blocked", "blocked-merge"):
+        pt = predict(algo, args.keys, args.procs)
+        print(f"  {algo:<16} {pt.us_per_key:7.3f} us/key  "
+              f"(comp {pt.computation / pt.n:.3f}, comm {pt.communication / pt.n:.3f})")
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from repro.sorts import (
+        BlockedMergeBitonicSort,
+        ColumnSort,
+        CyclicBlockedBitonicSort,
+        ParallelRadixSort,
+        ParallelSampleSort,
+        SmartBitonicSort,
+    )
+    from repro.utils.rng import make_keys
+    from repro.viz import render_gantt
+
+    algos = {
+        "smart": SmartBitonicSort,
+        "smart-unfused": lambda: SmartBitonicSort(fused=False),
+        "cyclic-blocked": CyclicBlockedBitonicSort,
+        "blocked-merge": BlockedMergeBitonicSort,
+        "radix": ParallelRadixSort,
+        "sample": ParallelSampleSort,
+        "column": ColumnSort,
+    }
+    if args.algorithm not in algos:
+        print(f"unknown algorithm {args.algorithm!r}; choose from {sorted(algos)}",
+              file=sys.stderr)
+        return 2
+    keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
+    res = algos[args.algorithm]().run(keys, args.procs, verify=True, trace=True)
+    print(render_gantt(res.traces, width=args.width))
+    print(f"\nmakespan {res.stats.elapsed_us / 1e3:.2f} ms simulated "
+          f"({res.stats.us_per_key:.3f} us/key)")
+    return 0
+
+
+def _cmd_fft(args) -> int:
+    import numpy as np
+
+    from repro.fft import ParallelFFT
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=args.points) + 1j * rng.normal(size=args.points)
+    res = ParallelFFT().run(x, args.procs, verify=True)
+    st = res.stats
+    print(f"parallel FFT of {args.points:,} points on {args.procs} processors "
+          f"— verified against np.fft.fft")
+    print(f"  remaps R = {st.remaps}   volume V = {st.volume_per_proc:,} "
+          f"points/proc   {st.us_per_key:.3f} simulated us/point")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bitonic",
+        description=(
+            "Reproduction of 'Optimizing Parallel Bitonic Sort' "
+            "(Ionescu & Schauser, IPPS 1997) on a LogGP-simulated machine."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    p_exp.add_argument("id", help="experiment id, 'all', or 'list'")
+    p_exp.add_argument("--full", action="store_true",
+                       help="the paper's full sizes (slow)")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_sort = sub.add_parser("sort", help="run one parallel sort")
+    p_sort.add_argument("--keys", type=int, default=1 << 20)
+    p_sort.add_argument("--procs", type=int, default=32)
+    p_sort.add_argument("--algorithm", default="smart")
+    p_sort.add_argument("--messages", choices=("long", "short"), default="long")
+    p_sort.add_argument("--unfused", action="store_true")
+    p_sort.add_argument("--distribution", default="uniform")
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.set_defaults(fn=_cmd_sort)
+
+    p_sched = sub.add_parser("schedule", help="print a smart remap schedule")
+    p_sched.add_argument("--keys", type=int, default=256)
+    p_sched.add_argument("--procs", type=int, default=16)
+    p_sched.set_defaults(fn=_cmd_schedule)
+
+    p_pred = sub.add_parser("predict", help="closed-form time predictions")
+    p_pred.add_argument("--keys", type=int, default=1 << 25)
+    p_pred.add_argument("--procs", type=int, default=32)
+    p_pred.set_defaults(fn=_cmd_predict)
+
+    p_gantt = sub.add_parser("gantt", help="trace a sort and render its timeline")
+    p_gantt.add_argument("--keys", type=int, default=1 << 17)
+    p_gantt.add_argument("--procs", type=int, default=8)
+    p_gantt.add_argument("--algorithm", default="smart")
+    p_gantt.add_argument("--distribution", default="uniform")
+    p_gantt.add_argument("--width", type=int, default=100)
+    p_gantt.add_argument("--seed", type=int, default=0)
+    p_gantt.set_defaults(fn=_cmd_gantt)
+
+    p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
+    p_fft.add_argument("--points", type=int, default=1 << 16)
+    p_fft.add_argument("--procs", type=int, default=16)
+    p_fft.add_argument("--seed", type=int, default=0)
+    p_fft.set_defaults(fn=_cmd_fft)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
+    known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
+             "-h", "--help"}
+    if argv and argv[0] not in known:
+        argv = ["experiment"] + argv
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,458 @@
+"""Runners for every table and figure of the paper's evaluation.
+
+Each experiment executes real sorts on the simulated machine and returns an
+:class:`ExperimentResult` whose rows mirror the paper's table/figure.  The
+default workload sizes are scaled down from the paper's 128K–1M keys per
+processor so the whole suite runs in seconds; pass ``full=True`` (or set the
+environment variable ``REPRO_FULL=1``) to execute at the paper's exact
+sizes.  Simulated times are independent of wall-clock, so scaling changes
+only how much the per-remap fixed overheads are amortized, not who wins.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.harness.paper_data import PAPER
+from repro.layouts.schedule import build_schedule, remaining_steps
+from repro.localsort.bitonic_min import BitonicMinStats, argmin_bitonic
+from repro.machine.metrics import RunStats
+from repro.model.machines import MEIKO_CS2
+from repro.sorts import (
+    BlockedMergeBitonicSort,
+    ColumnSort,
+    CyclicBlockedBitonicSort,
+    ParallelRadixSort,
+    ParallelSampleSort,
+    SmartBitonicSort,
+)
+from repro.theory.counts import STRATEGIES, counts_for
+from repro.utils.rng import make_keys
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "default_sizes"]
+
+#: Paper sweep, in K keys per processor.
+FULL_SIZES = (128, 256, 512, 1024)
+#: Scaled-down default sweep (same number of points, same doubling shape).
+QUICK_SIZES = (8, 16, 32, 64)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure, with the paper's values (when
+    the paper prints them) alongside."""
+
+    ident: str
+    title: str
+    unit: str
+    columns: Tuple[str, ...]
+    rows: Dict = field(default_factory=dict)  # row label -> tuple of values
+    paper_columns: Tuple[str, ...] = ()
+    paper_rows: Dict = field(default_factory=dict)
+    notes: str = ""
+
+    def column(self, name: str) -> List[float]:
+        """All values of one measured column, in row order."""
+        i = self.columns.index(name)
+        return [vals[i] for vals in self.rows.values()]
+
+
+def default_sizes(full: Optional[bool] = None) -> Tuple[int, ...]:
+    """The keys-per-processor sweep (in K): the paper's sizes under
+    ``full`` / ``REPRO_FULL=1``, a scaled sweep otherwise."""
+    if full is None:
+        full = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    return FULL_SIZES if full else QUICK_SIZES
+
+
+def _keys(P: int, size_k: int, seed: int = 7, distribution: str = "uniform") -> np.ndarray:
+    return make_keys(P * size_k * 1024, seed=seed, distribution=distribution)
+
+
+def _run(algo, P: int, size_k: int, verify: bool = True,
+         distribution: str = "uniform") -> RunStats:
+    res = algo.run(_keys(P, size_k, distribution=distribution), P, verify=verify)
+    return res.stats
+
+
+# ---------------------------------------------------------------------------
+# Tables 5.1 / 5.2 and Figures 5.1 / 5.2: the three bitonic implementations.
+# ---------------------------------------------------------------------------
+
+
+def _three_bitonic(P: int, sizes: Sequence[int]) -> Dict[int, Tuple[RunStats, ...]]:
+    algos = (
+        BlockedMergeBitonicSort(),
+        CyclicBlockedBitonicSort(),
+        SmartBitonicSort(),
+    )
+    return {
+        size: tuple(_run(a, P, size) for a in algos) for size in sizes
+    }
+
+
+def table5_1(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+             P: int = 32) -> ExperimentResult:
+    """Execution time per key for Blocked-Merge / Cyclic-Blocked / Smart."""
+    sizes = tuple(sizes or default_sizes(full))
+    runs = _three_bitonic(P, sizes)
+    paper = PAPER.tables["table5.1"]
+    return ExperimentResult(
+        ident="table5.1",
+        title=f"us/key, three bitonic implementations, P={P} (Table 5.1 / Fig 5.2)",
+        unit="us/key",
+        columns=("Blocked-Merge", "Cyclic-Blocked", "Smart"),
+        rows={s: tuple(round(st.us_per_key, 3) for st in runs[s]) for s in sizes},
+        paper_columns=paper.columns,
+        paper_rows=dict(paper.rows),
+        notes="Rows are keys/processor in K; paper rows are the CS-2 at 128K-1M.",
+    )
+
+
+def table5_2(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+             P: int = 32) -> ExperimentResult:
+    """Total execution time for the three bitonic implementations."""
+    sizes = tuple(sizes or default_sizes(full))
+    runs = _three_bitonic(P, sizes)
+    paper = PAPER.tables["table5.2"]
+    return ExperimentResult(
+        ident="table5.2",
+        title=f"total seconds, three bitonic implementations, P={P} (Table 5.2 / Fig 5.1)",
+        unit="seconds",
+        columns=("Blocked-Merge", "Cyclic-Blocked", "Smart"),
+        rows={s: tuple(round(st.seconds_total, 4) for st in runs[s]) for s in sizes},
+        paper_columns=paper.columns,
+        paper_rows=dict(paper.rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.3: scaling P for a fixed total problem.
+# ---------------------------------------------------------------------------
+
+
+def figure5_3(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+              total_keys_k: Optional[int] = None) -> ExperimentResult:
+    """Total sorting time and speedup for a fixed N, P = 2..32."""
+    if total_keys_k is None:
+        total_keys_k = 1024 if (full or os.environ.get("REPRO_FULL")) else 128
+    N = total_keys_k * 1024
+    procs = (2, 4, 8, 16, 32)
+    algo = SmartBitonicSort()
+    rows: Dict = {}
+    base: Optional[float] = None
+    for P in procs:
+        keys = make_keys(N, seed=7)
+        st = algo.run(keys, P, verify=True).stats
+        if base is None:
+            base = st.seconds_total * 2  # speedup baseline: ideal 1-proc = 2x the 2-proc time
+        rows[P] = (round(st.seconds_total, 4), round(base / st.seconds_total, 2))
+    return ExperimentResult(
+        ident="figure5.3",
+        title=f"Smart bitonic sort of {total_keys_k}K keys, P=2..32 (Figure 5.3)",
+        unit="seconds / speedup",
+        columns=("total seconds", "speedup vs 1 proc (est)"),
+        rows=rows,
+        notes=(
+            "Speedup baseline estimates the 1-processor time as twice the "
+            "2-processor time, as a single simulated node runs no "
+            "communication phases."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.4: communication/computation breakdown.
+# ---------------------------------------------------------------------------
+
+
+def figure5_4(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+              P: int = 16) -> ExperimentResult:
+    """Share of time in computation vs communication for the Smart sort."""
+    sizes = tuple(sizes or default_sizes(full))
+    algo = SmartBitonicSort()
+    rows: Dict = {}
+    for s in sizes:
+        st = _run(algo, P, s)
+        comp, comm = st.computation_per_key, st.communication_per_key
+        total = comp + comm
+        rows[s] = (
+            round(comp, 3),
+            round(comm, 3),
+            round(100 * comp / total, 1),
+            round(100 * comm / total, 1),
+        )
+    return ExperimentResult(
+        ident="figure5.4",
+        title=f"computation vs communication per key, Smart, P={P} (Figure 5.4)",
+        unit="us/key and %",
+        columns=("comp us/key", "comm us/key", "comp %", "comm %"),
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 5.3 / 5.4 and Figures 5.5 / 5.6: message-size effects.
+# ---------------------------------------------------------------------------
+
+
+def table5_3(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+             P: int = 16) -> ExperimentResult:
+    """Communication time per key: short vs (unfused) long messages."""
+    sizes = tuple(sizes or default_sizes(full))
+    short = SmartBitonicSort(mode="short", fused=False)
+    long_ = SmartBitonicSort(mode="long", fused=False)
+    paper = PAPER.tables["table5.3"]
+    rows: Dict = {}
+    for s in sizes:
+        st_s = _run(short, P, s)
+        st_l = _run(long_, P, s)
+        rows[s] = (
+            round(st_s.communication_per_key, 2),
+            round(st_l.communication_per_key, 2),
+        )
+    return ExperimentResult(
+        ident="table5.3",
+        title=f"comm us/key, short vs long messages, P={P} (Table 5.3 / Fig 5.5)",
+        unit="us/key",
+        columns=("Short Messages", "Long Messages"),
+        rows=rows,
+        paper_columns=paper.columns,
+        paper_rows=dict(paper.rows),
+        notes="Long-message version here does NOT fuse pack/unpack (as in §5.4).",
+    )
+
+
+def table5_4(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+             P: int = 16) -> ExperimentResult:
+    """Pack / transfer / unpack breakdown of the long-message version."""
+    sizes = tuple(sizes or default_sizes(full))
+    algo = SmartBitonicSort(mode="long", fused=False)
+    paper = PAPER.tables["table5.4"]
+    rows: Dict = {}
+    for s in sizes:
+        st = _run(algo, P, s)
+        rows[s] = (
+            round(st.per_key("pack"), 3),
+            round(st.per_key("transfer"), 3),
+            round(st.per_key("unpack"), 3),
+        )
+    return ExperimentResult(
+        ident="table5.4",
+        title=f"communication breakdown us/key, long messages, P={P} (Table 5.4 / Fig 5.6)",
+        unit="us/key",
+        columns=("Packing", "Transfer", "Unpacking"),
+        rows=rows,
+        paper_columns=paper.columns,
+        paper_rows=dict(paper.rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5.7 / 5.8: bitonic vs radix vs sample sort.
+# ---------------------------------------------------------------------------
+
+
+def _sort_showdown(P: int, sizes: Sequence[int]) -> ExperimentResult:
+    algos = (SmartBitonicSort(), ParallelRadixSort(), ParallelSampleSort())
+    rows: Dict = {}
+    for s in sizes:
+        rows[s] = tuple(round(_run(a, P, s).us_per_key, 3) for a in algos)
+    return ExperimentResult(
+        ident=f"figure5.{7 if P == 16 else 8}",
+        title=f"us/key: bitonic vs radix vs sample sort, P={P} "
+        f"(Figure {'5.7' if P == 16 else '5.8'})",
+        unit="us/key",
+        columns=("Bitonic (Smart)", "Radix", "Sample"),
+        rows=rows,
+    )
+
+
+def figure5_7(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None
+              ) -> ExperimentResult:
+    return _sort_showdown(16, tuple(sizes or default_sizes(full)))
+
+
+def figure5_8(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None
+              ) -> ExperimentResult:
+    return _sort_showdown(32, tuple(sizes or default_sizes(full)))
+
+
+# ---------------------------------------------------------------------------
+# Analysis experiments beyond Chapter 5's tables.
+# ---------------------------------------------------------------------------
+
+
+def comm_counts(sizes: Optional[Sequence[int]] = None, full: Optional[bool] = None,
+                P: int = 16) -> ExperimentResult:
+    """R/V/M closed forms (§3.4) vs the simulator's measured counts."""
+    size = (tuple(sizes) if sizes else default_sizes(full))[0]
+    n = size * 1024
+    N = P * n
+    rows: Dict = {}
+    measured = {
+        "blocked": _run(BlockedMergeBitonicSort(), P, size),
+        "cyclic-blocked": _run(CyclicBlockedBitonicSort(), P, size),
+        "smart": _run(SmartBitonicSort(), P, size),
+    }
+    for strat in STRATEGIES:
+        c = counts_for(strat, N, P)
+        st = measured[strat]
+        rows[strat] = (
+            c.remaps, st.remaps, c.volume, st.volume_per_proc,
+            c.messages, st.messages_per_proc,
+        )
+    return ExperimentResult(
+        ident="comm-counts",
+        title=f"communication metrics, theory vs simulator, P={P}, n={n} (§3.4)",
+        unit="counts",
+        columns=("R theory", "R measured", "V theory", "V measured",
+                 "M theory", "M measured"),
+        rows=rows,
+    )
+
+
+def remap_strategies(sizes: Optional[Sequence[int]] = None,
+                     full: Optional[bool] = None, P: int = 32) -> ExperimentResult:
+    """Lemma 5: transferred volume of the Head/Tail/Middle placements."""
+    size = (tuple(sizes) if sizes else default_sizes(full))[0]
+    n = size * 1024
+    N = P * n
+    rows: Dict = {}
+    rem = remaining_steps(P, n)
+    for strat in ("head", "tail", "middle1", "middle2"):
+        try:
+            sched = build_schedule(N, P, strategy=strat)
+        except Exception as exc:  # middle strategies need rem > 0
+            rows[strat] = ("n/a", "n/a", str(exc)[:40])
+            continue
+        rows[strat] = (
+            sched.num_remaps,
+            sched.volume_per_processor(),
+            sched.messages_per_processor(),
+        )
+    return ExperimentResult(
+        ident="remap-strategies",
+        title=f"Lemma 5 remap placements, P={P}, n={n}, N_RemainingSteps={rem}",
+        unit="counts",
+        columns=("remaps", "volume/proc", "messages/proc"),
+        rows=rows,
+        notes="Lemma 5: V_tail <= V_head < V_middle1 and V_tail <= V_middle2.",
+    )
+
+
+def bitonic_min_scaling(sizes: Optional[Sequence[int]] = None,
+                        full: Optional[bool] = None) -> ExperimentResult:
+    """Algorithm 2: comparisons grow logarithmically with n (Lemma 8)."""
+    lengths = [1 << e for e in range(6, 21, 2)]
+    rng = np.random.default_rng(3)
+    rows: Dict = {}
+    for n in lengths:
+        vals = rng.choice(np.arange(4 * n, dtype=np.int64), size=n, replace=False)
+        peak = rng.integers(1, n)
+        seq = np.concatenate([np.sort(vals[:peak]), np.sort(vals[peak:])[::-1]])
+        stats = BitonicMinStats()
+        idx = argmin_bitonic(seq, stats=stats)
+        assert seq[idx] == seq.min()
+        rows[n] = (stats.comparisons, int(np.ceil(np.log2(n))), stats.fallback)
+    return ExperimentResult(
+        ident="bitonic-min",
+        title="Algorithm 2 comparison counts vs sequence length (Lemma 8)",
+        unit="comparisons",
+        columns=("comparisons", "lg n", "fallback"),
+        rows=rows,
+    )
+
+
+def local_compute_ablation(sizes: Optional[Sequence[int]] = None,
+                           full: Optional[bool] = None, P: int = 16
+                           ) -> ExperimentResult:
+    """Chapter 4 ablation: merge-based vs simulated local computation, and
+    fused vs unfused pack/unpack."""
+    size = (tuple(sizes) if sizes else default_sizes(full))[-1]
+    variants = {
+        "merge+fused (Smart)": SmartBitonicSort(),
+        "merge, unfused": SmartBitonicSort(fused=False),
+        "simulate+fused": SmartBitonicSort(local="simulate"),
+        "simulate, unfused": SmartBitonicSort(local="simulate", fused=False),
+    }
+    rows: Dict = {}
+    for label, algo in variants.items():
+        st = _run(algo, P, size)
+        rows[label] = (
+            round(st.us_per_key, 3),
+            round(st.computation_per_key, 3),
+            round(st.communication_per_key, 3),
+        )
+    return ExperimentResult(
+        ident="local-compute",
+        title=f"Chapter 4 ablation, P={P}, {size}K keys/proc",
+        unit="us/key",
+        columns=("total", "computation", "communication"),
+        rows=rows,
+    )
+
+
+def column_sort_comparison(sizes: Optional[Sequence[int]] = None,
+                           full: Optional[bool] = None, P: int = 8
+                           ) -> ExperimentResult:
+    """Chapter 6's column sort against the smart bitonic and sample sorts.
+
+    Column sort shares bitonic sort's structure (local sorts alternating
+    with redistributions, two of which are the blocked<->cyclic remaps) but
+    needs only four of each — at the price of four full local sorts and the
+    ``N >= ~2 P**3`` applicability bound.
+    """
+    sizes = tuple(sizes or default_sizes(full))
+    algos = (ColumnSort(), SmartBitonicSort(), ParallelSampleSort())
+    rows: Dict = {}
+    for s in sizes:
+        vals = []
+        for a in algos:
+            try:
+                vals.append(round(_run(a, P, s).us_per_key, 3))
+            except Exception:
+                vals.append(float("nan"))
+        rows[s] = tuple(vals)
+    return ExperimentResult(
+        ident="column-sort",
+        title=f"column sort vs smart bitonic vs sample, P={P} (Ch. 6)",
+        unit="us/key",
+        columns=("Column", "Bitonic (Smart)", "Sample"),
+        rows=rows,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "column-sort": column_sort_comparison,
+    "table5.1": table5_1,
+    "figure5.2": table5_1,
+    "table5.2": table5_2,
+    "figure5.1": table5_2,
+    "figure5.3": figure5_3,
+    "figure5.4": figure5_4,
+    "table5.3": table5_3,
+    "figure5.5": table5_3,
+    "table5.4": table5_4,
+    "figure5.6": table5_4,
+    "figure5.7": figure5_7,
+    "figure5.8": figure5_8,
+    "comm-counts": comm_counts,
+    "remap-strategies": remap_strategies,
+    "bitonic-min": bitonic_min_scaling,
+    "local-compute": local_compute_ablation,
+}
+
+
+def run_experiment(ident: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by table/figure id (e.g. ``"table5.1"``)."""
+    if ident not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {ident!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[ident](**kwargs)

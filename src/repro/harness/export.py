@@ -1,0 +1,60 @@
+"""Machine-readable export of experiment results and run statistics.
+
+``EXPERIMENTS.md`` is authored from these JSON dumps, and downstream users
+get a stable format for regression tracking (the shape of which is pinned
+by tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.harness.experiments import ExperimentResult
+from repro.machine.metrics import RunStats
+
+__all__ = ["result_to_dict", "stats_to_dict", "dump_result"]
+
+
+def stats_to_dict(stats: RunStats) -> Dict[str, Any]:
+    """Flatten a :class:`RunStats` into plain JSON types."""
+    return {
+        "P": stats.P,
+        "n": stats.n,
+        "N": stats.N,
+        "elapsed_us": stats.elapsed_us,
+        "us_per_key": stats.us_per_key,
+        "seconds_total": stats.seconds_total,
+        "remaps": stats.remaps,
+        "volume_per_proc": stats.volume_per_proc,
+        "messages_per_proc": stats.messages_per_proc,
+        "computation_per_key": stats.computation_per_key,
+        "communication_per_key": stats.communication_per_key,
+        "breakdown_us": dict(stats.mean_breakdown.times),
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten an :class:`ExperimentResult` (measured + paper rows)."""
+    return {
+        "ident": result.ident,
+        "title": result.title,
+        "unit": result.unit,
+        "columns": list(result.columns),
+        "rows": {str(k): list(v) for k, v in result.rows.items()},
+        "paper_columns": list(result.paper_columns),
+        "paper_rows": {str(k): list(v) for k, v in result.paper_rows.items()},
+        "notes": result.notes,
+    }
+
+
+def dump_result(
+    result: ExperimentResult,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialize a result to JSON; optionally also write it to ``path``."""
+    text = json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

@@ -1,0 +1,176 @@
+"""The paper's reported numbers (Chapter 5), for paper-vs-measured reports.
+
+Tables 5.1–5.4 are transcribed exactly.  The figures without backing tables
+(5.1–5.8) are represented by the *shape constraints* the reproduction must
+satisfy — orderings, approximate ratios, crossovers — because the thesis
+prints them only as plots.
+
+All per-key times are µs; totals are seconds.  "Keys/proc" sweep points are
+in units of 1024 keys (the paper's "K").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["PAPER", "PaperTable", "ShapeExpectation"]
+
+
+@dataclass(frozen=True)
+class PaperTable:
+    """One table of the paper: row label -> column label -> value."""
+
+    ident: str
+    caption: str
+    unit: str
+    columns: Tuple[str, ...]
+    rows: Dict[int, Tuple[float, ...]]  # keys/proc (in K) -> values
+
+
+@dataclass(frozen=True)
+class ShapeExpectation:
+    """A qualitative claim a figure makes, checked by the benches."""
+
+    ident: str
+    claim: str
+
+
+TABLE_5_1 = PaperTable(
+    ident="table5.1",
+    caption=(
+        "Execution time per key (µs) for different implementations of the "
+        "bitonic sort algorithm on 32 processors"
+    ),
+    unit="us/key",
+    columns=("Blocked-Merge", "Cyclic-Blocked", "Smart"),
+    rows={
+        128: (1.07, 0.68, 0.52),
+        256: (1.19, 0.75, 0.51),
+        512: (1.26, 0.89, 0.53),
+        1024: (1.25, 0.86, 0.59),
+    },
+)
+
+TABLE_5_2 = PaperTable(
+    ident="table5.2",
+    caption=(
+        "Total execution time (s) for different implementations of the "
+        "bitonic sort algorithm on 32 processors"
+    ),
+    unit="seconds",
+    columns=("Blocked-Merge", "Cyclic-Blocked", "Smart"),
+    rows={
+        128: (5.52, 2.85, 2.18),
+        256: (10.04, 6.35, 4.26),
+        512: (21.14, 14.96, 8.95),
+        1024: (42.03, 28.58, 20.01),
+    },
+)
+
+TABLE_5_3 = PaperTable(
+    ident="table5.3",
+    caption=(
+        "Communication time per key (µs) for the short- and long-message "
+        "versions of the bitonic sort algorithm on 16 processors"
+    ),
+    unit="us/key",
+    columns=("Short Messages", "Long Messages"),
+    rows={
+        128: (13.23, 0.98),
+        256: (13.25, 1.09),
+        512: (13.26, 1.12),
+        1024: (13.74, 1.21),
+    },
+)
+
+TABLE_5_4 = PaperTable(
+    ident="table5.4",
+    caption=(
+        "Breakdown of the communication time per key (µs) for the "
+        "long-message version on 16 processors"
+    ),
+    unit="us/key",
+    columns=("Packing", "Transfer", "Unpacking"),
+    rows={
+        128: (0.35, 0.15, 0.15),
+        256: (0.37, 0.15, 0.15),
+        512: (0.38, 0.16, 0.14),
+        1024: (0.38, 0.16, 0.13),
+    },
+)
+
+FIGURE_SHAPES: Dict[str, List[ShapeExpectation]] = {
+    "figure5.1": [
+        ShapeExpectation(
+            "figure5.1",
+            "total time ordering Smart < Cyclic-Blocked < Blocked-Merge at "
+            "every size on 32 processors",
+        )
+    ],
+    "figure5.2": [
+        ShapeExpectation(
+            "figure5.2",
+            "per-key ordering Smart < Cyclic-Blocked < Blocked-Merge; "
+            "Blocked-Merge roughly 2x Smart, Cyclic-Blocked 1.3-1.8x Smart",
+        )
+    ],
+    "figure5.3": [
+        ShapeExpectation(
+            "figure5.3",
+            "for 1M total keys the sorting time falls as P grows from 2 to "
+            "32; speedup grows with P but sub-linearly",
+        )
+    ],
+    "figure5.4": [
+        ShapeExpectation(
+            "figure5.4",
+            "computation share of total time grows with keys/processor "
+            "(cache misses), communication share shrinks",
+        )
+    ],
+    "figure5.5": [
+        ShapeExpectation(
+            "figure5.5",
+            "short messages are roughly an order of magnitude (about 12x) "
+            "slower per key than long messages",
+        )
+    ],
+    "figure5.6": [
+        ShapeExpectation(
+            "figure5.6",
+            "packing+unpacking is roughly 70-85% of the unfused long-message "
+            "communication time",
+        )
+    ],
+    "figure5.7": [
+        ShapeExpectation(
+            "figure5.7",
+            "on 16 processors bitonic beats radix at every size; sample sort "
+            "is the overall winner",
+        )
+    ],
+    "figure5.8": [
+        ShapeExpectation(
+            "figure5.8",
+            "on 32 processors bitonic beats radix only for smaller "
+            "keys/processor (a crossover exists); sample sort wins overall",
+        )
+    ],
+}
+
+
+@dataclass(frozen=True)
+class _Paper:
+    tables: Dict[str, PaperTable] = field(
+        default_factory=lambda: {
+            t.ident: t
+            for t in (TABLE_5_1, TABLE_5_2, TABLE_5_3, TABLE_5_4)
+        }
+    )
+    shapes: Dict[str, List[ShapeExpectation]] = field(
+        default_factory=lambda: dict(FIGURE_SHAPES)
+    )
+
+
+PAPER = _Paper()

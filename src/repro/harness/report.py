@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results (paper-vs-measured)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.harness.experiments import ExperimentResult
+
+__all__ = ["format_table", "format_series", "format_result"]
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Dict,
+    row_header: str = "keys/proc (K)",
+) -> str:
+    """Render ``row label -> tuple of values`` as an aligned text table."""
+    headers = [row_header] + list(columns)
+    body = [[str(label)] + [_fmt(v) for v in vals] for label, vals in rows.items()]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence, ys: Sequence[float], width: int = 40) -> str:
+    """A one-line-per-point ASCII rendering of a figure series."""
+    if not ys:
+        return f"{label}: (empty)"
+    top = max(ys) or 1.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(width * y / top))
+        lines.append(f"  {str(x):>8}  {y:>10.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render one experiment with the paper's values side by side."""
+    parts = [f"== {result.ident}: {result.title} [{result.unit}] =="]
+    parts.append(format_table(result.columns, result.rows))
+    if result.paper_rows:
+        parts.append("")
+        parts.append(f"-- paper ({result.ident}, Meiko CS-2) --")
+        parts.append(format_table(result.paper_columns, result.paper_rows))
+    if result.notes:
+        parts.append("")
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        return f"{v:.3f}".rstrip("0").rstrip(".") if v else "0"
+    return str(v)

@@ -1,0 +1,116 @@
+"""Parameter sweeps over (P, n) grids, with ASCII heatmap rendering.
+
+The evaluation chapter's figures are one-dimensional slices; this utility
+runs an algorithm (or compares two) over a full grid of machine and
+problem sizes, which is how one actually answers "when should I use the
+smart bitonic sort?" on a new machine.  Simulated runs are cheap enough to
+grid-search; the closed-form predictors (:mod:`repro.theory.predict`) make
+the bitonic grid essentially free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.metrics import RunStats
+from repro.sorts.base import ParallelSort
+from repro.utils.rng import make_keys
+
+__all__ = ["SweepResult", "run_sweep", "compare_sweep", "render_heatmap"]
+
+Cell = Tuple[int, int]  # (P, n)
+
+
+@dataclass
+class SweepResult:
+    """A metric evaluated over a (P, n) grid."""
+
+    metric: str
+    procs: Tuple[int, ...]
+    keys_per_proc: Tuple[int, ...]
+    values: Dict[Cell, float] = field(default_factory=dict)
+
+    def row(self, P: int) -> List[float]:
+        return [self.values[(P, n)] for n in self.keys_per_proc]
+
+
+def run_sweep(
+    algorithm: ParallelSort,
+    procs: Sequence[int],
+    keys_per_proc: Sequence[int],
+    metric: Callable[[RunStats], float] = lambda st: st.us_per_key,
+    metric_name: str = "us/key",
+    seed: int = 0,
+    verify: bool = True,
+) -> SweepResult:
+    """Run ``algorithm`` at every grid point and record ``metric``."""
+    if not procs or not keys_per_proc:
+        raise ConfigurationError("sweep needs at least one P and one n")
+    result = SweepResult(
+        metric=f"{algorithm.name}: {metric_name}",
+        procs=tuple(procs),
+        keys_per_proc=tuple(keys_per_proc),
+    )
+    for P in procs:
+        for n in keys_per_proc:
+            keys = make_keys(P * n, seed=seed)
+            stats = algorithm.run(keys, P, verify=verify).stats
+            result.values[(P, n)] = metric(stats)
+    return result
+
+
+def compare_sweep(
+    a: ParallelSort,
+    b: ParallelSort,
+    procs: Sequence[int],
+    keys_per_proc: Sequence[int],
+    seed: int = 0,
+) -> SweepResult:
+    """Grid of time ratios ``b / a`` (> 1 where ``a`` wins)."""
+    ra = run_sweep(a, procs, keys_per_proc, seed=seed)
+    rb = run_sweep(b, procs, keys_per_proc, seed=seed)
+    out = SweepResult(
+        metric=f"{b.name} / {a.name} time ratio (>1: {a.name} wins)",
+        procs=ra.procs,
+        keys_per_proc=ra.keys_per_proc,
+    )
+    for cell, va in ra.values.items():
+        out.values[cell] = rb.values[cell] / va if va else float("inf")
+    return out
+
+
+#: Shading ramp for the heatmap, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(result: SweepResult, cell_width: int = 7) -> str:
+    """Render the grid as a table with a shade character per cell
+    (normalized to the grid's min..max range)."""
+    vals = [v for v in result.values.values() if np.isfinite(v)]
+    if not vals:
+        raise ConfigurationError("sweep produced no finite values")
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+
+    def shade(v: float) -> str:
+        if not np.isfinite(v):
+            return "?"
+        idx = int((v - lo) / span * (len(_RAMP) - 1))
+        return _RAMP[idx]
+
+    header = f"{result.metric}  (shade: light=low {lo:.3g}, dark=high {hi:.3g})"
+    lines = [header]
+    cols = "".join(f"{n:>{cell_width}}" for n in result.keys_per_proc)
+    corner = "P \\ n"
+    lines.append(f"{corner:>6} {cols}")
+    for P in result.procs:
+        cells = "".join(
+            f"{result.values[(P, n)]:>{cell_width - 1}.3g}{shade(result.values[(P, n)])}"
+            for n in result.keys_per_proc
+        )
+        lines.append(f"{P:>6} {cells}")
+    return "\n".join(lines)

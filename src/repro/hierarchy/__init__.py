@@ -1,0 +1,34 @@
+"""Remap-based tiling for memory hierarchies — the paper's last
+future-work item.
+
+Chapter 7 closes with: "our technique of remapping the data, given a data
+pattern configuration, in such a way that data accesses are minimized is
+applicable in any hierarchical memory model.  Since accesses across
+different layers of the hierarchy are very expensive, given the
+'communication pattern' (i.e. memory access pattern) we can derive data
+remaps such that we maximize the ratio of local accesses to remote
+accesses."
+
+This package realizes that idea for the butterfly: treat a cache-resident
+tile of ``C`` words exactly like a processor's partition — the "processor
+part" of an address becomes the tile index in slow memory, the "local
+part" the offset inside the tile — and reuse the same sliding-window
+bit-field layouts.  Executing ``lg C`` butterfly levels per tile residency
+cuts slow-memory traffic from ``N lg N`` words (streaming the whole array
+once per level) to ``N * ceil(lg N / lg C)`` words, the classic
+``Θ(N lg N / lg C)`` I/O bound for the FFT.
+"""
+
+from repro.hierarchy.memory import TrafficCounter
+from repro.hierarchy.butterfly import (
+    naive_butterfly_traffic,
+    tiled_butterfly_traffic,
+    tiled_fft,
+)
+
+__all__ = [
+    "TrafficCounter",
+    "naive_butterfly_traffic",
+    "tiled_butterfly_traffic",
+    "tiled_fft",
+]

@@ -1,0 +1,63 @@
+"""A two-level memory traffic counter.
+
+Deliberately minimal: fast memory of ``capacity`` words over a slow memory,
+with explicit tile loads and writebacks (the execution strategies here tile
+explicitly, so no replacement policy is needed).  The counter tracks words
+moved in each direction — the "remote accesses" of the paper's hierarchy
+analogy — which is the quantity the remap-based tiling minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TrafficCounter"]
+
+
+@dataclass
+class TrafficCounter:
+    """Counts slow↔fast memory traffic, in words.
+
+    ``capacity`` is the fast-memory size in words; ``load``/``store``
+    record transfers and enforce that no single resident working set
+    exceeds the capacity.
+    """
+
+    capacity: int
+    loaded_words: int = 0
+    stored_words: int = 0
+    resident: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"fast memory capacity must be >= 1 word, got {self.capacity}"
+            )
+
+    def load(self, words: int) -> None:
+        """Bring ``words`` words into fast memory."""
+        if words < 0:
+            raise ConfigurationError(f"cannot load {words} words")
+        if self.resident + words > self.capacity:
+            raise ConfigurationError(
+                f"working set {self.resident + words} exceeds fast memory "
+                f"capacity {self.capacity}"
+            )
+        self.resident += words
+        self.loaded_words += words
+
+    def store(self, words: int) -> None:
+        """Write ``words`` words back to slow memory and release them."""
+        if words < 0 or words > self.resident:
+            raise ConfigurationError(
+                f"cannot store {words} words with {self.resident} resident"
+            )
+        self.resident -= words
+        self.stored_words += words
+
+    @property
+    def total_traffic(self) -> int:
+        """Total words moved across the hierarchy boundary."""
+        return self.loaded_words + self.stored_words

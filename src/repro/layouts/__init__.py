@@ -1,0 +1,68 @@
+"""Data layouts: how the rows of the bitonic sorting network are mapped onto
+processors (Chapters 2 and 3 of the paper).
+
+Every layout used by the paper — blocked (Definition 4), cyclic
+(Definition 5) and the smart layout family (Definition 7) — assigns each bit
+of a node's *absolute address* (its network row) to a position in either the
+processor number or the local address of the node's *relative address*.
+:class:`~repro.layouts.base.BitFieldLayout` captures exactly that structure,
+mirroring the bit-pattern figures of Chapter 3, and gives every layout
+vectorized absolute↔relative translation, a ``local_bit_of_abs_bit`` query
+(which backs the fast local compare-exchange engine) and generic
+pattern-difference computation (the paper's ``N_BitsChanged``).
+"""
+
+from repro.layouts.base import BitFieldLayout, Field, bits_changed, kept_fraction
+from repro.layouts.blocked import blocked_layout
+from repro.layouts.cyclic import cyclic_layout
+from repro.layouts.smart import SmartParams, smart_layout, smart_params
+from repro.layouts.schedule import (
+    RemapPhase,
+    RemapSchedule,
+    build_schedule,
+    cyclic_blocked_schedule,
+    smart_schedule,
+)
+from repro.layouts.optimality import (
+    enumerate_placements,
+    minimum_volume_placement,
+    placement_volume,
+)
+from repro.layouts.analysis import (
+    bits_changed_lemma3,
+    communication_group,
+    messages_smart_lower_bound,
+    remap_count_cyclic_blocked,
+    remap_count_smart,
+    volume_blocked,
+    volume_cyclic_blocked,
+    volume_smart_closed_form,
+)
+
+__all__ = [
+    "enumerate_placements",
+    "minimum_volume_placement",
+    "placement_volume",
+    "BitFieldLayout",
+    "Field",
+    "bits_changed",
+    "kept_fraction",
+    "blocked_layout",
+    "cyclic_layout",
+    "SmartParams",
+    "smart_layout",
+    "smart_params",
+    "RemapPhase",
+    "RemapSchedule",
+    "build_schedule",
+    "smart_schedule",
+    "cyclic_blocked_schedule",
+    "bits_changed_lemma3",
+    "communication_group",
+    "messages_smart_lower_bound",
+    "remap_count_cyclic_blocked",
+    "remap_count_smart",
+    "volume_blocked",
+    "volume_cyclic_blocked",
+    "volume_smart_closed_form",
+]

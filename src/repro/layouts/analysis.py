@@ -1,0 +1,186 @@
+"""Closed-form communication complexity of remap strategies (§3.2.1, §3.4).
+
+These are the paper's analytical results: the number of remaps ``R``, the
+per-processor transferred volume ``V`` and the per-processor message count
+``M`` for the three remapping strategies (Blocked, Cyclic–Blocked, Smart),
+plus Lemma 3's ``N_BitsChanged`` formula and Lemma 4's communication-group
+structure.  The test suite checks each closed form against the exact values
+counted on concrete :class:`~repro.layouts.schedule.RemapSchedule` objects
+and on the simulator, which is the reproduction of the paper's claim that
+Smart is optimal on all three metrics under LogP (§3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.layouts.smart import SmartParams
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = [
+    "bits_changed_lemma3",
+    "communication_group",
+    "remap_count_smart",
+    "remap_count_cyclic_blocked",
+    "remap_count_blocked",
+    "volume_smart_closed_form",
+    "volume_cyclic_blocked",
+    "volume_blocked",
+    "messages_smart_lower_bound",
+    "messages_cyclic_blocked",
+    "messages_blocked",
+]
+
+
+def bits_changed_lemma3(params: SmartParams, lgn: int, lgP: int) -> int:
+    """Lemma 3: ``N_BitsChanged`` for a smart remap with parameters
+    ``(k, s)``.
+
+    * inside remap (``s >= lg n``): ``k``, capped at ``lg n`` when ``n < P``;
+    * crossing remap (``s < lg n``): ``k + 1``, capped at ``lg n``;
+    * last remap (``k = lg P`` and ``s <= lg n``): ``min(s, lg P)``.
+    """
+    k, s = params.k, params.s
+    if k == lgP and s <= lgn:
+        return min(s, lgP)
+    if s >= lgn:
+        return min(k, lgn)
+    return min(k + 1, lgn)
+
+
+def communication_group(proc: int, bits_changed: int, P: int) -> Tuple[int, int]:
+    """Lemma 4: the group of processors ``proc`` exchanges data with at a
+    remap changing ``bits_changed`` bits.
+
+    Returns ``(first, size)``: processors ``first .. first + size - 1``
+    (consecutive numbers), with ``size = 2**bits_changed`` and ``first =
+    size * (proc // size)``.  Each processor keeps ``n / size`` elements and
+    sends ``n / size`` to every other group member.
+    """
+    if not 0 <= proc < P:
+        raise ConfigurationError(f"processor {proc} out of range [0, {P})")
+    size = 1 << bits_changed
+    if size > P:
+        raise ConfigurationError(
+            f"group of 2**{bits_changed} processors exceeds machine size {P}"
+        )
+    return size * (proc // size), size
+
+
+# ---------------------------------------------------------------------------
+# Remap counts R (§3.2.1, §3.4.2)
+# ---------------------------------------------------------------------------
+
+
+def remap_count_smart(N: int, P: int) -> int:
+    """``R_Smart = ceil(lgP + lgP (lgP + 1) / (2 lg n))`` — the minimum
+    possible (Theorem 1).  Equals ``lg P + 1`` whenever
+    ``lgP (lgP + 1) / 2 <= lg n``."""
+    N, P, n = require_sizes(N, P)
+    lgP, lgn = ilog2(P), ilog2(n)
+    if lgP == 0:
+        return 0
+    if lgn == 0:
+        raise ConfigurationError("smart remapping needs n >= 2")
+    total = lgP * lgn + lgP * (lgP + 1) // 2
+    return -(-total // lgn)
+
+
+def remap_count_cyclic_blocked(P: int) -> int:
+    """``R_CyclicBlocked = 2 lg P`` (two remaps per communication stage)."""
+    return 2 * ilog2(P)
+
+
+def remap_count_blocked(P: int) -> int:
+    """Remote steps of the fixed blocked layout, each a pairwise exchange:
+    ``lgP (lgP + 1) / 2`` (§3.4.2)."""
+    lgP = ilog2(P)
+    return lgP * (lgP + 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Transferred volume V, in elements per processor (§3.2.1)
+# ---------------------------------------------------------------------------
+
+
+def volume_blocked(N: int, P: int) -> int:
+    """Fixed blocked layout: every remote step moves all ``n`` local
+    elements to the partner: ``V = n lgP (lgP + 1) / 2``."""
+    N, P, n = require_sizes(N, P)
+    return n * remap_count_blocked(P)
+
+
+def volume_cyclic_blocked(N: int, P: int) -> int:
+    """Cyclic–blocked: each of the ``2 lg P`` remaps is an all-to-all in
+    which a processor keeps ``n / P`` elements:
+    ``V = 2 n (1 - 1/P) lg P``."""
+    N, P, n = require_sizes(N, P)
+    return 2 * (n - n // P) * ilog2(P)
+
+
+def volume_smart_closed_form(N: int, P: int) -> int:
+    """The exact smart-remap volume of §3.2.1 (Head placement):
+
+    ``V = V_OutRemap + V_InRemap + V_LastRemap`` with one OutRemap per
+    stage (``n (1 - 1/2**k)`` for the remap ending in stage ``lg n + k``),
+    an InRemap in stage ``lg n + k`` iff ``lg n <= s_k < lg n + k`` where
+    ``s_k = k + a_k`` and ``a_k = k(k-1)/2 mod lg n`` (with ``a_k = 0``
+    meaning the stage starts fresh and has no InRemap), and the last remap
+    changing ``min(steps_after_last, lg P)`` bits.
+
+    Simplifies to ``V = n lg P`` when ``lgP (lgP + 1)/2 <= lg n``.
+
+    The final stage needs care beyond the paper's prose: besides the special
+    last remap, it can contain one or more *full* remaps (its OutRemap plus
+    possibly an InRemap), each changing ``min(lg P, lg n)`` bits; their
+    count follows from how many ``lg n``-step phases end inside the stage's
+    ``lg n + lg P`` steps before the final short phase.
+    """
+    N, P, n = require_sizes(N, P)
+    lgP, lgn = ilog2(P), ilog2(n)
+    if lgP == 0:
+        return 0
+    if lgn == 0:
+        raise ConfigurationError("smart remapping needs n >= 2")
+    # One OutRemap ends within each stage lg n + k, for k < lg P.
+    volume = sum(n - (n >> min(k, lgn)) for k in range(1, lgP))
+    # InRemaps: a second remap ending within stage lg n + k, for k < lg P.
+    for k in range(1, lgP):
+        a_k = (k * (k - 1) // 2) % lgn
+        if a_k == 0:
+            continue
+        s_k = k + a_k
+        if lgn <= s_k < lgn + k:
+            volume += n - (n >> min(k, lgn))
+    # The final stage: every full remap ending within it changes
+    # min(lg P, lg n) bits; the last (short) remap changes
+    # min(steps_after_last, lg P).
+    total = lgP * lgn + lgP * (lgP + 1) // 2
+    rem = total % lgn
+    steps_after_last = rem if rem else lgn
+    full_in_last_stage = -(-(lgn + lgP - steps_after_last) // lgn)
+    volume += full_in_last_stage * (n - (n >> min(lgP, lgn)))
+    n_last = min(steps_after_last, lgP)
+    volume += n - (n >> n_last)
+    return volume
+
+
+def messages_blocked(P: int) -> int:
+    """Blocked layout: one message (of ``n`` keys) per remote step:
+    ``M = lgP (lgP + 1) / 2`` (§3.4.3)."""
+    return remap_count_blocked(P)
+
+
+def messages_cyclic_blocked(P: int) -> int:
+    """Cyclic–blocked: ``P - 1`` messages per remap:
+    ``M = 2 lgP (P - 1)`` (§3.4.3)."""
+    return 2 * ilog2(P) * (P - 1)
+
+
+def messages_smart_lower_bound(P: int) -> int:
+    """The paper's lower bound on smart-remap messages (§3.4.3):
+    ``M >= 3 (P - 1) - lg P`` (counting only the OutRemaps plus the last
+    remap)."""
+    return 3 * (P - 1) - ilog2(P)

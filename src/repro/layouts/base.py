@@ -1,0 +1,257 @@
+"""The bit-field layout abstraction (§3.1, Figures 3.1–3.8).
+
+A node of the bitonic sorting network has an *absolute address* of ``lg N``
+bits — the row where it was initially mapped.  After a remap it has a
+*relative address*: a processor number (``lg P`` bits) plus a local address
+on that processor (``lg n`` bits).  Every layout in the paper is a
+*bit-field permutation*: each absolute-address bit lands at a fixed position
+of either the processor number or the local address.  The figures of
+Chapter 3 draw exactly this assignment as shaded (processor) and unshaded
+(local) spans of the absolute address.
+
+:class:`BitFieldLayout` stores that assignment as a list of contiguous
+:class:`Field` spans, which keeps the translation vectorized (a handful of
+shift/mask operations regardless of how many keys are translated) and makes
+the paper's pattern arithmetic — which bits "become shaded" across a remap
+(Lemma 3), the packing masks (§3.3.1) — direct set operations on bit
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.utils.bits import ilog2, mask
+from repro.utils.validation import require_sizes
+
+__all__ = ["Field", "BitFieldLayout", "bits_changed", "kept_fraction"]
+
+_Int = Union[int, np.ndarray]
+
+#: Destination parts of a field.
+PROC = "proc"
+LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A contiguous span of absolute-address bits and where they land.
+
+    Bits ``src_lo .. src_lo + width - 1`` of the absolute address become bits
+    ``dst_lo .. dst_lo + width - 1`` of the processor number (``part ==
+    "proc"``) or of the local address (``part == "local"``).
+    """
+
+    src_lo: int
+    width: int
+    part: str
+    dst_lo: int
+
+    def __post_init__(self) -> None:
+        if self.part not in (PROC, LOCAL):
+            raise LayoutError(f"field part must be 'proc' or 'local', got {self.part!r}")
+        if self.src_lo < 0 or self.dst_lo < 0 or self.width < 0:
+            raise LayoutError(f"field positions must be non-negative: {self}")
+
+    @property
+    def src_bits(self) -> range:
+        return range(self.src_lo, self.src_lo + self.width)
+
+    @property
+    def dst_bits(self) -> range:
+        return range(self.dst_lo, self.dst_lo + self.width)
+
+
+class BitFieldLayout:
+    """A data layout defined by a bit-field permutation of absolute
+    addresses.
+
+    Parameters
+    ----------
+    N, P:
+        Total keys and processor count (powers of two, ``P <= N``).
+    fields:
+        Contiguous spans that together cover every absolute-address bit
+        exactly once, with the ``proc`` destinations covering bits
+        ``0 .. lg P - 1`` of the processor number and the ``local``
+        destinations covering bits ``0 .. lg n - 1`` of the local address.
+    name:
+        Human-readable tag used in reprs and error messages.
+    """
+
+    def __init__(self, N: int, P: int, fields: Sequence[Field], name: str = "layout"):
+        self.N, self.P, self.n = require_sizes(N, P)
+        self.lgN = ilog2(self.N)
+        self.lgP = ilog2(self.P)
+        self.lgn = ilog2(self.n) if self.n > 1 else 0
+        self.name = name
+        self.fields: Tuple[Field, ...] = tuple(f for f in fields if f.width > 0)
+        self._validate()
+        # Per-bit maps derived from the fields.
+        self._local_of_abs: Dict[int, int] = {}
+        self._proc_of_abs: Dict[int, int] = {}
+        for f in self.fields:
+            for off in range(f.width):
+                if f.part == LOCAL:
+                    self._local_of_abs[f.src_lo + off] = f.dst_lo + off
+                else:
+                    self._proc_of_abs[f.src_lo + off] = f.dst_lo + off
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(self) -> None:
+        src_seen = [False] * self.lgN
+        proc_seen = [False] * self.lgP
+        local_seen = [False] * self.lgn
+        for f in self.fields:
+            for b in f.src_bits:
+                if b >= self.lgN or src_seen[b]:
+                    raise LayoutError(
+                        f"{self.name}: absolute bit {b} covered zero or multiple "
+                        f"times by fields {self.fields}"
+                    )
+                src_seen[b] = True
+            dst_seen = proc_seen if f.part == PROC else local_seen
+            for b in f.dst_bits:
+                if b >= len(dst_seen) or dst_seen[b]:
+                    raise LayoutError(
+                        f"{self.name}: {f.part} bit {b} covered zero or multiple "
+                        f"times by fields {self.fields}"
+                    )
+                dst_seen[b] = True
+        if not all(src_seen):
+            raise LayoutError(f"{self.name}: fields do not cover all absolute bits")
+        if not all(proc_seen) or not all(local_seen):
+            raise LayoutError(f"{self.name}: fields do not fill proc/local parts")
+
+    # -- translation -------------------------------------------------------
+
+    def proc_of(self, absaddr: _Int) -> _Int:
+        """Processor number holding absolute address ``absaddr``."""
+        out = _zero_like(absaddr)
+        for f in self.fields:
+            if f.part == PROC:
+                out = out | (((absaddr >> f.src_lo) & mask(f.width)) << f.dst_lo)
+        return out
+
+    def local_of(self, absaddr: _Int) -> _Int:
+        """Local address of ``absaddr`` on its processor."""
+        out = _zero_like(absaddr)
+        for f in self.fields:
+            if f.part == LOCAL:
+                out = out | (((absaddr >> f.src_lo) & mask(f.width)) << f.dst_lo)
+        return out
+
+    def to_relative(self, absaddr: _Int) -> Tuple[_Int, _Int]:
+        """``(processor, local address)`` of ``absaddr``; vectorized."""
+        return self.proc_of(absaddr), self.local_of(absaddr)
+
+    def to_absolute(self, proc: _Int, local: _Int) -> _Int:
+        """Inverse translation; vectorized."""
+        out = _zero_like(proc) | _zero_like(local)
+        for f in self.fields:
+            part = proc if f.part == PROC else local
+            out = out | (((part >> f.dst_lo) & mask(f.width)) << f.src_lo)
+        return out
+
+    def absolute_addresses(self, proc: int) -> np.ndarray:
+        """The absolute addresses held by ``proc``, indexed by local address.
+
+        ``result[i]`` is the network row stored at local slot ``i``.
+        """
+        if not 0 <= proc < self.P:
+            raise LayoutError(f"processor {proc} out of range [0, {self.P})")
+        local = np.arange(self.n, dtype=np.int64)
+        return self.to_absolute(np.int64(proc), local)
+
+    # -- bit queries -------------------------------------------------------
+
+    def local_bit_of_abs_bit(self, abs_bit: int) -> Optional[int]:
+        """The local-address bit position backing absolute bit ``abs_bit``,
+        or ``None`` if that bit is part of the processor number.
+
+        A network step comparing absolute bit ``b`` is executable locally
+        under this layout iff this returns a position (and then partners sit
+        at local indices differing in exactly that bit).
+        """
+        if not 0 <= abs_bit < self.lgN:
+            raise LayoutError(f"absolute bit {abs_bit} out of range [0, {self.lgN})")
+        return self._local_of_abs.get(abs_bit)
+
+    def step_is_local(self, step: int) -> bool:
+        """Whether network step ``step`` (comparing absolute bit ``step-1``)
+        executes without communication under this layout."""
+        return self.local_bit_of_abs_bit(step - 1) is not None
+
+    @property
+    def local_source_bits(self) -> frozenset:
+        """Absolute-address bit positions mapped to the local address — the
+        unshaded bits of the paper's pattern figures."""
+        return frozenset(self._local_of_abs)
+
+    @property
+    def proc_source_bits(self) -> frozenset:
+        """Absolute-address bit positions mapped to the processor number —
+        the shaded bits of the paper's pattern figures."""
+        return frozenset(self._proc_of_abs)
+
+    # -- presentation ------------------------------------------------------
+
+    def pattern(self) -> str:
+        """The absolute-address bit pattern as in Figures 3.4–3.13: one
+        character per bit, MSB first, ``P`` for processor bits and ``.`` for
+        local bits."""
+        chars = []
+        for b in range(self.lgN - 1, -1, -1):
+            chars.append("P" if b in self._proc_of_abs else ".")
+        return "".join(chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} N={self.N} P={self.P} pattern={self.pattern()}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitFieldLayout):
+            return NotImplemented
+        return (
+            self.N == other.N
+            and self.P == other.P
+            and self._local_of_abs == other._local_of_abs
+            and self._proc_of_abs == other._proc_of_abs
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.N, self.P, tuple(sorted(self._local_of_abs.items())),
+             tuple(sorted(self._proc_of_abs.items())))
+        )
+
+
+def _zero_like(x: _Int) -> _Int:
+    if isinstance(x, np.ndarray):
+        return np.zeros_like(x)
+    return 0
+
+
+def bits_changed(old: BitFieldLayout, new: BitFieldLayout) -> int:
+    """The paper's ``N_BitsChanged`` for a remap ``old → new`` (§3.2.1):
+    the number of absolute-address bits that are local under ``old`` but
+    become processor bits under ``new``.
+
+    Elements agreeing with a processor's pattern on these bits stay; each
+    processor keeps ``n / 2**bits_changed`` elements (Lemma 4).
+    """
+    if (old.N, old.P) != (new.N, new.P):
+        raise LayoutError(
+            f"layouts describe different machines: {old.N}x{old.P} vs {new.N}x{new.P}"
+        )
+    return len(old.local_source_bits & new.proc_source_bits)
+
+
+def kept_fraction(old: BitFieldLayout, new: BitFieldLayout) -> float:
+    """Fraction of its elements a processor keeps across the remap:
+    ``1 / 2**N_BitsChanged``."""
+    return 1.0 / (1 << bits_changed(old, new))

@@ -1,0 +1,27 @@
+"""The blocked layout (Definition 4).
+
+Key ``i`` lives on processor ``i // n``: the top ``lg P`` absolute-address
+bits are the processor number, the low ``lg n`` bits the local address.
+Steps ``lg n .. 1`` of every stage (absolute bits ``lg n - 1 .. 0``) execute
+locally; in particular the first ``lg n`` stages are entirely local.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import LOCAL, PROC, BitFieldLayout, Field
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = ["blocked_layout"]
+
+
+def blocked_layout(N: int, P: int) -> BitFieldLayout:
+    """Construct the blocked layout for ``N`` keys on ``P`` processors."""
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    lgP = ilog2(P)
+    fields = [
+        Field(src_lo=0, width=lgn, part=LOCAL, dst_lo=0),
+        Field(src_lo=lgn, width=lgP, part=PROC, dst_lo=0),
+    ]
+    return BitFieldLayout(N, P, fields, name="blocked")

@@ -1,0 +1,29 @@
+"""The cyclic layout (Definition 5).
+
+Key ``i`` lives on processor ``i mod P``: the low ``lg P`` absolute-address
+bits are the processor number, the top ``lg n`` bits the local address.
+Under this layout the *first* ``k`` steps of stage ``lg n + k`` (absolute
+bits ``lg n + k - 1 .. lg n``... through bit ``lg P``) execute locally —
+the mirror image of the blocked layout, which is what makes periodic
+cyclic↔blocked remapping (§2.3) work.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import LOCAL, PROC, BitFieldLayout, Field
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = ["cyclic_layout"]
+
+
+def cyclic_layout(N: int, P: int) -> BitFieldLayout:
+    """Construct the cyclic layout for ``N`` keys on ``P`` processors."""
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    lgP = ilog2(P)
+    fields = [
+        Field(src_lo=0, width=lgP, part=PROC, dst_lo=0),
+        Field(src_lo=lgP, width=lgn, part=LOCAL, dst_lo=0),
+    ]
+    return BitFieldLayout(N, P, fields, name="cyclic")

@@ -1,0 +1,153 @@
+"""Exhaustive search over remap placements (§3.2.2's open question).
+
+The paper closes its communication analysis with: "What is the minimum
+number of elements that are transferred during a remap-based bitonic sort?
+We believe that the TailRemap presented above achieves this lower bound,
+however this was beyond the scope of this thesis."
+
+Within the family of schedules this framework expresses — a sequence of
+smart remaps whose phases cover the communication region with
+``1 <= steps <= lg n`` each — the question is finitely checkable: a
+placement is a composition of the region's step total into parts of size at
+most ``lg n``, and every composition's transferred volume follows from the
+schedule algebra.  :func:`minimum_volume_placement` enumerates them all
+(small sizes only; the composition count grows exponentially) and returns
+the optimum, letting the tests confirm the paper's conjecture for every
+tractable ``(N, P)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.layouts.schedule import RemapSchedule, _region_steps, _walk
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = [
+    "enumerate_placements",
+    "minimum_volume_placement",
+    "count_placements",
+]
+
+#: Refuse enumerations beyond this many compositions.  The fast bit-set
+#: volume path sustains about 10^5 placements per second.
+MAX_PLACEMENTS = 1_000_000
+
+
+@lru_cache(maxsize=None)
+def count_placements(total: int, max_part: int) -> int:
+    """Number of compositions of ``total`` into parts of ``1..max_part``."""
+    if total == 0:
+        return 1
+    return sum(
+        count_placements(total - p, max_part)
+        for p in range(1, min(max_part, total) + 1)
+    )
+
+
+def _compositions(total: int, max_part: int) -> Iterator[Tuple[int, ...]]:
+    if total == 0:
+        yield ()
+        return
+    for p in range(1, min(max_part, total) + 1):
+        for rest in _compositions(total - p, max_part):
+            yield (p,) + rest
+
+
+def enumerate_placements(N: int, P: int) -> Iterator[RemapSchedule]:
+    """Every valid remap placement for ``(N, P)`` as a schedule.
+
+    Raises :class:`ConfigurationError` when the composition count exceeds
+    :data:`MAX_PLACEMENTS` (use small sizes: the count is exponential in
+    the region's step total).
+    """
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    if lgn == 0:
+        raise ConfigurationError("placements need n >= 2")
+    total = _region_steps(N, P)
+    count = count_placements(total, lgn)
+    if count > MAX_PLACEMENTS:
+        raise ConfigurationError(
+            f"{count:,} placements for N={N}, P={P} exceed the enumeration "
+            f"cap of {MAX_PLACEMENTS:,}; use a smaller problem"
+        )
+    for counts in _compositions(total, lgn):
+        yield _walk(N, P, counts, strategy=f"enum{counts}")
+
+
+def _local_bits_at(N: int, P: int, stage: int, step: int) -> frozenset:
+    """The absolute bits a smart layout at ``(stage, step)`` keeps local
+    (Definition 7's fields, without building the layout object)."""
+    from repro.layouts.smart import smart_params
+
+    p = smart_params(N, P, stage, step)
+    return frozenset(range(p.a)) | frozenset(range(p.t, p.t + p.b))
+
+
+def placement_volume(N: int, P: int, counts: Tuple[int, ...]) -> int:
+    """Per-processor transferred volume of the placement ``counts``,
+    computed from bit-set arithmetic alone (no layout objects) — valid for
+    ``n >= P``, where ``N_BitsChanged`` determines the volume (Lemma 4)."""
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n)
+    if n < P:
+        raise ConfigurationError("fast volume computation requires n >= P")
+    lgN = ilog2(N)
+    stage, step = lgn + 1, lgn + 1
+    local = frozenset(range(lgn))  # initial blocked layout
+    volume = 0
+    for c in counts:
+        new_local = _local_bits_at(N, P, stage, step)
+        bc = len(local - new_local)
+        volume += n - (n >> bc)
+        local = new_local
+        for _ in range(c):
+            if step > 1:
+                step -= 1
+            else:
+                stage += 1
+                step = stage
+    if stage != lgN + 1:
+        raise ConfigurationError("counts do not cover the communication region")
+    return volume
+
+
+def minimum_volume_placement(
+    N: int, P: int, build: bool = True
+) -> Tuple[RemapSchedule | Tuple[int, ...], int]:
+    """The placement with the least per-processor transferred volume,
+    breaking ties toward fewer remaps.
+
+    Returns ``(schedule, volume)`` — or ``(counts, volume)`` with
+    ``build=False``, which skips layout construction and uses the fast
+    bit-set volume (``n >= P`` only), reaching much larger enumerations.
+    """
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    if lgn == 0:
+        raise ConfigurationError("placements need n >= 2")
+    total = _region_steps(N, P)
+    count = count_placements(total, lgn)
+    if count > MAX_PLACEMENTS:
+        raise ConfigurationError(
+            f"{count:,} placements for N={N}, P={P} exceed the enumeration "
+            f"cap of {MAX_PLACEMENTS:,}"
+        )
+    best_key = None
+    best_counts: Tuple[int, ...] = ()
+    for counts in _compositions(total, lgn):
+        if build:
+            vol = _walk(N, P, counts, "enum").volume_per_processor()
+        else:
+            vol = placement_volume(N, P, counts)
+        key = (vol, len(counts))
+        if best_key is None or key < best_key:
+            best_key, best_counts = key, counts
+    assert best_key is not None
+    if build:
+        return _walk(N, P, best_counts, f"optimal{best_counts}"), best_key[0]
+    return best_counts, best_key[0]

@@ -1,0 +1,302 @@
+"""Remap schedules: which layout to adopt at which network column (§3.2).
+
+A *schedule* describes a remap-based execution of the bitonic sorting
+network's communication region (the last ``lg P`` stages; the first ``lg n``
+stages always run locally under the initial blocked layout):
+a sequence of :class:`RemapPhase` records, each naming the layout adopted by
+a remap and the network columns executed locally afterwards.
+
+:func:`smart_schedule` builds Algorithm 1's schedule: remap to the smart
+layout of the current column, run ``lg n`` steps, repeat — the provably
+minimal number of remaps (Theorem 1).  :func:`build_schedule` generalizes to
+the remap-placement strategies of Lemma 5 (Head/Tail/Middle), which shift
+where the short phase falls.  :func:`cyclic_blocked_schedule` reproduces the
+classic cyclic↔blocked strategy of [CKP+93, CDMS94] (§2.3) used as the
+strongest prior baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ScheduleError
+from repro.layouts.base import BitFieldLayout, bits_changed
+from repro.layouts.blocked import blocked_layout
+from repro.layouts.cyclic import cyclic_layout
+from repro.layouts.smart import smart_layout
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = [
+    "RemapPhase",
+    "RemapSchedule",
+    "smart_schedule",
+    "build_schedule",
+    "cyclic_blocked_schedule",
+    "remaining_steps",
+]
+
+Column = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RemapPhase:
+    """One remap and the network columns executed locally after it."""
+
+    layout: BitFieldLayout
+    columns: Tuple[Column, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.columns)
+
+
+@dataclass(frozen=True)
+class RemapSchedule:
+    """A complete remap-based plan for the communication region.
+
+    Attributes
+    ----------
+    N, P:
+        Problem size.
+    initial_layout:
+        The layout in force during the first ``lg n`` stages (always
+        blocked; Algorithm 1 starts blocked so those stages are free).
+    phases:
+        The remap phases covering stages ``lg n + 1 .. lg N`` in order.
+    strategy:
+        Human-readable tag of the generating strategy.
+    """
+
+    N: int
+    P: int
+    initial_layout: BitFieldLayout
+    phases: Tuple[RemapPhase, ...]
+    strategy: str
+
+    @property
+    def num_remaps(self) -> int:
+        """Number of data remaps — the paper's ``R`` metric."""
+        return len(self.phases)
+
+    def transitions(self) -> List[Tuple[BitFieldLayout, BitFieldLayout]]:
+        """Consecutive layout pairs, starting from the initial layout."""
+        layouts = [self.initial_layout] + [ph.layout for ph in self.phases]
+        return list(zip(layouts[:-1], layouts[1:]))
+
+    def bits_changed_per_remap(self) -> List[int]:
+        """``N_BitsChanged`` at each remap, computed from the bit patterns
+        (the empirical counterpart of Lemma 3)."""
+        return [bits_changed(old, new) for old, new in self.transitions()]
+
+    def volume_per_processor(self) -> int:
+        """Total elements each processor transfers over the run — the
+        paper's ``V`` metric.
+
+        For ``n >= P`` (the paper's "interesting case", §3.2.1) this is
+        ``n * sum(1 - 1/2**bc)`` over the remaps, by Lemma 4.  For
+        ``n < P`` the group structure of Lemma 4 does not hold positionally
+        (unchanged processor bits can move *within* the processor number,
+        so an element whose changed bits match may still move), and the
+        bit-count expression is only a lower bound; the exact per-processor
+        maximum is counted from the remap plans instead.
+        """
+        n = self.N // self.P
+        if n >= self.P:
+            return sum(n - (n >> bc) for bc in self.bits_changed_per_remap())
+        return self._exact_counts()[0]
+
+    def messages_per_processor(self) -> int:
+        """Long messages each processor sends over the run — the paper's
+        ``M`` metric: for ``n >= P``, one message to each of the
+        ``2**bc - 1`` group peers per remap (Lemma 4); counted exactly from
+        the remap plans otherwise (see :meth:`volume_per_processor`)."""
+        if self.N // self.P >= self.P:
+            return sum((1 << bc) - 1 for bc in self.bits_changed_per_remap())
+        return self._exact_counts()[1]
+
+    def _exact_counts(self) -> Tuple[int, int]:
+        """Max-over-processors (volume, messages) counted from the plans."""
+        from repro.remap.plan import build_remap_plan  # deferred: layering
+
+        vol = [0] * self.P
+        msg = [0] * self.P
+        for old, new in self.transitions():
+            for r in range(self.P):
+                plan = build_remap_plan(old, new, r)
+                vol[r] += plan.elements_sent
+                msg[r] += plan.num_messages
+        return max(vol), max(msg)
+
+    def describe(self) -> str:
+        """A human-readable rendering in the style of Figure 3.4."""
+        lines = [f"schedule[{self.strategy}] N={self.N} P={self.P}"]
+        lines.append(f"  initial {self.initial_layout.pattern()}  (blocked)")
+        for i, (ph, bc) in enumerate(zip(self.phases, self.bits_changed_per_remap())):
+            first, last = ph.columns[0], ph.columns[-1]
+            lines.append(
+                f"  remap {i}: {ph.layout.pattern()}  bits_changed={bc}  "
+                f"steps ({first[0]},{first[1]})..({last[0]},{last[1]})"
+            )
+        return "\n".join(lines)
+
+
+def remaining_steps(P: int, n: int) -> int:
+    """``N_RemainingSteps = lgP (lgP + 1) / 2 mod lg n`` (Lemma 5)."""
+    lgP, lgn = ilog2(P), ilog2(n)
+    if lgn == 0:
+        raise ScheduleError("smart schedules need n >= 2 keys per processor")
+    return (lgP * (lgP + 1) // 2) % lgn
+
+
+def _region_steps(N: int, P: int) -> int:
+    """Total steps in the communication region (stages lg n+1 .. lg N):
+    ``lgP * lgn + lgP (lgP + 1) / 2``."""
+    lgP = ilog2(P)
+    lgn = ilog2(N // P)
+    return lgP * lgn + lgP * (lgP + 1) // 2
+
+
+def _walk(N: int, P: int, counts: Sequence[int], strategy: str) -> RemapSchedule:
+    """Turn per-remap step counts into a schedule by walking the network."""
+    N, P, n = require_sizes(N, P)
+    lgN = ilog2(N)
+    lgn = ilog2(n)
+    if lgn == 0:
+        raise ScheduleError(
+            "smart schedules need n >= 2 keys per processor (with n = 1 the "
+            "network is fine-grained and no step can run locally)"
+        )
+    total = _region_steps(N, P)
+    if sum(counts) != total:
+        raise ScheduleError(
+            f"step counts {list(counts)} sum to {sum(counts)}, but the "
+            f"communication region has {total} steps"
+        )
+    if any(c < 1 or c > lgn for c in counts):
+        raise ScheduleError(
+            f"each remap must cover between 1 and lg n = {lgn} steps, got {list(counts)}"
+        )
+    phases: List[RemapPhase] = []
+    stage, step = lgn + 1, lgn + 1
+    for c in counts:
+        layout = smart_layout(N, P, stage, step)
+        cols: List[Column] = []
+        for _ in range(c):
+            cols.append((stage, step))
+            if step > 1:
+                step -= 1
+            else:
+                stage += 1
+                step = stage
+        for s_, j_ in cols:
+            if not layout.step_is_local(j_):
+                raise ScheduleError(
+                    f"internal error: column ({s_},{j_}) not local under {layout!r}"
+                )
+        phases.append(RemapPhase(layout, tuple(cols)))
+    if stage != lgN + 1:
+        raise ScheduleError("internal error: schedule did not consume the network")
+    return RemapSchedule(
+        N=N,
+        P=P,
+        initial_layout=blocked_layout(N, P),
+        phases=tuple(phases),
+        strategy=strategy,
+    )
+
+
+def build_schedule(
+    N: int,
+    P: int,
+    strategy: str = "head",
+    head_steps: Optional[int] = None,
+) -> RemapSchedule:
+    """Build a smart-layout schedule under one of Lemma 5's strategies.
+
+    ``"head"``
+        ``lg n`` steps after every remap except the last
+        (``N_RemainingSteps`` there) — Algorithm 1's natural order.
+    ``"tail"``
+        ``N_RemainingSteps`` steps after the *first* remap, ``lg n`` after
+        every other — the volume-optimal placement (Lemma 5).
+    ``"middle1"``
+        ``head_steps`` after the first remap and the rest of
+        ``N_RemainingSteps`` after the last; one *extra* remap.
+    ``"middle2"``
+        ``head_steps`` after the first remap and ``lg n +
+        N_RemainingSteps - head_steps`` after the last; same remap count.
+
+    When ``N_RemainingSteps == 0`` the head and tail strategies coincide and
+    the middle strategies are rejected (there is nothing to shift).
+    """
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    if lgn == 0:
+        raise ScheduleError("smart schedules need n >= 2 keys per processor")
+    total = _region_steps(N, P)
+    rem = total % lgn
+    full = total // lgn
+    if strategy == "head":
+        counts = [lgn] * full + ([rem] if rem else [])
+    elif strategy == "tail":
+        counts = ([rem] if rem else []) + [lgn] * full
+    elif strategy == "middle1":
+        if rem == 0:
+            raise ScheduleError("middle1 needs N_RemainingSteps > 0")
+        h = head_steps if head_steps is not None else rem // 2
+        if not 0 < h < rem:
+            raise ScheduleError(
+                f"middle1 head_steps must be in 1 .. {rem - 1}, got {h}"
+            )
+        counts = [h] + [lgn] * full + [rem - h]
+    elif strategy == "middle2":
+        if rem == 0:
+            raise ScheduleError("middle2 needs N_RemainingSteps > 0")
+        h = head_steps if head_steps is not None else max(rem, 1)
+        tail = lgn + rem - h
+        if not (0 < h and rem <= tail <= lgn):
+            raise ScheduleError(
+                f"middle2 head_steps must satisfy {rem} <= lgn+rem-h <= {lgn}; got h={h}"
+            )
+        counts = [h] + [lgn] * (full - 1) + [tail]
+    else:
+        raise ScheduleError(
+            f"unknown strategy {strategy!r}: use head, tail, middle1 or middle2"
+        )
+    return _walk(N, P, counts, strategy)
+
+
+def smart_schedule(N: int, P: int) -> RemapSchedule:
+    """Algorithm 1's schedule (the Head placement): the minimal number of
+    remaps, ``R = ceil(lgP + lgP(lgP+1) / (2 lg n))`` (Theorem 1)."""
+    return build_schedule(N, P, strategy="head")
+
+
+def cyclic_blocked_schedule(N: int, P: int) -> RemapSchedule:
+    """The cyclic–blocked remapping strategy of §2.3 ([CKP+93, CDMS94]).
+
+    For each stage ``lg n + k``: remap to cyclic, run the first ``k`` steps
+    locally, remap back to blocked, run the last ``lg n`` steps locally.
+    ``2 lg P`` remaps in total; requires ``N >= P**2``.
+    """
+    N, P, n = require_sizes(N, P)
+    if n < P:
+        raise ScheduleError(
+            f"cyclic-blocked remapping requires N >= P**2 (n >= P); "
+            f"got N={N}, P={P}, n={n} — use the smart schedule instead"
+        )
+    lgn, lgP = ilog2(n), ilog2(P)
+    cyc = cyclic_layout(N, P)
+    blk = blocked_layout(N, P)
+    phases: List[RemapPhase] = []
+    for k in range(1, lgP + 1):
+        stage = lgn + k
+        head = tuple((stage, s) for s in range(stage, lgn, -1))
+        tail = tuple((stage, s) for s in range(lgn, 0, -1))
+        phases.append(RemapPhase(cyc, head))
+        phases.append(RemapPhase(blk, tail))
+    return RemapSchedule(
+        N=N, P=P, initial_layout=blk, phases=tuple(phases), strategy="cyclic-blocked"
+    )

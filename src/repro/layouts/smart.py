@@ -1,0 +1,127 @@
+"""The smart data layout (Definition 7, Figures 3.5–3.8).
+
+Given the column ``(stage = lg n + k, step = s)`` at which a remap occurs,
+the smart layout places on each processor exactly the nodes whose absolute
+addresses agree on the bits *not* touched by the next ``lg n`` network
+steps, so those steps run without communication (Lemma 2).  Two shapes
+arise:
+
+*Inside remap* (``s >= lg n``): the ``lg n`` steps stay within the stage and
+change absolute bits ``s-1 .. s-lg n`` = ``t+b-1 .. t`` (with ``t = s - lg
+n``, ``b = lg n``).  Absolute-address fields, low to high::
+
+    C  bits 0      .. t-1        -> processor bits 0 .. t-1
+    B  bits t      .. t+b-1      -> local bits     0 .. b-1
+    A  bits t+b    .. lgN-1      -> processor bits t .. lgP-1
+
+*Crossing remap* (``s < lg n``): ``a = s`` steps finish the stage (bits
+``a-1 .. 0``) and ``b = lg n - a`` steps open the next one (bits ``t+b-1 ..
+t`` with ``t = s + k + 1``)::
+
+    D  bits 0      .. a-1        -> local bits     0 .. a-1
+    C  bits a      .. t-1        -> processor bits 0 .. k
+    B  bits t      .. t+b-1      -> local bits     a .. lg n-1
+    A  bits t+b    .. lgN-1      -> processor bits k+1 .. lgP-1
+
+*Last remap* (``k = lg P`` and ``s <= lg n``): the remaining ``s`` steps of
+the final stage fit under a blocked layout, so ``a = lg n``, ``b = 0``,
+``t = lg n`` and the layout *is* blocked — the sort therefore finishes in
+the standard output placement.
+
+The processor number is always assembled with the high field ``A`` above the
+low field ``C``, exactly as the figures draw it; this is what makes
+communication happen inside groups of consecutive processors (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.layouts.base import LOCAL, PROC, BitFieldLayout, Field
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = ["SmartParams", "smart_params", "smart_layout"]
+
+
+@dataclass(frozen=True)
+class SmartParams:
+    """The 5-tuple ``(k, s, a, b, t)`` of Definition 7.
+
+    ``k`` indexes the stage (``stage = lg n + k``), ``s`` is the step at
+    which the remap occurs (the first step executed after it), ``a`` and
+    ``b`` split the ``lg n`` locally-executed steps between the current and
+    the next stage, and ``t`` locates the ``B`` field (see module docstring).
+    """
+
+    k: int
+    s: int
+    a: int
+    b: int
+    t: int
+
+    @property
+    def is_crossing(self) -> bool:
+        """True for a crossing remap (the ``lg n`` local steps span a stage
+        boundary); False for an inside remap."""
+        return self.a > 0 and self.b > 0
+
+    @property
+    def is_last(self) -> bool:
+        """True for the final-remap special case (blocked layout)."""
+        return self.b == 0 and self.a > 0
+
+
+def smart_params(N: int, P: int, stage: int, step: int) -> SmartParams:
+    """Compute Definition 7's ``(k, s, a, b, t)`` for a remap at
+    ``(stage, step)`` of the network for ``N`` keys on ``P`` processors.
+
+    ``stage`` must lie in the communication region (``lg n < stage <= lg N``)
+    and ``step`` in ``1 .. stage``.
+    """
+    N, P, n = require_sizes(N, P)
+    lgn = ilog2(n) if n > 1 else 0
+    lgP = ilog2(P)
+    k = stage - lgn
+    s = step
+    if not 0 < k <= lgP:
+        raise ConfigurationError(
+            f"stage {stage} outside the remap region ({lgn + 1} .. {lgn + lgP}) "
+            f"for N={N}, P={P}"
+        )
+    if not 0 < s <= stage:
+        raise ConfigurationError(f"step {step} outside 1 .. {stage} for stage {stage}")
+    if k == lgP and s <= lgn:
+        # Last remap: remap to blocked and finish the final s steps there.
+        return SmartParams(k=k, s=s, a=lgn, b=0, t=lgn)
+    if s >= lgn:
+        return SmartParams(k=k, s=s, a=0, b=lgn, t=s - lgn)
+    return SmartParams(k=k, s=s, a=s, b=lgn - s, t=s + k + 1)
+
+
+def smart_layout(N: int, P: int, stage: int, step: int) -> BitFieldLayout:
+    """Construct the smart layout for a remap at ``(stage, step)``.
+
+    The returned layout keeps the next ``lg n`` network steps (or the final
+    ``step`` steps, for the last-remap case) entirely local — Lemma 2.
+    """
+    N, P, n = require_sizes(N, P)
+    lgN, lgP = ilog2(N), ilog2(P)
+    lgn = lgN - lgP
+    p = smart_params(N, P, stage, step)
+    a, b, t = p.a, p.b, p.t
+    fields = [
+        # D: low absolute bits that stay local (empty for inside remaps).
+        Field(src_lo=0, width=a, part=LOCAL, dst_lo=0),
+        # C: low processor field.
+        Field(src_lo=a, width=t - a, part=PROC, dst_lo=0),
+        # B: high local field (empty for the last remap).
+        Field(src_lo=t, width=b, part=LOCAL, dst_lo=a),
+        # A: high processor field.
+        Field(src_lo=t + b, width=lgN - (t + b), part=PROC, dst_lo=t - a),
+    ]
+    kind = "last" if p.is_last else ("crossing" if p.is_crossing else "inside")
+    return BitFieldLayout(
+        N, P, fields, name=f"smart[{kind} k={p.k} s={p.s} a={a} b={b} t={t}]"
+    )

@@ -1,0 +1,50 @@
+"""Optimized local computation (Chapter 4 of the paper).
+
+Instead of simulating compare-exchange steps one network column at a time,
+each processor's local phase is replaced by fast sorting kernels that exploit
+the known shape of the data (Lemmas 6/7, Theorems 2/3):
+
+* :mod:`repro.localsort.radix` — LSD radix sort, used for the first ``lg n``
+  stages (which just have to produce one monotonic run per processor);
+* :mod:`repro.localsort.bitonic_min` — Algorithm 2: the minimum of a bitonic
+  sequence in ``O(log n)`` comparisons (with a linear fallback for duplicate
+  minima);
+* :mod:`repro.localsort.bitonic_merge_sort` — sorting a bitonic sequence in
+  linear work (Lemma 9): rotate at the minimum, then merge the two monotonic
+  runs; plus a batched butterfly bitonic merge for sorting many rows/columns
+  of bitonic sequences at once;
+* :mod:`repro.localsort.merges` — vectorized two-way and p-way merges of
+  sorted runs (used after a remap whose incoming long messages are each
+  sorted, §4.3).
+"""
+
+from repro.localsort.radix import radix_sort
+from repro.localsort.bitonic_min import (
+    argmin_bitonic,
+    argmin_bitonic_linear,
+    BitonicMinStats,
+)
+from repro.localsort.bitonic_merge_sort import (
+    batched_bitonic_merge,
+    sort_bitonic,
+)
+from repro.localsort.merges import merge_sorted, p_way_merge
+from repro.localsort.fused import (
+    compose_permutation,
+    fused_sort_and_pack,
+    sort_bitonic_with_perm,
+)
+
+__all__ = [
+    "compose_permutation",
+    "fused_sort_and_pack",
+    "sort_bitonic_with_perm",
+    "radix_sort",
+    "argmin_bitonic",
+    "argmin_bitonic_linear",
+    "BitonicMinStats",
+    "sort_bitonic",
+    "batched_bitonic_merge",
+    "merge_sorted",
+    "p_way_merge",
+]

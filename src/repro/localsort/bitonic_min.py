@@ -1,0 +1,116 @@
+"""Algorithm 2: the minimum of a bitonic sequence in O(log n) time.
+
+A bitonic sequence viewed circularly has a single "valley" (Figure 4.6).
+Three splitters break the circle into three arcs; the arc *between* the two
+non-minimal splitters cannot contain the global minimum (Step 1), and each
+subsequent iteration halves the remaining arc by re-splitting it with two
+new splitters around the current best (Step 2, Figure 4.7).
+
+The logarithmic bound requires distinct elements (Lemma 8): whenever the
+comparison of a splitter triple produces a tie, we conservatively fall back
+to a linear scan of the remaining arc, exactly as the paper prescribes
+("we can start finding the minimum using the logarithmic version and we
+switch to the linear search if we have two equal splitters").
+
+:func:`argmin_bitonic` returns the index of a minimum element along with a
+:class:`BitonicMinStats` record (splitter comparisons performed, whether the
+fallback triggered) so benchmarks can report the comparison counts behind
+the O(log n) claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BitonicMinStats", "argmin_bitonic", "argmin_bitonic_linear"]
+
+
+@dataclass
+class BitonicMinStats:
+    """Instrumentation of one :func:`argmin_bitonic` call."""
+
+    comparisons: int = 0
+    fallback: bool = False
+    fallback_span: int = 0
+
+
+def argmin_bitonic_linear(a: np.ndarray) -> int:
+    """Reference linear-time minimum (used as the fallback and by tests)."""
+    a = np.asarray(a)
+    if a.size == 0:
+        raise ConfigurationError("cannot take the minimum of an empty sequence")
+    return int(np.argmin(a))
+
+
+def _arc_len(lo: int, hi: int, n: int) -> int:
+    """Number of positions strictly between ``lo`` and ``hi`` walking
+    forward on the circle of ``n`` positions."""
+    return (hi - lo) % n
+
+
+def _mid(lo: int, hi: int, n: int) -> int:
+    """Circular midpoint of the forward arc ``lo -> hi``."""
+    return (lo + _arc_len(lo, hi, n) // 2) % n
+
+
+def argmin_bitonic(a: np.ndarray, stats: BitonicMinStats | None = None) -> int:
+    """Index of a minimum element of the bitonic sequence ``a``.
+
+    ``a`` must be bitonic (Definition 1); this is not re-verified here (the
+    callers establish it via Lemmas 6/7), but the returned index is always a
+    true argmin even for non-distinct elements thanks to the fallback.
+    """
+    a = np.asarray(a)
+    n = int(a.size)
+    if n == 0:
+        raise ConfigurationError("cannot take the minimum of an empty sequence")
+    if stats is None:
+        stats = BitonicMinStats()
+    if n <= 3:
+        stats.comparisons += max(n - 1, 0)
+        return argmin_bitonic_linear(a)
+
+    def fallback(lo: int, span: int) -> int:
+        """Linear scan of ``span + 1`` circular positions starting at ``lo``."""
+        stats.fallback = True
+        stats.fallback_span = span + 1
+        idx = (lo + np.arange(span + 1)) % n
+        return int(idx[np.argmin(a[idx])])
+
+    # Step 1: three initial splitters around the circle.
+    s0, s1, s2 = 0, n // 3, (2 * n) // 3
+    v0, v1, v2 = a[s0], a[s1], a[s2]
+    stats.comparisons += 2
+    if (v0 == v1) or (v1 == v2) or (v0 == v2):
+        return fallback(0, n - 1)
+    if v0 < v1 and v0 < v2:
+        left, best, right = s2, s0, s1
+    elif v1 < v0 and v1 < v2:
+        left, best, right = s0, s1, s2
+    else:
+        left, best, right = s1, s2, s0
+
+    # Step 2: shrink the arc (left .. right) around the best splitter.
+    while _arc_len(left, right, n) > 3:
+        x = _mid(left, best, n)
+        y = _mid(best, right, n)
+        vx, vb, vy = a[x], a[best], a[y]
+        stats.comparisons += 2
+        if (vx == vb) or (vb == vy) or (vx == vy):
+            return fallback(left, _arc_len(left, right, n))
+        if vx < vb and vx < vy:
+            left, best, right = left, x, best
+        elif vb < vx and vb < vy:
+            left, best, right = x, best, y
+        else:
+            left, best, right = best, y, right
+
+    # The search interval is down to at most the three splitters.
+    span = _arc_len(left, right, n)
+    stats.comparisons += span
+    idx = (left + np.arange(span + 1)) % n
+    return int(idx[np.argmin(a[idx])])

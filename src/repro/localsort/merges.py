@@ -1,0 +1,66 @@
+"""Vectorized merges of sorted runs.
+
+After a long-message remap each incoming message is itself sorted (it was
+produced by a sender whose local phase ended in sorted runs — §4.3), so the
+receiving processor can rebuild its local array with a p-way merge instead
+of a general sort.  These helpers implement that with NumPy primitives:
+two sorted arrays are merged in one vectorized pass via rank arithmetic
+(``searchsorted``), and a p-way merge reduces pairwise in a balanced tree.
+
+The simulated machine charges merges at one
+:class:`~repro.model.machines.ComputeCosts.merge` unit per element per
+two-way merge level, which is the linear cost the paper's Lemma 9 assigns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["merge_sorted", "p_way_merge"]
+
+
+def merge_sorted(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Merge two ascending-sorted arrays into one ascending-sorted array.
+
+    Fully vectorized: each element's output position is its own index plus
+    the number of elements of the other array that precede it.  Ties are
+    broken in favour of ``x`` (stable left-to-right), which makes the merge
+    deterministic.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.size == 0:
+        return y.copy()
+    if y.size == 0:
+        return x.copy()
+    out = np.empty(x.size + y.size, dtype=np.result_type(x, y))
+    pos_x = np.arange(x.size) + np.searchsorted(y, x, side="left")
+    pos_y = np.arange(y.size) + np.searchsorted(x, y, side="right")
+    out[pos_x] = x
+    out[pos_y] = y
+    return out
+
+
+def p_way_merge(runs: Sequence[np.ndarray]) -> np.ndarray:
+    """Merge ``p`` ascending-sorted runs into one ascending-sorted array.
+
+    Pairwise tree reduction: ``ceil(lg p)`` levels of two-way merges, each
+    level touching every element once — O(n lg p) total work, matching the
+    paper's "fast p-way merge sort" for unpack-free reception (§4.3).
+    """
+    runs = [np.asarray(r) for r in runs if np.asarray(r).size > 0]
+    if not runs:
+        raise ConfigurationError("p_way_merge needs at least one non-empty run")
+    level: List[np.ndarray] = list(runs)
+    while len(level) > 1:
+        nxt: List[np.ndarray] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(merge_sorted(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

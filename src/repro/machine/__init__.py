@@ -1,0 +1,28 @@
+"""The simulated distributed-memory machine.
+
+This package is the substitution for the paper's 64-node Meiko CS-2 (see
+DESIGN.md §2): an SPMD machine of ``P`` virtual processors with per-processor
+virtual clocks.  Algorithms perform *real* data movement (NumPy arrays travel
+between processors, so sorting correctness is end-to-end verifiable) while
+time is charged analytically — local computation through the calibrated
+:class:`~repro.model.machines.ComputeCosts`, communication through the
+LogP/LogGP formulas the paper itself uses (§3.4).
+
+The machine also counts the paper's three communication metrics exactly:
+remaps ``R``, transferred volume ``V`` (elements per processor) and message
+count ``M``.
+"""
+
+from repro.machine.message import Message
+from repro.machine.metrics import CATEGORIES, PhaseBreakdown, RunStats
+from repro.machine.processor import Processor
+from repro.machine.simulator import Machine
+
+__all__ = [
+    "Message",
+    "Machine",
+    "Processor",
+    "PhaseBreakdown",
+    "RunStats",
+    "CATEGORIES",
+]

@@ -1,0 +1,44 @@
+"""Message records exchanged on the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+__all__ = ["Message"]
+
+
+@dataclass
+class Message:
+    """One (long) message: a payload of keys from ``src`` to ``dst``.
+
+    ``meta`` carries simulation-side bookkeeping that a real implementation
+    would either derive algebraically on the receiver (e.g. the unpack
+    scatter indices, which follow from the layout pair and the sender's
+    rank — §3.3.1) or encode in a tiny header; it is *not* charged as
+    payload bytes.
+    """
+
+    src: int
+    dst: int
+    payload: np.ndarray
+    meta: Optional[Any] = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.payload = np.asarray(self.payload)
+        if self.payload.ndim != 1:
+            raise CommunicationError(
+                f"message payloads must be 1-D arrays, got {self.payload.ndim}-D"
+            )
+        if self.src < 0 or self.dst < 0:
+            raise CommunicationError(
+                f"message endpoints must be non-negative, got {self.src}->{self.dst}"
+            )
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.payload.size)

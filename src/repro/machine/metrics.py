@@ -1,0 +1,133 @@
+"""Time and communication accounting for the simulated machine.
+
+Times are broken down by *category* so the harness can reproduce the paper's
+phase breakdowns: Figure 5.4 splits total time into computation vs
+communication; Table 5.4 splits the communication phase into packing,
+transfer and unpacking.
+
+Category map (µs, per processor):
+
+=================  ==========================================================
+``local_sort``     radix sort of the first ``lg n`` stages
+``merge``          merge-based local phases (bitonic merges, p-way merges)
+``compare_exchange`` simulated network steps (unoptimized computation)
+``address``        destination computation before a remap
+``pack``           gathering elements into long-message send buffers
+``unpack``         scattering received long messages into the local array
+``transfer``       LogP/LogGP wire time: overheads, gaps, bytes, latency
+``wait``           idle time at barriers / waiting for arrivals
+=================  ==========================================================
+
+Computation categories = ``local_sort + merge + compare_exchange``;
+communication categories = ``address + pack + transfer + unpack`` (the
+paper's communication phase includes packing and unpacking — §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CATEGORIES", "COMPUTE_CATEGORIES", "COMM_CATEGORIES", "PhaseBreakdown", "RunStats"]
+
+COMPUTE_CATEGORIES = ("local_sort", "merge", "compare_exchange")
+COMM_CATEGORIES = ("address", "pack", "transfer", "unpack")
+OTHER_CATEGORIES = ("wait",)
+CATEGORIES = COMPUTE_CATEGORIES + COMM_CATEGORIES + OTHER_CATEGORIES
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-category accumulated time, in microseconds."""
+
+    times: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+
+    def add(self, category: str, micros: float) -> None:
+        if category not in self.times:
+            raise ConfigurationError(
+                f"unknown time category {category!r}; use one of {CATEGORIES}"
+            )
+        if micros < 0:
+            raise ConfigurationError(f"cannot add negative time {micros}")
+        self.times[category] += micros
+
+    def total(self) -> float:
+        return sum(self.times.values())
+
+    @property
+    def computation(self) -> float:
+        return sum(self.times[c] for c in COMPUTE_CATEGORIES)
+
+    @property
+    def communication(self) -> float:
+        return sum(self.times[c] for c in COMM_CATEGORIES)
+
+    def merged_with(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        out = PhaseBreakdown()
+        for c in CATEGORIES:
+            out.times[c] = self.times[c] + other.times[c]
+        return out
+
+
+@dataclass
+class RunStats:
+    """Everything measured about one parallel-sort run.
+
+    Attributes
+    ----------
+    P, n:
+        Machine size and keys per processor.
+    elapsed_us:
+        Simulated makespan: the maximum processor clock at the end.
+    breakdown:
+        Maximum-processor-attributed per-category times (averaged breakdown
+        is in :attr:`mean_breakdown`); the harness reports the mean, which
+        is what per-key plots divide by ``n``.
+    remaps:
+        The paper's ``R``: number of data remaps (communication steps).
+    volume_per_proc:
+        The paper's ``V``: elements sent by each processor (max over
+        processors; the smart schedule is perfectly balanced so max = mean).
+    messages_per_proc:
+        The paper's ``M``: long messages sent by each processor (max).
+    """
+
+    P: int
+    n: int
+    elapsed_us: float = 0.0
+    mean_breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    remaps: int = 0
+    volume_per_proc: int = 0
+    messages_per_proc: int = 0
+
+    @property
+    def N(self) -> int:
+        return self.P * self.n
+
+    @property
+    def us_per_key(self) -> float:
+        """Execution time per key, the paper's headline metric: makespan
+        divided by keys per processor (each processor handles ``n`` keys
+        concurrently)."""
+        return self.elapsed_us / self.n if self.n else 0.0
+
+    @property
+    def seconds_total(self) -> float:
+        """Total execution time in seconds (Table 5.2)."""
+        return self.elapsed_us * 1e-6
+
+    def per_key(self, category: str) -> float:
+        """Mean per-processor time of ``category``, per key, in µs."""
+        return self.mean_breakdown.times[category] / self.n if self.n else 0.0
+
+    @property
+    def computation_per_key(self) -> float:
+        return self.mean_breakdown.computation / self.n if self.n else 0.0
+
+    @property
+    def communication_per_key(self) -> float:
+        return self.mean_breakdown.communication / self.n if self.n else 0.0

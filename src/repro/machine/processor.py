@@ -1,0 +1,52 @@
+"""A virtual processor: a clock plus per-category time accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.metrics import PhaseBreakdown
+
+__all__ = ["Processor", "TraceEvent"]
+
+#: ``(start_us, end_us, category)`` — one busy or wait interval.
+TraceEvent = Tuple[float, float, str]
+
+
+@dataclass
+class Processor:
+    """One node of the simulated machine.
+
+    The processor does not own application data — algorithms keep their own
+    per-rank arrays — it owns *time*: a virtual clock in microseconds and a
+    breakdown of how that time was spent.  Counters for the paper's
+    communication metrics (elements and messages sent) also live here.
+    When ``trace`` is a list, every interval is additionally recorded as a
+    :data:`TraceEvent` for timeline rendering (:mod:`repro.viz.gantt`).
+    """
+
+    rank: int
+    clock: float = 0.0
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    elements_sent: int = 0
+    messages_sent: int = 0
+    trace: Optional[List[TraceEvent]] = None
+
+    def advance(self, category: str, micros: float) -> None:
+        """Spend ``micros`` of busy time attributed to ``category``."""
+        if micros < 0:
+            raise ConfigurationError(f"cannot advance clock by {micros} µs")
+        start = self.clock
+        self.clock += micros
+        self.breakdown.add(category, micros)
+        if self.trace is not None and micros > 0:
+            self.trace.append((start, self.clock, category))
+
+    def wait_until(self, when: float) -> None:
+        """Idle until ``when`` (no-op if the clock is already past it)."""
+        if when > self.clock:
+            self.breakdown.add("wait", when - self.clock)
+            if self.trace is not None:
+                self.trace.append((self.clock, when, "wait"))
+            self.clock = when

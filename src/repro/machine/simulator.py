@@ -1,0 +1,227 @@
+"""The SPMD machine simulator.
+
+:class:`Machine` advances ``P`` virtual processor clocks through alternating
+local-computation and communication phases:
+
+* **Computation** — :meth:`Machine.charge_compute` prices a kernel at
+  (elements × per-element cost × cache factor) microseconds using the
+  machine's calibrated :class:`~repro.model.machines.ComputeCosts`.
+  Algorithms perform the actual work with NumPy and tell the machine what
+  they did; the machine converts counts to time.  This mirrors how the
+  paper analyzes computation (operation counts at fixed per-op cost, §4.4)
+  and decouples simulated time from Python's own speed.
+
+* **Communication** — :meth:`Machine.exchange` delivers
+  :class:`~repro.machine.message.Message` payloads and charges LogGP time.
+  In ``"long"`` mode each message costs its sender ``o + (k-1)G`` injection
+  time with gap ``g`` between messages and lands ``L`` later, costing the
+  receiver ``o`` (§3.4.3).  In ``"short"`` mode the whole remap is priced
+  with the paper's LogP short-message formula ``L + 2o + (V-1) max(g, 2o)``
+  (§3.4.2).  Either way the machine counts the paper's three metrics —
+  remaps ``R``, per-processor volume ``V``, messages ``M`` — exactly.
+
+The makespan (max clock) is the simulated execution time; per-key numbers in
+the benchmark tables are makespan / keys-per-processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.machine.message import Message
+from repro.machine.metrics import PhaseBreakdown, RunStats
+from repro.machine.processor import Processor
+from repro.model.machines import MEIKO_CS2, MachineSpec
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated distributed-memory machine of ``P`` nodes.
+
+    Parameters
+    ----------
+    P:
+        Number of processors (any positive power of two for the sorting
+        algorithms; the machine itself accepts any positive count).
+    spec:
+        Hardware description; defaults to the calibrated Meiko CS-2.
+    """
+
+    def __init__(self, P: int, spec: MachineSpec = MEIKO_CS2, trace: bool = False):
+        if P < 1:
+            raise ConfigurationError(f"machine needs at least 1 processor, got {P}")
+        self.P = P
+        self.spec = spec
+        self.net = spec.network.with_procs(P)
+        self.procs = [
+            Processor(rank=r, trace=[] if trace else None) for r in range(P)
+        ]
+        self.remap_count = 0
+
+    # -- computation ---------------------------------------------------
+
+    def charge_compute(
+        self,
+        rank: int,
+        category: str,
+        elements: int,
+        unit_cost: float,
+        passes: float = 1.0,
+        working_set: Optional[int] = None,
+    ) -> None:
+        """Charge ``rank`` for a local kernel touching ``elements`` elements
+        ``passes`` times at ``unit_cost`` µs per element-pass, inflated by
+        the cache model for the given working set (defaults to
+        ``elements``)."""
+        if elements < 0:
+            raise ConfigurationError(f"elements must be >= 0, got {elements}")
+        if elements == 0:
+            return
+        ws = working_set if working_set is not None else elements
+        factor = self.spec.cache.factor(max(ws, 1))
+        self._proc(rank).advance(category, elements * passes * unit_cost * factor)
+
+    def charge_fixed(self, rank: int, category: str, micros: float) -> None:
+        """Charge a fixed time (e.g. a per-phase constant) to ``rank``."""
+        self._proc(rank).advance(category, micros)
+
+    # -- communication ---------------------------------------------------
+
+    def exchange(
+        self,
+        messages: Sequence[Message],
+        mode: str = "long",
+        count_remap: bool = True,
+    ) -> Dict[int, List[Message]]:
+        """Deliver ``messages`` and charge communication time.
+
+        Self-addressed messages are rejected: data a processor keeps never
+        travels, and creating such a message indicates a bug in the caller's
+        destination computation.
+
+        Returns the delivered messages grouped by destination, each group
+        ordered by arrival time (deterministically).
+        """
+        if mode not in ("long", "short"):
+            raise CommunicationError(f"exchange mode must be 'long' or 'short', got {mode!r}")
+        for msg in messages:
+            if not (0 <= msg.src < self.P and 0 <= msg.dst < self.P):
+                raise CommunicationError(
+                    f"message {msg.src}->{msg.dst} outside machine of {self.P} procs"
+                )
+            if msg.src == msg.dst:
+                raise CommunicationError(
+                    f"processor {msg.src} addressed a message to itself; kept "
+                    "data must not be sent"
+                )
+        if count_remap:
+            self.remap_count += 1
+
+        by_src: Dict[int, List[Message]] = {}
+        for msg in sorted(messages, key=lambda m: (m.src, m.dst)):
+            by_src.setdefault(msg.src, []).append(msg)
+
+        arrivals: List[tuple] = []  # (arrival_time, src, dst, Message)
+        g_short = max(self.net.g, 2.0 * self.net.o)
+
+        for src, out in by_src.items():
+            proc = self.procs[src]
+            total_elems = sum(m.num_elements for m in out)
+            proc.elements_sent += total_elems
+            if mode == "short":
+                # One element = one message (§3.4.2); the single LogP remap
+                # formula covers both send and receive overheads, so the
+                # receiver is not charged again below.
+                proc.messages_sent += total_elems
+                if total_elems > 0:
+                    cost = self.net.L + 2.0 * self.net.o + (total_elems - 1) * g_short
+                    proc.advance("transfer", cost)
+                for m in out:
+                    arrivals.append((proc.clock, src, m.dst, m))
+            else:
+                proc.messages_sent += len(out)
+                dma = self.spec.dma_offload
+                dma_clock = proc.clock  # the co-processor's injection timeline
+                for i, m in enumerate(out):
+                    # Charge the payload's true wire size (keys are 4 B,
+                    # record composites 8 B, complex FFT points 16 B,
+                    # histogram counters 8 B — all handled uniformly).
+                    nbytes = max(m.payload.nbytes, 1)
+                    inject = (nbytes - 1) * self.net.G
+                    if dma:
+                        # The co-processor injects (serially); the CPU pays
+                        # only the initiation overhead per message.
+                        proc.advance("transfer", self.net.o)
+                        if i + 1 < len(out) and self.net.o < self.net.g:
+                            proc.advance("transfer", self.net.g - self.net.o)
+                        dma_clock = max(dma_clock, proc.clock) + inject
+                        arrivals.append((dma_clock + self.net.L, src, m.dst, m))
+                    else:
+                        busy = self.net.o + inject
+                        proc.advance("transfer", busy)
+                        if i + 1 < len(out) and busy < self.net.g:
+                            # Gap rule: transmissions at least g apart.
+                            proc.advance("transfer", self.net.g - busy)
+                        arrivals.append((proc.clock + self.net.L, src, m.dst, m))
+
+        delivered: Dict[int, List[Message]] = {}
+        for arrival, src, dst, m in sorted(arrivals, key=lambda t: (t[3].dst, t[0], t[1])):
+            delivered.setdefault(dst, []).append(m)
+            rp = self.procs[dst]
+            rp.wait_until(arrival)
+            if mode == "long":
+                rp.advance("transfer", self.net.o)
+        return delivered
+
+    # -- synchronization -------------------------------------------------
+
+    def barrier(self) -> None:
+        """Advance every processor to the current makespan."""
+        top = self.elapsed()
+        for p in self.procs:
+            p.wait_until(top)
+
+    def elapsed(self) -> float:
+        """Current makespan in microseconds."""
+        return max(p.clock for p in self.procs)
+
+    # -- results -----------------------------------------------------------
+
+    def stats(self, keys_per_proc: int) -> RunStats:
+        """Snapshot the run into a :class:`~repro.machine.metrics.RunStats`."""
+        mean = PhaseBreakdown()
+        for p in self.procs:
+            mean = mean.merged_with(p.breakdown)
+        for cat in mean.times:
+            mean.times[cat] /= self.P
+        return RunStats(
+            P=self.P,
+            n=keys_per_proc,
+            elapsed_us=self.elapsed(),
+            mean_breakdown=mean,
+            remaps=self.remap_count,
+            volume_per_proc=max(p.elements_sent for p in self.procs),
+            messages_per_proc=max(p.messages_sent for p in self.procs),
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _proc(self, rank: int) -> Processor:
+        if not 0 <= rank < self.P:
+            raise ConfigurationError(f"rank {rank} outside machine of {self.P} procs")
+        return self.procs[rank]
+
+    def partition(self, keys: np.ndarray) -> List[np.ndarray]:
+        """Split ``keys`` into ``P`` equal blocked partitions (the initial
+        distribution; untimed, as the paper measures sorting time only)."""
+        keys = np.asarray(keys)
+        if keys.size % self.P:
+            raise ConfigurationError(
+                f"{keys.size} keys do not divide evenly over {self.P} processors"
+            )
+        n = keys.size // self.P
+        return [keys[r * n : (r + 1) * n].copy() for r in range(self.P)]

@@ -1,0 +1,24 @@
+"""Cost models of parallel computation: LogP, LogGP, and a computation/cache
+model calibrated so that simulated times land in the same regime as the
+paper's Meiko CS-2 measurements."""
+
+from repro.model.logp import LogGPParams, LogPParams
+from repro.model.cache import CacheModel
+from repro.model.machines import (
+    COMPUTE_MEIKO_CS2,
+    GENERIC_CLUSTER,
+    MEIKO_CS2,
+    ComputeCosts,
+    MachineSpec,
+)
+
+__all__ = [
+    "LogPParams",
+    "LogGPParams",
+    "CacheModel",
+    "ComputeCosts",
+    "MachineSpec",
+    "MEIKO_CS2",
+    "COMPUTE_MEIKO_CS2",
+    "GENERIC_CLUSTER",
+]

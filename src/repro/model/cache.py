@@ -1,0 +1,67 @@
+"""A minimal cache-capacity model for local computation.
+
+Figure 5.4 of the paper observes that as the number of keys per processor
+grows, "a higher percentage of the total execution time is spent during the
+local computation phases... due to cache misses".  Each Meiko CS-2 node has a
+1 MB external cache; at 4 bytes per key the working set exceeds it beyond
+256 K keys per processor, and the per-key computation time in Table 5.1
+correspondingly creeps up at 512 K and 1 M keys/processor.
+
+We model this with a single multiplicative penalty on local-computation time:
+
+``factor(n) = 1 + alpha * max(0, 1 - capacity_keys / n)``
+
+which is 1 while the working set fits and saturates at ``1 + alpha`` for
+working sets far beyond the cache.  This is deliberately crude — it exists to
+reproduce the *shape* of the upturn, not to model a memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Cache-capacity penalty on local computation.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Cache size in bytes (1 MB on the Meiko CS-2 node).
+    key_bytes:
+        Bytes per key (4 for ``uint32``).
+    alpha:
+        Saturation penalty: computation slows by at most ``1 + alpha`` when
+        the working set vastly exceeds the cache.
+    """
+
+    capacity_bytes: int = 1 << 20
+    key_bytes: int = 4
+    alpha: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.key_bytes <= 0:
+            raise ConfigurationError("cache capacity and key size must be positive")
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+
+    @property
+    def capacity_keys(self) -> int:
+        """How many keys fit in cache."""
+        return self.capacity_bytes // self.key_bytes
+
+    def factor(self, keys_per_proc: int) -> float:
+        """Computation-time multiplier for a working set of ``keys_per_proc``
+        keys (always >= 1)."""
+        if keys_per_proc <= 0:
+            raise ConfigurationError(
+                f"keys_per_proc must be positive, got {keys_per_proc}"
+            )
+        if keys_per_proc <= self.capacity_keys:
+            return 1.0
+        return 1.0 + self.alpha * (1.0 - self.capacity_keys / keys_per_proc)

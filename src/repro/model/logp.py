@@ -1,0 +1,165 @@
+"""The LogP and LogGP models of parallel computation (§3.4.1).
+
+LogP [CKP+93] characterizes a message-passing machine by four parameters:
+
+``L``
+    an upper bound on the latency of a (short) message from source to target;
+``o``
+    the overhead: time a processor is busy sending or receiving one message;
+``g``
+    the gap: minimum interval between consecutive message transmissions (its
+    reciprocal is the per-processor short-message bandwidth);
+``P``
+    the number of processor/memory modules.
+
+LogGP [AISS95] adds
+
+``G``
+    the Gap per byte for long messages (its reciprocal is the long-message
+    bandwidth).
+
+Under LogGP the time for one long message of ``k`` bytes, from the moment the
+sender starts until the receiver has it, is ``o + (k-1)G + L + o``.  A short
+message is the ``k = 1`` "unit" of the LogP model; for a remap in which a
+processor sends ``V`` elements as short messages the paper uses
+``T = L + 2o + (V-1) * max(g, 2o)`` (§3.4.2) — we expose both that exact
+expression and per-message primitives so the simulator can account time
+message by message.
+
+All times are in microseconds; sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogPParams", "LogGPParams"]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP parameters ``(L, o, g, P)``; times in microseconds."""
+
+    L: float
+    o: float
+    g: float
+    P: int
+
+    def __post_init__(self) -> None:
+        if self.L < 0 or self.o < 0 or self.g < 0:
+            raise ConfigurationError(
+                f"LogP parameters must be non-negative: L={self.L}, o={self.o}, g={self.g}"
+            )
+        if self.P < 1:
+            raise ConfigurationError(f"P must be >= 1, got {self.P}")
+
+    @property
+    def per_message_cost(self) -> float:
+        """Effective cost a sender pays per additional short message.
+
+        The paper notes that in practice ``2o < g`` so the pipeline rate is
+        the gap ``g``; we take ``max(g, 2o)`` as in §3.4.2.
+        """
+        return max(self.g, 2.0 * self.o)
+
+    def short_remap_time(self, volume: int) -> float:
+        """Time for one remap in which each processor sends/receives
+        ``volume`` elements as short messages (§3.4.2):
+
+        ``T = L + 2o + (V - 1) * max(g, 2o)``.
+        """
+        if volume < 0:
+            raise ConfigurationError(f"volume must be >= 0, got {volume}")
+        if volume == 0:
+            return 0.0
+        return self.L + 2.0 * self.o + (volume - 1) * self.per_message_cost
+
+    def total_short_time(self, remaps: int, volume: int) -> float:
+        """Total communication time over ``remaps`` remaps transferring
+        ``volume`` elements in aggregate (§3.4.2):
+
+        ``T = (L + 2o - g') * R + g' * V`` with ``g' = max(g, 2o)``.
+        """
+        gp = self.per_message_cost
+        return (self.L + 2.0 * self.o - gp) * remaps + gp * volume
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP parameters ``(L, o, g, G, P)``; times in microseconds, ``G`` in
+    microseconds per byte."""
+
+    L: float
+    o: float
+    g: float
+    G: float
+    P: int
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g, self.G) < 0:
+            raise ConfigurationError(
+                "LogGP parameters must be non-negative: "
+                f"L={self.L}, o={self.o}, g={self.g}, G={self.G}"
+            )
+        if self.P < 1:
+            raise ConfigurationError(f"P must be >= 1, got {self.P}")
+
+    @property
+    def logp(self) -> LogPParams:
+        """The LogP restriction (drop ``G``)."""
+        return LogPParams(L=self.L, o=self.o, g=self.g, P=self.P)
+
+    def with_procs(self, P: int) -> "LogGPParams":
+        """The same network parameters on a machine of ``P`` nodes."""
+        return replace(self, P=P)
+
+    def long_message_send_busy(self, nbytes: int) -> float:
+        """Time the *sender* is busy injecting one long message:
+        ``o + (k - 1) G``."""
+        if nbytes < 1:
+            raise ConfigurationError(f"nbytes must be >= 1, got {nbytes}")
+        return self.o + (nbytes - 1) * self.G
+
+    def long_message_latency(self, nbytes: int) -> float:
+        """End-to-end time of one long message, sender start to receiver
+        done: ``o + (k - 1) G + L + o``."""
+        return self.long_message_send_busy(nbytes) + self.L + self.o
+
+    def remap_time(self, volume_bytes: int, messages: int) -> float:
+        """LogGP time for one remap where a processor transfers
+        ``volume_bytes`` spread over ``messages`` long messages (§3.4.3):
+
+        ``T = L + 2o + G (V - M) + g (M - 1)``
+
+        where ``V`` counts *elements* in the paper; here we take ``V`` in
+        bytes and ``M`` messages, charging ``G`` per byte beyond the first of
+        each message and ``g`` between message starts.
+        """
+        if messages < 0 or volume_bytes < 0:
+            raise ConfigurationError("volume and messages must be >= 0")
+        if messages == 0:
+            return 0.0
+        return (
+            self.L
+            + 2.0 * self.o
+            + self.G * max(volume_bytes - messages, 0)
+            + self.g * (messages - 1)
+        )
+
+    def total_long_time(self, remaps: int, volume_bytes: int, messages: int) -> float:
+        """Total communication time across a whole run (§3.4.3):
+
+        ``T = (L + 2o) R + G (V - M) + g (M - R)``
+
+        (with ``V`` in bytes here).  Equals summing :meth:`remap_time` over
+        remaps when volume and messages are spread evenly.
+        """
+        if remaps < 0 or messages < 0 or volume_bytes < 0:
+            raise ConfigurationError("remaps, volume and messages must be >= 0")
+        return (
+            (self.L + 2.0 * self.o) * remaps
+            + self.G * max(volume_bytes - messages, 0)
+            + self.g * max(messages - remaps, 0)
+        )

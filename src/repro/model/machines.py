@@ -1,0 +1,157 @@
+"""Calibrated machine descriptions.
+
+A :class:`MachineSpec` bundles everything the simulator needs to charge time:
+
+* LogGP network parameters (for both short- and long-message accounting);
+* per-operation local computation costs (:class:`ComputeCosts`);
+* a :class:`~repro.model.cache.CacheModel`.
+
+Calibration
+-----------
+The Meiko CS-2 preset is calibrated against the paper's own measurements, not
+against independently published LogGP constants, because the goal of the
+reproduction is to match the *shape* of Tables 5.1–5.4 (DESIGN.md §2):
+
+* ``g`` is set so that the short-message remap cost per transferred element is
+  ~3.3 µs: at P=16 the smart algorithm transfers ``lg P = 4`` elements per
+  key, and Table 5.3 reports ≈13.2 µs/key for the short-message version.
+* ``G`` is set so that long-message transfer time is ~0.15 µs/key at P=16
+  (Table 5.4): 16 bytes transferred per key ⇒ G ≈ 0.0094 µs/B ≈ 106 MB/s.
+* ``pack_per_key``/``unpack_per_key`` reproduce Table 5.4's ≈0.37/0.14 µs per
+  key over 4 transferred elements per key.
+* compute constants reproduce Table 5.1's ≈0.5 µs/key for the fully
+  optimized Smart sort at P=32 (radix ≈ 0.1 µs/key, one merge phase ≈
+  0.03 µs/key, 6 phases).
+* the cache model reproduces the upturn at 512K–1M keys/processor.
+
+All constants are in microseconds (per element where applicable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.model.cache import CacheModel
+from repro.model.logp import LogGPParams
+
+__all__ = [
+    "ComputeCosts",
+    "MachineSpec",
+    "MEIKO_CS2",
+    "COMPUTE_MEIKO_CS2",
+    "GENERIC_CLUSTER",
+]
+
+#: Bytes per key (uint32) used uniformly for volume accounting.
+KEY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ComputeCosts:
+    """Per-element local computation costs, in microseconds.
+
+    Each constant prices one elementary pass of the corresponding kernel over
+    one element; kernels report *counts* and the simulator multiplies by
+    these constants (and the cache factor) to advance the virtual clock.
+    """
+
+    #: One counting-sort pass of LSD radix sort (the paper uses radix sort
+    #: for the first ``lg n`` stages; 4 passes of 8 bits cover 32-bit keys).
+    radix_pass: float = 0.025
+    #: The scatter half of one *parallel* radix-sort pass: computing each
+    #: key's global rank and permuting it into the send buffers — random
+    #: access, priced above a streaming pass.
+    radix_permute: float = 0.050
+    #: One element moved through a two-way merge (also prices one element of
+    #: a bitonic merge, which is a rotation plus a two-way merge — Lemma 9).
+    merge: float = 0.030
+    #: One simulated compare-exchange touch of one element (one network step).
+    compare_exchange: float = 0.040
+    #: Packing one element into a long-message send buffer (§3.3.1).
+    pack: float = 0.090
+    #: Unpacking one element from a received long message.
+    unpack: float = 0.035
+    #: Computing one element's destination (relative address) for a remap —
+    #: the paper's "intermediate phase" (§1.2).  Cheap: destinations follow
+    #: from the pack-mask bit fields, not per-element arithmetic (§3.3.1).
+    address: float = 0.005
+    #: Extra per-element cost when pack/unpack is *fused* into the local sort
+    #: (§4.3): the sort writes through the pack mask instead of sequentially,
+    #: which costs a little extra per element but removes the separate
+    #: pack/unpack passes entirely.
+    fused_pack: float = 0.015
+
+    def __post_init__(self) -> None:
+        for name in (
+            "radix_pass",
+            "radix_permute",
+            "merge",
+            "compare_exchange",
+            "pack",
+            "unpack",
+            "address",
+            "fused_pack",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"compute cost {name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete simulated machine: network + compute + cache models.
+
+    ``dma_offload`` models the paper's future-work item "overlap
+    computation and communication" (Ch. 7) using the hardware the CS-2
+    already had: the Elan co-processor's DMA engine (§5.1).  When enabled,
+    a long message costs the *CPU* only the ``o`` initiation overhead — the
+    ``(k-1)G`` injection runs on the co-processor — while the wire time
+    (and hence the arrival instant at the receiver) is unchanged.
+    """
+
+    name: str
+    network: LogGPParams
+    compute: ComputeCosts = field(default_factory=ComputeCosts)
+    cache: CacheModel = field(default_factory=CacheModel)
+    key_bytes: int = KEY_BYTES
+    dma_offload: bool = False
+
+    def __post_init__(self) -> None:
+        if self.key_bytes <= 0:
+            raise ConfigurationError(f"key_bytes must be positive, got {self.key_bytes}")
+
+    def with_procs(self, P: int) -> "MachineSpec":
+        """The same machine scaled to ``P`` nodes."""
+        return replace(self, network=self.network.with_procs(P))
+
+
+#: Meiko CS-2 computation constants (40 MHz SuperSparc, 1 MB external cache).
+COMPUTE_MEIKO_CS2 = ComputeCosts()
+
+#: The 64-node Meiko CS-2 of Chapter 5, expressed as LogGP parameters
+#: calibrated per the module docstring.  ``L`` and ``o`` are in the regime
+#: reported for Active Messages on the CS-2 [SS95].
+MEIKO_CS2 = MachineSpec(
+    name="Meiko CS-2",
+    network=LogGPParams(L=7.5, o=1.7, g=3.3, G=0.0094, P=64),
+    compute=COMPUTE_MEIKO_CS2,
+    cache=CacheModel(capacity_bytes=1 << 20, key_bytes=KEY_BYTES, alpha=0.45),
+)
+
+#: A generic modern-ish cluster: lower overheads, higher bandwidth, bigger
+#: cache.  Used by examples to show how conclusions shift with the machine.
+GENERIC_CLUSTER = MachineSpec(
+    name="generic cluster",
+    network=LogGPParams(L=2.0, o=0.5, g=1.0, G=0.001, P=256),
+    compute=ComputeCosts(
+        radix_pass=0.004,
+        radix_permute=0.006,
+        merge=0.005,
+        compare_exchange=0.007,
+        pack=0.012,
+        unpack=0.006,
+        address=0.001,
+        fused_pack=0.002,
+    ),
+    cache=CacheModel(capacity_bytes=8 << 20, key_bytes=KEY_BYTES, alpha=0.6),
+)

@@ -1,0 +1,62 @@
+"""The bitonic sorting network (Chapter 2 of the paper).
+
+This package contains the *network view* of bitonic sort: node addressing and
+comparison-direction rules (:mod:`repro.network.addressing`), predicates on
+sequences (:mod:`repro.network.properties`), a sequential reference
+implementation that executes the network column by column
+(:mod:`repro.network.sequential` — the ground truth every parallel algorithm
+is tested against), and the vectorized compare-exchange engine used to run
+network steps on a processor's local partition (:mod:`repro.network.steps`).
+"""
+
+from repro.network.addressing import (
+    NetworkShape,
+    compare_bit,
+    direction_bit,
+    is_ascending,
+    network_columns,
+    partner,
+    steps_of_stage,
+    total_steps,
+)
+from repro.network.properties import (
+    count_circular_direction_changes,
+    is_bitonic,
+    is_monotonic,
+    is_sorted_ascending,
+    is_sorted_descending,
+)
+from repro.network.sequential import (
+    batcher_sort,
+    bitonic_merge_network,
+    bitonic_sort_network,
+    compare_exchange_step,
+)
+from repro.network.steps import (
+    compare_exchange_general,
+    compare_exchange_local,
+    run_steps_general,
+)
+
+__all__ = [
+    "NetworkShape",
+    "compare_bit",
+    "direction_bit",
+    "is_ascending",
+    "network_columns",
+    "partner",
+    "steps_of_stage",
+    "total_steps",
+    "count_circular_direction_changes",
+    "is_bitonic",
+    "is_monotonic",
+    "is_sorted_ascending",
+    "is_sorted_descending",
+    "batcher_sort",
+    "bitonic_merge_network",
+    "bitonic_sort_network",
+    "compare_exchange_step",
+    "compare_exchange_general",
+    "compare_exchange_local",
+    "run_steps_general",
+]

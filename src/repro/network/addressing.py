@@ -1,0 +1,123 @@
+"""Node addressing of the bitonic sorting network (Definition 3).
+
+A network for ``N = 2**m`` keys has ``m`` *stages*; stage ``s`` (1-based,
+``1 <= s <= m``) consists of *steps* ``s, s-1, ..., 1``, executed in that
+order (the paper counts steps from right to left).  Step ``j`` performs
+compare-exchange operations between rows whose absolute addresses differ in
+bit ``j - 1`` (bits 0-indexed from the LSB).
+
+The comparison direction follows from the paper's node-type rule — node
+``(s, c, r)`` selects the minimum iff ``(r div 2^c) mod 2 = (r div 2^s) mod
+2`` — which reduces to: *the pair containing row ``r`` sorts ascending (the
+min lands at the smaller address) iff bit ``s`` of ``r`` is 0*.  In stage
+``s = lg N`` that bit is always 0, so the final stage is one big ascending
+merge.
+
+Everything here is pure index arithmetic; it is shared by the sequential
+reference network, the per-processor step engine, and the layout machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import bit_of, ilog2
+
+__all__ = [
+    "NetworkShape",
+    "steps_of_stage",
+    "network_columns",
+    "total_steps",
+    "compare_bit",
+    "direction_bit",
+    "partner",
+    "is_ascending",
+]
+
+_Int = Union[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class NetworkShape:
+    """Shape of a bitonic sorting network for ``N`` keys."""
+
+    N: int
+
+    def __post_init__(self) -> None:
+        ilog2(self.N)  # validates power of two
+        if self.N < 2:
+            raise ConfigurationError(f"a sorting network needs N >= 2, got {self.N}")
+
+    @property
+    def num_stages(self) -> int:
+        """``lg N`` stages."""
+        return ilog2(self.N)
+
+    @property
+    def num_steps(self) -> int:
+        """Total compare-exchange steps: ``lg N (lg N + 1) / 2``."""
+        m = self.num_stages
+        return m * (m + 1) // 2
+
+    @property
+    def comparators_per_step(self) -> int:
+        """Each step compares ``N / 2`` disjoint pairs."""
+        return self.N // 2
+
+    def columns(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(stage, step)`` in execution order."""
+        return network_columns(self.N)
+
+
+def steps_of_stage(stage: int) -> range:
+    """Steps of stage ``s`` in execution order: ``s, s-1, ..., 1``."""
+    if stage < 1:
+        raise ConfigurationError(f"stage must be >= 1, got {stage}")
+    return range(stage, 0, -1)
+
+
+def network_columns(N: int) -> Iterator[Tuple[int, int]]:
+    """All ``(stage, step)`` pairs of the network for ``N`` keys, in
+    execution order."""
+    for stage in range(1, ilog2(N) + 1):
+        for step in steps_of_stage(stage):
+            yield stage, step
+
+
+def total_steps(N: int) -> int:
+    """Total number of compare-exchange steps for ``N`` keys."""
+    return NetworkShape(N).num_steps
+
+
+def compare_bit(step: int) -> int:
+    """The absolute-address bit compared at ``step``: bit ``step - 1``."""
+    if step < 1:
+        raise ConfigurationError(f"step must be >= 1, got {step}")
+    return step - 1
+
+
+def direction_bit(stage: int) -> int:
+    """The absolute-address bit that decides the comparison direction in
+    ``stage``: bit ``stage`` (0 ⇒ ascending)."""
+    if stage < 1:
+        raise ConfigurationError(f"stage must be >= 1, got {stage}")
+    return stage
+
+
+def partner(row: _Int, step: int) -> _Int:
+    """The row compared with ``row`` at ``step``: flip bit ``step - 1``."""
+    return row ^ (1 << compare_bit(step))
+
+
+def is_ascending(row: _Int, stage: int) -> _Int:
+    """True where the comparison involving ``row`` during ``stage`` sorts
+    ascending (min at the lower address).  Vectorized.
+
+    Both rows of a compared pair agree on this because they differ only in
+    bit ``step - 1 < stage``.
+    """
+    return bit_of(row, direction_bit(stage)) == 0

@@ -1,0 +1,72 @@
+"""Predicates on sequences: sortedness, monotonicity, bitonicity.
+
+These back the assertions of Lemmas 6 and 7 (the data array at a given
+column consists of sorted / bitonic runs of known length) and are used
+throughout the tests to validate intermediate states of the algorithms.
+
+A sequence is *bitonic* (Definition 1) if some cyclic shift of it first
+monotonically increases then monotonically decreases.  Equivalently — and
+this is what we check — after collapsing circularly-adjacent equal elements,
+walking the sequence circularly changes direction at most twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_sorted_ascending",
+    "is_sorted_descending",
+    "is_monotonic",
+    "count_circular_direction_changes",
+    "is_bitonic",
+]
+
+
+def is_sorted_ascending(a: np.ndarray) -> bool:
+    """True iff ``a`` is non-decreasing."""
+    a = np.asarray(a)
+    return bool(np.all(a[:-1] <= a[1:]))
+
+
+def is_sorted_descending(a: np.ndarray) -> bool:
+    """True iff ``a`` is non-increasing."""
+    a = np.asarray(a)
+    return bool(np.all(a[:-1] >= a[1:]))
+
+
+def is_monotonic(a: np.ndarray) -> bool:
+    """True iff ``a`` is non-decreasing or non-increasing."""
+    return is_sorted_ascending(a) or is_sorted_descending(a)
+
+
+def count_circular_direction_changes(a: np.ndarray) -> int:
+    """Number of sign changes in the circular difference sequence of ``a``,
+    ignoring zero differences.
+
+    0 for a constant sequence, 2 for a non-constant bitonic sequence (one
+    rise-to-fall turn and one fall-to-rise turn somewhere on the circle),
+    more for anything that is not bitonic.  The count is always even for a
+    circular walk.
+    """
+    a = np.asarray(a)
+    if a.size <= 2:
+        return 0
+    # Signed differences around the circle, as int8 signs with zeros dropped.
+    diffs = np.sign(
+        np.roll(a.astype(np.int64), -1) - a.astype(np.int64)
+    )
+    signs = diffs[diffs != 0]
+    if signs.size == 0:
+        return 0
+    changes = int(np.count_nonzero(signs[:-1] != signs[1:]))
+    # Close the circle: compare last non-zero sign with the first.
+    if signs[-1] != signs[0]:
+        changes += 1
+    return changes
+
+
+def is_bitonic(a: np.ndarray) -> bool:
+    """True iff ``a`` is a bitonic sequence (Definition 1, including the
+    cyclic-shift clause)."""
+    return count_circular_direction_changes(a) <= 2

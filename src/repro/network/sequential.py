@@ -1,0 +1,131 @@
+"""Sequential reference implementations of the bitonic sorting network.
+
+Two independent formulations are provided so they can cross-check each other:
+
+* :func:`bitonic_sort_network` executes the network exactly as Definition 3
+  describes it — column by column, each step a vectorized batch of
+  compare-exchange operations between rows differing in one address bit.
+  This is the *ground truth* all parallel algorithms in :mod:`repro.sorts`
+  are validated against, because it shares no code with them beyond index
+  arithmetic.
+
+* :func:`batcher_sort` is Batcher's classic recursive formulation (sort both
+  halves in opposite directions, then bitonic-merge), which exercises the
+  *algorithmic view* the paper contrasts with the network view.
+
+Both sort in place on a copy and return the sorted array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.network.addressing import (
+    compare_bit,
+    is_ascending,
+    network_columns,
+    steps_of_stage,
+)
+from repro.utils.bits import ilog2, is_power_of_two
+
+__all__ = [
+    "compare_exchange_step",
+    "bitonic_sort_network",
+    "bitonic_merge_network",
+    "batcher_sort",
+]
+
+
+def compare_exchange_step(data: np.ndarray, stage: int, step: int) -> None:
+    """Apply one network step in place to the full array ``data``.
+
+    Rows whose addresses differ in bit ``step - 1`` are compared; the
+    direction of each pair follows bit ``stage`` of the row address
+    (:func:`repro.network.addressing.is_ascending`).
+    """
+    n = data.shape[0]
+    half = 1 << compare_bit(step)
+    idx = np.arange(n)
+    lo = idx[(idx & half) == 0]
+    hi = lo | half
+    a, b = data[lo], data[hi]
+    asc = is_ascending(lo, stage)
+    swap = np.where(asc, a > b, a < b)
+    # Vectorized conditional swap of the selected pairs.
+    data[lo] = np.where(swap, b, a)
+    data[hi] = np.where(swap, a, b)
+
+
+def bitonic_sort_network(data: np.ndarray) -> np.ndarray:
+    """Sort ``data`` (length a power of two) by executing every column of the
+    bitonic sorting network.  Returns a sorted copy."""
+    out = np.array(data, copy=True)
+    n = out.shape[0]
+    if n <= 1:
+        return out
+    if not is_power_of_two(n):
+        raise SizeError(f"bitonic network input length must be a power of two, got {n}")
+    for stage, step in network_columns(n):
+        compare_exchange_step(out, stage, step)
+    return out
+
+
+def bitonic_merge_network(data: np.ndarray, stage: int) -> np.ndarray:
+    """Execute only the steps of ``stage`` on a copy of ``data``.
+
+    When ``data`` consists of bitonic sequences of length ``2**stage`` in the
+    alternating arrangement of Lemma 6's stage input, the result consists of
+    alternating sorted sequences of length ``2**stage``.
+    """
+    out = np.array(data, copy=True)
+    n = out.shape[0]
+    if not is_power_of_two(n):
+        raise SizeError(f"input length must be a power of two, got {n}")
+    if not 1 <= stage <= ilog2(n):
+        raise SizeError(f"stage {stage} out of range for N={n}")
+    for step in steps_of_stage(stage):
+        compare_exchange_step(out, stage, step)
+    return out
+
+
+def _batcher_merge(a: np.ndarray, ascending: bool) -> np.ndarray:
+    """Bitonic merge of a bitonic array ``a`` (length a power of two)."""
+    n = a.shape[0]
+    if n == 1:
+        return a
+    half = n // 2
+    lo, hi = a[:half].copy(), a[half:].copy()
+    if ascending:
+        lo2 = np.minimum(lo, hi)
+        hi2 = np.maximum(lo, hi)
+    else:
+        lo2 = np.maximum(lo, hi)
+        hi2 = np.minimum(lo, hi)
+    return np.concatenate(
+        [_batcher_merge(lo2, ascending), _batcher_merge(hi2, ascending)]
+    )
+
+
+def _batcher_sort(a: np.ndarray, ascending: bool) -> np.ndarray:
+    n = a.shape[0]
+    if n == 1:
+        return a
+    half = n // 2
+    first = _batcher_sort(a[:half].copy(), True)
+    second = _batcher_sort(a[half:].copy(), False)
+    return _batcher_merge(np.concatenate([first, second]), ascending)
+
+
+def batcher_sort(data: np.ndarray, ascending: bool = True) -> np.ndarray:
+    """Batcher's recursive bitonic sort (the algorithmic view).
+
+    Returns a sorted copy; ``data`` length must be a power of two.
+    """
+    arr = np.array(data, copy=True)
+    n = arr.shape[0]
+    if n <= 1:
+        return arr
+    if not is_power_of_two(n):
+        raise SizeError(f"batcher sort input length must be a power of two, got {n}")
+    return _batcher_sort(arr, ascending)

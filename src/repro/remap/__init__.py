@@ -1,0 +1,24 @@
+"""Remap implementation: moving data between two layouts (§3.3).
+
+A remap has three phases (Figure 3.17): *pack* elements bound for the same
+destination into one long message, *transfer* the long messages, and
+*unpack* each received message into its slots on the destination processor.
+:mod:`repro.remap.masks` derives the pack/unpack masks of §3.3.1 from the
+two layouts' bit patterns; :mod:`repro.remap.plan` turns them into concrete
+vectorized gather/scatter plans; :mod:`repro.remap.exchange` executes a
+remap on the simulated machine in long- or short-message mode, with or
+without pack/unpack fused into the local computation (§4.3).
+"""
+
+from repro.remap.masks import changed_local_bits, pack_mask, unpack_mask
+from repro.remap.plan import RemapPlan, build_remap_plan
+from repro.remap.exchange import perform_remap
+
+__all__ = [
+    "changed_local_bits",
+    "pack_mask",
+    "unpack_mask",
+    "RemapPlan",
+    "build_remap_plan",
+    "perform_remap",
+]

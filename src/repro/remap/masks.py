@@ -1,0 +1,55 @@
+"""Pack and unpack masks (§3.3.1, Figures 3.18–3.21).
+
+The *pack mask* marks, in the source layout's local address, the bits that
+become part of the processor number under the destination layout — the
+"shaded" positions of Figure 3.18.  The values of those bits give the
+destination processor's offset within its communication group (Lemma 4);
+the remaining ("unshaded") bits enumerate the element's position inside the
+long message.  The *unpack mask* is the same construction with the two
+layouts' roles exchanged: the destination layout's local bits that were
+processor bits at the source, whose values identify the sender and whose
+complement places each received element (Figure 3.19).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.layouts.base import BitFieldLayout
+from repro.errors import LayoutError
+
+__all__ = ["changed_local_bits", "pack_mask", "unpack_mask"]
+
+
+def _check_pair(old: BitFieldLayout, new: BitFieldLayout) -> None:
+    if (old.N, old.P) != (new.N, new.P):
+        raise LayoutError(
+            f"layouts describe different machines: "
+            f"({old.N},{old.P}) vs ({new.N},{new.P})"
+        )
+
+
+def changed_local_bits(old: BitFieldLayout, new: BitFieldLayout) -> Tuple[int, ...]:
+    """Positions (in ``old``'s local address, LSB = 0) whose absolute-address
+    bits move into the processor part under ``new`` — the shaded positions
+    of the pack mask.  Its length is the remap's ``N_BitsChanged``."""
+    _check_pair(old, new)
+    moved = old.local_source_bits & new.proc_source_bits
+    return tuple(sorted(old.local_bit_of_abs_bit(b) for b in moved))
+
+
+def pack_mask(old: BitFieldLayout, new: BitFieldLayout) -> str:
+    """The pack mask as a string over ``old``'s local address, MSB first:
+    ``S`` for a shaded (destination-offset) bit, ``.`` for an unshaded
+    (message-position) bit — Figure 3.18."""
+    shaded = set(changed_local_bits(old, new))
+    return "".join(
+        "S" if b in shaded else "." for b in range(old.lgn - 1, -1, -1)
+    )
+
+
+def unpack_mask(old: BitFieldLayout, new: BitFieldLayout) -> str:
+    """The unpack mask over ``new``'s local address, MSB first: ``S`` for a
+    bit whose absolute-address bit was a processor bit under ``old`` (it
+    identifies the sender), ``.`` otherwise — Figure 3.19."""
+    return pack_mask(new, old)

@@ -1,0 +1,96 @@
+"""Algorithm 1 as a genuine SPMD message-passing program.
+
+This is how a user would implement the paper's sort on a real machine: each
+rank owns its ``n`` keys, derives the smart remap schedule from ``(N, P)``
+(pure index algebra — every rank computes the same schedule, no
+coordination needed), and alternates merge-based local phases with
+``alltoallv`` exchanges whose buckets come straight from the remap plan's
+pack indices.
+
+It deliberately shares *no execution machinery* with the simulator version
+(:class:`~repro.sorts.smart.SmartBitonicSort`): no ``Machine``, no
+``perform_remap`` — only the layout algebra, the local kernels, and a
+:class:`~repro.runtime.api.Comm`.  The tests cross-check the two
+implementations element for element, and run this one concurrently on the
+threads backend where real races would surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.layouts.schedule import smart_schedule
+from repro.layouts.smart import smart_params
+from repro.localsort.radix import radix_sort
+from repro.remap.plan import build_remap_plan
+from repro.runtime.api import Comm
+from repro.sorts.smart import SmartBitonicSort
+from repro.utils.bits import ilog2
+
+__all__ = ["spmd_bitonic_sort"]
+
+
+def spmd_bitonic_sort(
+    comm: Comm,
+    local_keys: np.ndarray,
+    key_bits: int = 32,
+    radix_bits: int = 8,
+) -> np.ndarray:
+    """Sort the distributed array whose rank-``r`` partition is
+    ``local_keys``, returning this rank's partition of the globally sorted
+    (blocked) result.
+
+    Every rank must hold the same power-of-two number of keys.
+    """
+    data = np.asarray(local_keys).copy()
+    P, r = comm.size, comm.rank
+    n = data.size
+
+    # Agree on the problem shape (and catch ragged partitions early).
+    sizes = comm.allgather(n)
+    if len(set(sizes)) != 1:
+        raise CommunicationError(
+            f"ranks hold unequal partitions: {sizes} — the bitonic network "
+            "needs the same n everywhere"
+        )
+    if P == 1:
+        return radix_sort(data, key_bits=key_bits, radix_bits=radix_bits)
+    N = n * P
+    schedule = smart_schedule(N, P)  # same on every rank: pure algebra
+    lgn = ilog2(n)
+
+    # First lg n stages: one local sort, alternating direction (Lemma 6).
+    data = radix_sort(data, ascending=(r % 2 == 0),
+                      key_bits=key_bits, radix_bits=radix_bits)
+
+    layout = schedule.initial_layout
+    for phase in schedule.phases:
+        plan = build_remap_plan(layout, phase.layout, r)
+        # Pack: one bucket per destination, gathered by the plan's indices.
+        buckets: List[Optional[np.ndarray]] = [None] * P
+        for q, idx in plan.send.items():
+            buckets[q] = data[idx]
+        fresh = np.empty_like(data)
+        fresh[plan.keep_dst] = data[plan.keep_src]
+        # Transfer.
+        received = comm.alltoallv(buckets)
+        # Unpack: scatter each source's payload to its plan positions.
+        for p, payload in enumerate(received):
+            if p == r or payload is None:
+                continue
+            slots = plan.recv.get(p)
+            if slots is None or slots.size != payload.size:
+                raise CommunicationError(
+                    f"rank {r}: unexpected payload of {0 if payload is None else payload.size} "
+                    f"keys from rank {p}"
+                )
+            fresh[slots] = payload
+        data = fresh
+        layout = phase.layout
+        # Local computation (Theorems 2/3) — the shared merge kernel.
+        params = smart_params(N, P, *phase.columns[0])
+        data = SmartBitonicSort._merge_local(data, layout, params, lgn, r)
+    return data

@@ -1,0 +1,87 @@
+"""The parallel FFT as an SPMD message-passing program.
+
+Same pattern as :mod:`repro.runtime.bitonic_spmd`: every rank derives the
+butterfly's sliding-window schedule from ``(N, P)``, runs the levels whose
+bits are local, and re-tiles via one ``alltoallv`` per window — the
+message-passing realization of [CKP+93]'s one-remap FFT (and its n < P
+generalization).
+
+Input/output convention matches :class:`repro.fft.parallel.ParallelFFT`:
+each rank passes its *blocked* slice of the bit-reversed input (helper
+:func:`local_bitrev_slice` prepares it from a natural-order signal) and
+receives its slice of the natural-order spectrum under the final window
+layout (column-cyclic for ``n >= P``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.fft.layouts import butterfly_schedule
+from repro.fft.sequential import bit_reverse_permute, fft_level
+from repro.remap.plan import build_remap_plan
+from repro.runtime.api import Comm
+from repro.utils.validation import require_sizes
+
+__all__ = ["spmd_fft", "local_bitrev_slice", "gather_natural_order"]
+
+
+def local_bitrev_slice(x: np.ndarray, rank: int, size: int) -> np.ndarray:
+    """Rank ``rank``'s blocked slice of the bit-reversed ``x``."""
+    x = np.asarray(x, dtype=np.complex128)
+    N, P, n = require_sizes(x.size, size)
+    rev = bit_reverse_permute(x)
+    return rev[rank * n:(rank + 1) * n].copy()
+
+
+def spmd_fft(comm: Comm, local: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Distributed radix-2 FFT; returns this rank's partition under the
+    final window layout (use :func:`gather_natural_order` to reassemble)."""
+    data = np.asarray(local, dtype=np.complex128).copy()
+    P, r = comm.size, comm.rank
+    n = data.size
+    sizes = comm.allgather(n)
+    if len(set(sizes)) != 1:
+        raise CommunicationError(f"ranks hold unequal partitions: {sizes}")
+    N = n * P
+    phases = butterfly_schedule(N, P)
+
+    layout = phases[0][0]
+    first = True
+    for new_layout, levels in phases:
+        if not first:
+            plan = build_remap_plan(layout, new_layout, r)
+            buckets: List[Optional[np.ndarray]] = [None] * P
+            for q, idx in plan.send.items():
+                buckets[q] = data[idx]
+            fresh = np.empty_like(data)
+            fresh[plan.keep_dst] = data[plan.keep_src]
+            for p, payload in enumerate(comm.alltoallv(buckets)):
+                if p != r and payload is not None:
+                    fresh[plan.recv[p]] = payload
+            data = fresh
+            layout = new_layout
+        first = False
+        absaddr = layout.absolute_addresses(r)
+        for level in levels:
+            lb = layout.local_bit_of_abs_bit(level - 1)
+            fft_level(data, absaddr, level, N, lb, inverse=inverse)
+    return data
+
+
+def gather_natural_order(comm: Comm, local: np.ndarray) -> np.ndarray:
+    """All-gather the per-rank outputs of :func:`spmd_fft` into the full
+    natural-order spectrum (available on every rank)."""
+    parts = comm.allgather(local)
+    P = comm.size
+    N = sum(p.size for p in parts)
+    _, _, n = require_sizes(N, P)
+    phases = butterfly_schedule(N, P)
+    layout = phases[-1][0]
+    out = np.empty(N, dtype=np.complex128)
+    for rank, part in enumerate(parts):
+        out[layout.absolute_addresses(rank)] = part
+    return out

@@ -1,0 +1,135 @@
+"""The in-process threads backend of the SPMD runtime.
+
+Each rank runs on its own Python thread.  Collectives are implemented with
+a shared mailbox matrix plus a reusable barrier: a phase's senders deposit
+references, everyone synchronizes, receivers pick up, everyone synchronizes
+again (so the mailbox can be reused).  NumPy array payloads are passed by
+reference — callers must not mutate a sent buffer afterwards, same as with
+a zero-copy MPI transport; the SPMD algorithms here always send freshly
+gathered arrays.
+
+NumPy kernels drop the GIL, so ranks' local phases genuinely overlap on
+multicore hosts, but this backend's purpose is *correct concurrent
+semantics* (races, deadlocks and ordering are real here), not peak speed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.runtime.api import Comm
+
+__all__ = ["ThreadComm", "run_spmd"]
+
+
+class _SharedState:
+    """State shared by the ``P`` ThreadComm instances of one world."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        # mailbox[src][dst] — written by src, read by dst, between barriers.
+        self.mailbox: List[List[Any]] = [[None] * size for _ in range(size)]
+        self.gather_slots: List[Any] = [None] * size
+        self.failures: List[BaseException] = []
+        self.failure_lock = threading.Lock()
+
+
+class ThreadComm(Comm):
+    """One rank's endpoint of an in-process SPMD world."""
+
+    def __init__(self, rank: int, state: _SharedState):
+        if not 0 <= rank < state.size:
+            raise ConfigurationError(f"rank {rank} outside world of {state.size}")
+        self.rank = rank
+        self.size = state.size
+        self._state = state
+
+    # -- primitives ---------------------------------------------------
+
+    def barrier(self) -> None:
+        try:
+            self._state.barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise CommunicationError(
+                "SPMD world collapsed: a peer rank failed (see its traceback)"
+            ) from exc
+
+    def alltoallv(
+        self, buckets: Sequence[Optional[np.ndarray]]
+    ) -> List[Optional[np.ndarray]]:
+        if len(buckets) != self.size:
+            raise CommunicationError(
+                f"rank {self.rank}: alltoallv needs {self.size} buckets, "
+                f"got {len(buckets)}"
+            )
+        row = self._state.mailbox[self.rank]
+        for q, payload in enumerate(buckets):
+            row[q] = payload
+        self.barrier()  # all deposits visible
+        received: List[Optional[np.ndarray]] = [
+            self._state.mailbox[p][self.rank] for p in range(self.size)
+        ]
+        self.barrier()  # all pickups done; mailbox reusable
+        return received
+
+    def allgather(self, value: Any) -> List[Any]:
+        self._state.gather_slots[self.rank] = value
+        self.barrier()
+        out = list(self._state.gather_slots)
+        self.barrier()
+        return out
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommunicationError(f"bcast root {root} outside world")
+        if self.rank == root:
+            self._state.gather_slots[root] = value
+        self.barrier()
+        out = self._state.gather_slots[root]
+        self.barrier()
+        return out
+
+
+def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> List[Any]:
+    """Run ``fn(comm)`` on ``size`` concurrent ranks; return the per-rank
+    results, indexed by rank.
+
+    If any rank raises, the world's barrier is broken (unblocking peers)
+    and the first failure is re-raised in the caller.
+    """
+    if size < 1:
+        raise ConfigurationError(f"need at least 1 rank, got {size}")
+    state = _SharedState(size)
+    results: List[Any] = [None] * size
+
+    def worker(rank: int) -> None:
+        comm = ThreadComm(rank, state)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+            with state.failure_lock:
+                state.failures.append(exc)
+            state.barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            state.barrier.abort()
+            raise CommunicationError(
+                f"SPMD rank {t.name} did not finish within {timeout}s "
+                "(deadlock or runaway work)"
+            )
+    if state.failures:
+        raise state.failures[0]
+    return results

@@ -1,0 +1,33 @@
+"""Parallel sorting algorithms on the simulated machine.
+
+* :mod:`repro.sorts.smart` — **Algorithm 1**, the paper's contribution:
+  smart-layout bitonic sort with the minimal number of remaps and
+  merge-based local computation.
+* :mod:`repro.sorts.cyclic_blocked` — the Cyclic-Blocked bitonic sort of
+  [CDMS94], the strongest prior baseline (§2.3, §5.3).
+* :mod:`repro.sorts.blocked_merge` — the Blocked-Merge bitonic sort of
+  [BLM+91]: fixed blocked layout, pairwise exchanges on remote steps (§5.3).
+* :mod:`repro.sorts.radix_parallel` / :mod:`repro.sorts.sample_parallel` —
+  the long-message parallel radix and sample sorts of [AISS95] used as
+  cross-algorithm comparators (§5.5, Figures 5.7/5.8).
+"""
+
+from repro.sorts.base import ParallelSort, SortResult, verify_sorted
+from repro.sorts.smart import SmartBitonicSort
+from repro.sorts.cyclic_blocked import CyclicBlockedBitonicSort
+from repro.sorts.blocked_merge import BlockedMergeBitonicSort
+from repro.sorts.radix_parallel import ParallelRadixSort
+from repro.sorts.sample_parallel import ParallelSampleSort
+from repro.sorts.column import ColumnSort
+
+__all__ = [
+    "ParallelSort",
+    "SortResult",
+    "verify_sorted",
+    "SmartBitonicSort",
+    "CyclicBlockedBitonicSort",
+    "BlockedMergeBitonicSort",
+    "ParallelRadixSort",
+    "ParallelSampleSort",
+    "ColumnSort",
+]

@@ -1,0 +1,114 @@
+"""The Blocked-Merge bitonic sort ([BLM+91], §5.3).
+
+The naive-but-honest baseline: a fixed blocked layout throughout.  The first
+``lg n`` stages are local radix sorts; in each later stage ``lg n + k`` the
+first ``k`` steps compare partners on *different* processors, so each step
+is a pairwise exchange — the two partners swap their full partitions and
+each keeps the min (or max) half — followed by a local radix sort for the
+stage's remaining ``lg n`` steps.
+
+Its communication profile under LogGP (§3.4.2/3.4.3): ``R = lgP(lgP+1)/2``
+communication steps, volume ``V = n lgP(lgP+1)/2`` (every remote step moves
+all ``n`` local keys) but only ``M = lgP(lgP+1)/2`` messages — the fewest of
+the three strategies, which is why it wins for very small ``P`` despite the
+huge volume (§3.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.layouts.blocked import blocked_layout
+from repro.localsort.radix import num_passes, radix_sort
+from repro.machine.message import Message
+from repro.machine.simulator import Machine
+from repro.sorts.base import ParallelSort
+from repro.utils.bits import bit_of, ilog2
+
+__all__ = ["BlockedMergeBitonicSort"]
+
+
+class BlockedMergeBitonicSort(ParallelSort):
+    """Fixed blocked layout with pairwise-exchange remote steps
+    ([BLM+91])."""
+
+    name = "blocked-merge"
+
+    def __init__(self, spec=None, *, mode: str = "long", key_bits: int = 32,
+                 radix_bits: int = 8):
+        if spec is None:
+            from repro.model.machines import MEIKO_CS2
+
+            spec = MEIKO_CS2
+        super().__init__(spec)
+        self.mode = mode
+        self.key_bits = key_bits
+        self.radix_bits = radix_bits
+        if mode != "long":
+            self.name = f"blocked-merge[{mode}-msg]"
+
+    def _run_parts(self, machine: Machine, parts: List[np.ndarray]) -> List[np.ndarray]:
+        P = machine.P
+        n = parts[0].size
+        costs = machine.spec.compute
+        passes = num_passes(self.key_bits, self.radix_bits)
+        lgn = ilog2(n) if n > 1 else 0
+        lgP = ilog2(P)
+        layout = blocked_layout(P * n, P)
+
+        # First lg n stages: alternating local radix sorts.
+        for r in range(P):
+            parts[r] = radix_sort(parts[r], ascending=(r % 2 == 0),
+                                  key_bits=self.key_bits, radix_bits=self.radix_bits)
+            machine.charge_compute(r, "local_sort", n, costs.radix_pass, passes=passes)
+
+        for k in range(1, lgP + 1):
+            stage = lgn + k
+            # Remote steps: lg n + k .. lg n + 1, each a pairwise exchange
+            # on processor bit (step - 1 - lg n).
+            for step in range(stage, lgn, -1):
+                proc_bit = step - 1 - lgn
+                self._pairwise_step(machine, parts, layout, stage, proc_bit, n)
+            if lgn > 0:
+                # Local steps lg n .. 1: the partition is bitonic and ends
+                # fully sorted — one radix sort per processor.
+                for r in range(P):
+                    base_abs = int(layout.to_absolute(r, 0))
+                    asc = bit_of(base_abs, stage) == 0
+                    parts[r] = radix_sort(parts[r], ascending=bool(asc),
+                                          key_bits=self.key_bits,
+                                          radix_bits=self.radix_bits)
+                    machine.charge_compute(r, "local_sort", n, costs.radix_pass,
+                                           passes=passes)
+        return parts
+
+    def _pairwise_step(self, machine, parts, layout, stage, proc_bit, n) -> None:
+        """One remote compare-exchange step: each processor ships its whole
+        partition to its partner and keeps the min/max half elementwise
+        (partners hold equal local addresses of the compared rows)."""
+        P = machine.P
+        costs = machine.spec.compute
+        pb = 1 << proc_bit
+        messages = [
+            Message(src=r, dst=r ^ pb, payload=parts[r]) for r in range(P)
+        ]
+        delivered = machine.exchange(messages, mode=self.mode)
+        new_parts: List[np.ndarray] = [None] * P  # type: ignore[list-item]
+        for r in range(P):
+            inbox = delivered.get(r, [])
+            if len(inbox) != 1:
+                raise RuntimeError(f"processor {r} expected exactly one message")
+            other = inbox[0].payload
+            mine = parts[r]
+            base_abs = int(layout.to_absolute(r, 0))
+            asc = bit_of(base_abs, stage) == 0
+            low_side = bit_of(r, proc_bit) == 0
+            if asc == low_side:
+                new_parts[r] = np.minimum(mine, other)
+            else:
+                new_parts[r] = np.maximum(mine, other)
+            machine.charge_compute(r, "compare_exchange", n, costs.compare_exchange)
+        parts[:] = new_parts
+        machine.barrier()

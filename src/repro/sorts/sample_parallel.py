@@ -1,0 +1,126 @@
+"""Long-message parallel sample sort ([AISS95], used in Figures 5.7/5.8).
+
+Splitter-based single-redistribution sort:
+
+1. every processor sorts its partition locally (radix sort);
+2. each contributes ``oversample`` evenly spaced samples; the combined
+   sample is (conceptually) gathered everywhere and ``P - 1`` splitters are
+   chosen from it;
+3. each processor cuts its sorted partition at the splitters (binary
+   search) and ships bucket ``i`` to processor ``i`` — one all-to-all of
+   essentially all data;
+4. each processor p-way merges the sorted runs it received.
+
+One data redistribution total — asymptotically the cheapest communication
+profile of the algorithms compared, which is why sample sort is "the clear
+winner" in Figures 5.7/5.8.  Its weakness, noted in §5.5, is sensitivity to
+the key distribution: skewed inputs produce unequal buckets, the makespan
+follows the most loaded processor, and bitonic sort (oblivious to the
+distribution) regains ground — the `examples/distribution_sensitivity.py`
+example demonstrates exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.localsort.merges import p_way_merge
+from repro.localsort.radix import num_passes, radix_sort
+from repro.machine.message import Message
+from repro.machine.simulator import Machine
+from repro.sorts.base import ParallelSort
+from repro.utils.bits import ilog2
+
+__all__ = ["ParallelSampleSort"]
+
+
+class ParallelSampleSort(ParallelSort):
+    """Splitter-based sample sort with long messages ([AISS95])."""
+
+    name = "sample"
+
+    def __init__(self, spec=None, *, oversample: int = 32, key_bits: int = 32,
+                 radix_bits: int = 8):
+        if spec is None:
+            from repro.model.machines import MEIKO_CS2
+
+            spec = MEIKO_CS2
+        super().__init__(spec)
+        self.oversample = oversample
+        self.key_bits = key_bits
+        self.radix_bits = radix_bits
+
+    def _run_parts(self, machine: Machine, parts: List[np.ndarray]) -> List[np.ndarray]:
+        P = machine.P
+        n = parts[0].size
+        costs = machine.spec.compute
+        passes = num_passes(self.key_bits, self.radix_bits)
+
+        # 1. Local sorts.
+        for r in range(P):
+            parts[r] = radix_sort(parts[r], key_bits=self.key_bits,
+                                  radix_bits=self.radix_bits)
+            machine.charge_compute(r, "local_sort", n, costs.radix_pass, passes=passes)
+        if P == 1:
+            return parts
+
+        # 2. Sampling: oversample evenly spaced keys per processor, gathered
+        # to everyone (small long messages), sorted, splitters picked.
+        s = min(self.oversample, n)
+        samples = []
+        for r in range(P):
+            idx = np.linspace(0, n - 1, s).astype(np.int64)
+            samples.append(parts[r][idx])
+        sample_msgs = [
+            Message(src=r, dst=q, payload=samples[r])
+            for r in range(P)
+            for q in range(P)
+            if q != r
+        ]
+        machine.exchange(sample_msgs, mode="long", count_remap=False)
+        pool = np.sort(np.concatenate(samples))
+        cut = np.linspace(0, pool.size, P + 1).astype(np.int64)[1:-1]
+        splitters = pool[np.maximum(cut - 1, 0)]
+        for r in range(P):
+            # Every processor sorts the sample pool and picks splitters.
+            machine.charge_compute(
+                r, "local_sort", pool.size, costs.radix_pass, passes=passes
+            )
+
+        # 3. Partition and redistribute (one all-to-all).
+        messages: List[Message] = []
+        kept: List[List[np.ndarray]] = [[] for _ in range(P)]
+        for r in range(P):
+            bounds = np.searchsorted(parts[r], splitters, side="right")
+            edges = np.concatenate([[0], bounds, [n]])
+            machine.charge_compute(r, "address", n, costs.address)
+            machine.charge_compute(r, "pack", n, costs.fused_pack)
+            for q in range(P):
+                bucket = parts[r][edges[q]: edges[q + 1]]
+                if bucket.size == 0:
+                    continue
+                if q == r:
+                    kept[r].append(bucket)
+                else:
+                    messages.append(Message(src=r, dst=q, payload=bucket))
+        delivered = machine.exchange(messages, mode="long") if messages else {}
+
+        # 4. p-way merge of the received sorted runs.
+        new_parts: List[np.ndarray] = []
+        lgP = ilog2(P)
+        for r in range(P):
+            runs = kept[r] + [m.payload for m in delivered.get(r, [])]
+            received = sum(run.size for run in runs)
+            if received:
+                merged = p_way_merge(runs)
+                machine.charge_compute(
+                    r, "merge", received, costs.merge, passes=max(lgP, 1),
+                    working_set=received,
+                )
+            else:
+                merged = np.empty(0, dtype=parts[r].dtype)
+            new_parts.append(merged)
+        machine.barrier()
+        return new_parts

@@ -1,0 +1,44 @@
+"""Analytical communication models (§3.4): the R/V/M closed forms for the
+three remapping strategies and the LogP/LogGP communication-time predictions
+built from them.  The simulator's measured counts must match these exactly
+(tested), and the time predictions are what EXPERIMENTS.md reports at the
+paper's full problem sizes, where executing the Python simulator would be
+wasteful."""
+
+from repro.theory.counts import CommunicationCounts, counts_for
+from repro.theory.logp_time import (
+    loggp_comm_time,
+    logp_comm_time,
+    predict_comm_per_key,
+)
+from repro.theory.crossover import best_algorithm, comm_time_table
+from repro.theory.predict import (
+    PredictedTime,
+    predict,
+    predict_blocked_merge,
+    predict_cyclic_blocked,
+    predict_smart,
+)
+from repro.theory.predict_comparators import (
+    crossover_keys_per_proc,
+    predict_radix,
+    predict_sample,
+)
+
+__all__ = [
+    "PredictedTime",
+    "predict",
+    "predict_smart",
+    "predict_cyclic_blocked",
+    "predict_blocked_merge",
+    "predict_radix",
+    "predict_sample",
+    "crossover_keys_per_proc",
+    "CommunicationCounts",
+    "counts_for",
+    "logp_comm_time",
+    "loggp_comm_time",
+    "predict_comm_per_key",
+    "best_algorithm",
+    "comm_time_table",
+]

@@ -1,0 +1,86 @@
+"""The R/V/M communication metrics of the three remap strategies (§3.4.2/3).
+
+============  ======================  ==========================  =================
+strategy      remaps R                volume V (elements/proc)    messages M /proc
+============  ======================  ==========================  =================
+blocked       ``lgP(lgP+1)/2``        ``n lgP(lgP+1)/2``          ``lgP(lgP+1)/2``
+cyclic-blkd   ``2 lgP``               ``2n(1-1/P) lgP``           ``2 lgP (P-1)``
+smart         ``ceil(lgP +            exact sum over the          exact sum
+              lgP(lgP+1)/(2 lgn))``   schedule's bit changes      ``sum(2**bc - 1)``
+============  ======================  ==========================  =================
+
+Smart is optimal on R and V; blocked sends the fewest messages (it ships
+whole partitions), which under LogGP makes it competitive for tiny ``P``
+(§3.4.3).  For smart, V and M are computed from the actual schedule (the
+closed-form approximation ``V = n lg P`` holds when
+``lgP(lgP+1)/2 <= lg n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.layouts.analysis import (
+    messages_blocked,
+    messages_cyclic_blocked,
+    remap_count_blocked,
+    remap_count_cyclic_blocked,
+    remap_count_smart,
+    volume_blocked,
+    volume_cyclic_blocked,
+)
+from repro.layouts.schedule import cyclic_blocked_schedule, smart_schedule
+from repro.utils.validation import require_sizes
+
+__all__ = ["CommunicationCounts", "counts_for", "STRATEGIES"]
+
+STRATEGIES = ("blocked", "cyclic-blocked", "smart")
+
+
+@dataclass(frozen=True)
+class CommunicationCounts:
+    """The three metrics for one (strategy, N, P) combination."""
+
+    strategy: str
+    N: int
+    P: int
+    remaps: int
+    volume: int
+    messages: int
+
+    @property
+    def n(self) -> int:
+        return self.N // self.P
+
+
+def counts_for(strategy: str, N: int, P: int) -> CommunicationCounts:
+    """Compute ``(R, V, M)`` for one strategy on an ``(N, P)`` problem."""
+    N, P, n = require_sizes(N, P)
+    if strategy == "blocked":
+        return CommunicationCounts(
+            strategy, N, P,
+            remaps=remap_count_blocked(P),
+            volume=volume_blocked(N, P),
+            messages=messages_blocked(P),
+        )
+    if strategy == "cyclic-blocked":
+        return CommunicationCounts(
+            strategy, N, P,
+            remaps=remap_count_cyclic_blocked(P),
+            volume=volume_cyclic_blocked(N, P),
+            messages=messages_cyclic_blocked(P),
+        )
+    if strategy == "smart":
+        if P == 1:
+            return CommunicationCounts(strategy, N, P, 0, 0, 0)
+        sched = smart_schedule(N, P)
+        return CommunicationCounts(
+            strategy, N, P,
+            remaps=remap_count_smart(N, P),
+            volume=sched.volume_per_processor(),
+            messages=sched.messages_per_processor(),
+        )
+    raise ConfigurationError(
+        f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+    )

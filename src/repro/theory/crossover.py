@@ -1,0 +1,55 @@
+"""Which remap strategy communicates fastest for a given machine and size?
+
+§3.4.3 closes with: "Given the model parameters L, o, g, G and P we can
+decide which algorithm is the best (communication-wise) for a given data
+size n, by plugging in all numbers in the above formulas and comparing the
+results."  This module is that sentence as code.  The interesting regimes:
+
+* tiny ``P`` (e.g. 2): the blocked strategy sends one huge message per step
+  and its minimal message count wins under LogGP;
+* everywhere else: smart wins (fewest remaps *and* least volume);
+* under pure LogP (short messages) smart wins on all three metrics
+  simultaneously, so it is unconditionally optimal (§3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.logp import LogGPParams
+from repro.theory.counts import STRATEGIES, counts_for
+from repro.theory.logp_time import loggp_comm_time, logp_comm_time
+
+__all__ = ["comm_time_table", "best_algorithm"]
+
+
+def comm_time_table(
+    N: int,
+    P: int,
+    net: LogGPParams,
+    long_messages: bool = True,
+    key_bytes: int = 4,
+) -> Dict[str, float]:
+    """Per-processor communication time (µs) of each strategy."""
+    out: Dict[str, float] = {}
+    for strat in STRATEGIES:
+        counts = counts_for(strat, N, P)
+        out[strat] = (
+            loggp_comm_time(counts, net, key_bytes)
+            if long_messages
+            else logp_comm_time(counts, net)
+        )
+    return out
+
+
+def best_algorithm(
+    N: int,
+    P: int,
+    net: LogGPParams,
+    long_messages: bool = True,
+    key_bytes: int = 4,
+) -> Tuple[str, Dict[str, float]]:
+    """The communication-fastest strategy and the full time table."""
+    table = comm_time_table(N, P, net, long_messages, key_bytes)
+    best = min(table, key=lambda k: table[k])
+    return best, table

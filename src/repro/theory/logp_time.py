@@ -1,0 +1,49 @@
+"""LogP / LogGP communication-time predictions (§3.4.2, §3.4.3).
+
+Given the ``(R, V, M)`` counts of a strategy and the machine's network
+parameters, the total per-processor communication time is
+
+* LogP (short messages):   ``T = (L + 2o - g') R + g' V``,   ``g' = max(g, 2o)``
+* LogGP (long messages):   ``T = (L + 2o) R + G (V_bytes - M) + g (M - R)``
+
+These are the expressions the paper derives; they are what the simulator's
+``transfer`` category accumulates (tested to agree), and they let the
+benchmark harness evaluate the paper's *full-size* experiments (1 M keys per
+processor) analytically.
+"""
+
+from __future__ import annotations
+
+from repro.model.logp import LogGPParams
+from repro.theory.counts import CommunicationCounts
+
+__all__ = ["logp_comm_time", "loggp_comm_time", "predict_comm_per_key"]
+
+
+def logp_comm_time(counts: CommunicationCounts, net: LogGPParams) -> float:
+    """Short-message communication time (µs per processor), §3.4.2."""
+    return net.logp.total_short_time(counts.remaps, counts.volume)
+
+
+def loggp_comm_time(
+    counts: CommunicationCounts, net: LogGPParams, key_bytes: int = 4
+) -> float:
+    """Long-message communication time (µs per processor), §3.4.3."""
+    return net.total_long_time(
+        counts.remaps, counts.volume * key_bytes, counts.messages
+    )
+
+
+def predict_comm_per_key(
+    counts: CommunicationCounts,
+    net: LogGPParams,
+    long_messages: bool = True,
+    key_bytes: int = 4,
+) -> float:
+    """Per-key communication time (µs), the unit of Tables 5.3/5.4."""
+    total = (
+        loggp_comm_time(counts, net, key_bytes)
+        if long_messages
+        else logp_comm_time(counts, net)
+    )
+    return total / counts.n if counts.n else 0.0

@@ -1,0 +1,111 @@
+"""Approximate time predictions for the comparator sorts (radix, sample).
+
+Unlike the bitonic algorithms — whose communication pattern is oblivious
+and therefore predictable exactly (:mod:`repro.theory.predict`) — radix and
+sample sort move data-dependent volumes.  Under the uniform-key workload of
+the evaluation the expectations are sharp (each pass of radix scatters a
+``(1 - 1/P)`` fraction; sample sort's buckets are balanced to within the
+oversampling error), so these predictors model the *expected* cost and are
+tested against simulation within a few percent on uniform keys.
+
+They exist to make Figure 5.7/5.8-style analysis (who wins where, and the
+bitonic-vs-radix crossover point) answerable analytically at any size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.machines import MEIKO_CS2, MachineSpec
+from repro.theory.predict import PredictedTime, _long_transfer
+from repro.utils.bits import ilog2
+from repro.utils.validation import require_sizes
+
+__all__ = ["predict_radix", "predict_sample", "crossover_keys_per_proc"]
+
+
+def predict_radix(
+    N: int,
+    P: int,
+    spec: MachineSpec = MEIKO_CS2,
+    *,
+    key_bits: int = 32,
+    radix_bits: int = 8,
+) -> PredictedTime:
+    """Expected busy time of the long-message parallel radix sort."""
+    N, P, n = require_sizes(N, P)
+    pt = PredictedTime("radix", N, P)
+    costs = spec.compute
+    passes = -(-key_bits // radix_bits)
+    radix = 1 << radix_bits
+    expected_sent = n - n // P  # uniform digits: keep 1/P per pass
+    for _ in range(passes):
+        # Bucketed local work stays in-cache ([AISS95]); see radix_parallel.
+        pt._add("local_sort", n * (costs.radix_pass + costs.radix_permute))
+        pt._add("address", n * costs.address)
+        pt._add("pack", n * costs.fused_pack)
+        pt._add("unpack", expected_sent * costs.unpack)
+        if P > 1:
+            # Histogram all-gather: P-1 messages of `radix` counters (8 B).
+            hist_bytes = radix * 8
+            net = spec.network
+            busy = net.o + (hist_bytes - 1) * net.G
+            pt._add("transfer",
+                    (P - 1) * (busy + net.o) + max(net.g - busy, 0.0) * (P - 2))
+            # Data all-to-all: P-1 messages of ~n/P keys.
+            pt._add("transfer", _long_transfer(spec, P, n // P, P - 1))
+    return pt
+
+
+def predict_sample(
+    N: int,
+    P: int,
+    spec: MachineSpec = MEIKO_CS2,
+    *,
+    oversample: int = 32,
+    key_bits: int = 32,
+    radix_bits: int = 8,
+) -> PredictedTime:
+    """Expected busy time of the long-message parallel sample sort
+    (balanced buckets assumed — uniform keys)."""
+    N, P, n = require_sizes(N, P)
+    pt = PredictedTime("sample", N, P)
+    costs = spec.compute
+    passes = -(-key_bits // radix_bits)
+    pt._add("local_sort", n * passes * costs.radix_pass * spec.cache.factor(n))
+    if P == 1:
+        return pt
+    net = spec.network
+    s = min(oversample, n)
+    # Sample gathering (P-1 messages of s keys) + sorting the pool.
+    busy = net.o + (s * spec.key_bytes - 1) * net.G
+    pt._add("transfer",
+            (P - 1) * (busy + net.o) + max(net.g - busy, 0.0) * (P - 2))
+    pt._add("local_sort",
+            s * P * passes * costs.radix_pass * spec.cache.factor(n))
+    # Partition + one balanced all-to-all.
+    pt._add("address", n * costs.address * spec.cache.factor(n))
+    pt._add("pack", n * costs.fused_pack * spec.cache.factor(n))
+    pt._add("transfer", _long_transfer(spec, P, n // P, P - 1))
+    # p-way merge of the received runs: lg P two-way levels.
+    pt._add("merge",
+            n * max(ilog2(P), 1) * costs.merge * spec.cache.factor(n))
+    return pt
+
+
+def crossover_keys_per_proc(
+    P: int,
+    spec: MachineSpec = MEIKO_CS2,
+    max_lgn: int = 24,
+) -> Optional[int]:
+    """The smallest power-of-two keys-per-processor at which the predicted
+    radix time drops below the predicted smart-bitonic time (the Figure 5.8
+    crossover), or ``None`` if bitonic wins through ``2**max_lgn``."""
+    from repro.theory.predict import predict_smart
+
+    for lgn in range(max(ilog2(P), 1) + 1, max_lgn + 1):
+        n = 1 << lgn
+        N = n * P
+        if predict_radix(N, P, spec).total < predict_smart(N, P, spec).total:
+            return n
+    return None

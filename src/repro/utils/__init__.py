@@ -1,0 +1,35 @@
+"""Low-level helpers shared across the package: bit manipulation, argument
+validation and workload (key-distribution) generators."""
+
+from repro.utils.bits import (
+    bit_field,
+    bit_of,
+    bit_reverse,
+    deposit_field,
+    ilog2,
+    is_power_of_two,
+    mask,
+    popcount,
+)
+from repro.utils.validation import (
+    require,
+    require_power_of_two,
+    require_sizes,
+)
+from repro.utils.rng import KeyGenerator, make_keys
+
+__all__ = [
+    "bit_field",
+    "bit_of",
+    "bit_reverse",
+    "deposit_field",
+    "ilog2",
+    "is_power_of_two",
+    "mask",
+    "popcount",
+    "require",
+    "require_power_of_two",
+    "require_sizes",
+    "KeyGenerator",
+    "make_keys",
+]

@@ -1,0 +1,130 @@
+"""Bit-manipulation primitives used by address translation.
+
+The whole paper is phrased in terms of bit patterns of *absolute addresses*
+(the row of a node in the bitonic sorting network) and *relative addresses*
+(processor number concatenated with a local address).  Every layout in
+:mod:`repro.layouts` is ultimately a permutation of bit fields, so these
+helpers are the foundation of the package.
+
+Conventions (see DESIGN.md §5):
+
+* bits are 0-indexed from the least-significant bit;
+* ``bit_field(x, lo, width)`` extracts ``width`` bits starting at bit ``lo``;
+* all helpers accept either Python ints or NumPy integer arrays and are fully
+  vectorized in the latter case.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+IntLike = TypeVar("IntLike", int, np.ndarray)
+_Int = Union[int, np.ndarray]
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "mask",
+    "bit_of",
+    "bit_field",
+    "deposit_field",
+    "bit_reverse",
+    "popcount",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer base-2 logarithm of a power of two.
+
+    Raises :class:`ConfigurationError` if ``x`` is not a positive power of
+    two, because all sizes in the bitonic sorting network must be.
+    """
+    if not is_power_of_two(x):
+        raise ConfigurationError(f"expected a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def mask(width: int) -> int:
+    """A mask of ``width`` low bits, e.g. ``mask(3) == 0b111``.
+
+    ``mask(0) == 0`` so callers can use it for empty fields without special
+    cases.
+    """
+    if width < 0:
+        raise ConfigurationError(f"mask width must be >= 0, got {width}")
+    return (1 << width) - 1
+
+
+def bit_of(x: IntLike, i: int) -> IntLike:
+    """Bit ``i`` of ``x`` (0 or 1).  Vectorized over NumPy arrays."""
+    return (x >> i) & 1
+
+
+def bit_field(x: IntLike, lo: int, width: int) -> IntLike:
+    """Extract ``width`` bits of ``x`` starting at bit ``lo``.
+
+    ``bit_field(0b10110, 1, 3) == 0b011``.
+    """
+    if lo < 0:
+        raise ConfigurationError(f"bit_field lo must be >= 0, got {lo}")
+    return (x >> lo) & mask(width)
+
+
+def deposit_field(x: IntLike, value: _Int, lo: int, width: int) -> IntLike:
+    """Return ``x`` with bits ``lo .. lo+width-1`` replaced by ``value``.
+
+    ``value`` is masked to ``width`` bits first, so stray high bits in the
+    incoming value cannot corrupt neighbouring fields.
+    """
+    if lo < 0:
+        raise ConfigurationError(f"deposit_field lo must be >= 0, got {lo}")
+    m = mask(width)
+    if isinstance(x, np.ndarray):
+        cleared = x & ~np.array(m << lo, dtype=x.dtype)
+        return cleared | ((np.asarray(value, dtype=x.dtype) & m) << lo)
+    return (x & ~(m << lo)) | ((value & m) << lo)
+
+
+def bit_reverse(x: IntLike, width: int) -> IntLike:
+    """Reverse the low ``width`` bits of ``x``.
+
+    Used by tests that cross-check butterfly index arithmetic; vectorized.
+    """
+    if isinstance(x, np.ndarray):
+        out = np.zeros_like(x)
+        v = x.copy()
+        for _ in range(width):
+            out = (out << 1) | (v & 1)
+            v >>= 1
+        return out
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out
+
+
+def popcount(x: IntLike) -> IntLike:
+    """Number of set bits.  Vectorized over NumPy arrays.
+
+    The number of bits that *differ* between two address patterns —
+    ``popcount(a ^ b)`` — is exactly the paper's ``N_BitsChanged`` quantity
+    (Lemma 3), so this is used to verify the closed forms empirically.
+    """
+    if isinstance(x, np.ndarray):
+        v = x.astype(np.uint64)
+        count = np.zeros_like(v)
+        while np.any(v):
+            count += v & 1
+            v >>= np.uint64(1)
+        return count.astype(np.int64)
+    return int(x).bit_count()

@@ -1,0 +1,109 @@
+"""Workload generators: the key distributions used in the evaluation.
+
+The paper's experiments use "random, uniformly-distributed 32-bit keys"
+(actually 31-bit: values in ``[0, 2**31)``, footnote 1 of Chapter 5).  The
+comparison with sample sort additionally motivates low-entropy inputs: sample
+sort degrades on skewed key distributions while bitonic sort is oblivious to
+the input distribution (§5.5).  We therefore provide a small family of
+generators so the benches can exercise both regimes.
+
+All generators return ``uint32`` arrays (4 bytes per key — the byte count
+used for communication-volume accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KeyGenerator", "make_keys", "DISTRIBUTIONS"]
+
+KEY_DTYPE = np.uint32
+#: Upper bound (exclusive) of generated key values — the paper's RNG produced
+#: numbers in ``[0, 2**31)``.
+KEY_RANGE = 1 << 31
+
+
+def _uniform(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.integers(0, KEY_RANGE, size=size, dtype=np.uint32)
+
+
+def _low_entropy(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Keys drawn from only 16 distinct values — heavy duplication.
+
+    This is the adversarial regime for sample sort's splitter selection and
+    the duplicate-heavy regime for Algorithm 2's linear fallback.
+    """
+    values = rng.integers(0, KEY_RANGE, size=16, dtype=np.uint32)
+    return values[rng.integers(0, 16, size=size)]
+
+
+def _zero_entropy(rng: np.random.Generator, size: int) -> np.ndarray:
+    """All keys equal — the degenerate extreme of low entropy."""
+    return np.full(size, int(rng.integers(0, KEY_RANGE)), dtype=np.uint32)
+
+
+def _gaussian(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Keys concentrated around the middle of the range (clipped normal)."""
+    center = KEY_RANGE // 2
+    spread = KEY_RANGE // 16
+    raw = rng.normal(center, spread, size=size)
+    return np.clip(raw, 0, KEY_RANGE - 1).astype(np.uint32)
+
+
+def _sorted_ascending(rng: np.random.Generator, size: int) -> np.ndarray:
+    return np.sort(_uniform(rng, size))
+
+
+def _sorted_descending(rng: np.random.Generator, size: int) -> np.ndarray:
+    return np.sort(_uniform(rng, size))[::-1].copy()
+
+
+DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "uniform": _uniform,
+    "low-entropy": _low_entropy,
+    "zero-entropy": _zero_entropy,
+    "gaussian": _gaussian,
+    "sorted": _sorted_ascending,
+    "reverse-sorted": _sorted_descending,
+}
+
+
+@dataclass(frozen=True)
+class KeyGenerator:
+    """A reproducible source of benchmark keys.
+
+    Parameters
+    ----------
+    distribution:
+        One of :data:`DISTRIBUTIONS` (``"uniform"`` matches the paper).
+    seed:
+        Seed for :class:`numpy.random.Generator`; identical seeds produce
+        identical workloads so experiments are exactly repeatable.
+    """
+
+    distribution: str = "uniform"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown key distribution {self.distribution!r}; "
+                f"choose from {sorted(DISTRIBUTIONS)}"
+            )
+
+    def generate(self, size: int) -> np.ndarray:
+        """Generate ``size`` keys as a ``uint32`` array."""
+        if size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {size}")
+        rng = np.random.default_rng(self.seed)
+        return DISTRIBUTIONS[self.distribution](rng, size)
+
+
+def make_keys(size: int, *, distribution: str = "uniform", seed: int = 0) -> np.ndarray:
+    """Convenience wrapper: ``KeyGenerator(distribution, seed).generate(size)``."""
+    return KeyGenerator(distribution=distribution, seed=seed).generate(size)

@@ -1,0 +1,25 @@
+"""Plain-text renderings of the paper's diagrams.
+
+:func:`render_network` draws the bitonic sorting network column by column
+(Figure 2.4); :func:`render_communication` shades each compare-exchange
+step local/remote under a given data layout (Figures 2.5/2.6);
+:func:`render_schedule_map` draws a remap schedule across the network's
+communication region (Figure 3.3).  All output is ASCII so it works in
+docstrings, terminals and test assertions alike.
+"""
+
+from repro.viz.gantt import render_gantt
+from repro.viz.network import (
+    render_communication,
+    render_network,
+    render_schedule_map,
+    step_locality,
+)
+
+__all__ = [
+    "render_network",
+    "render_communication",
+    "render_schedule_map",
+    "render_gantt",
+    "step_locality",
+]

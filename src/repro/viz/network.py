@@ -1,0 +1,129 @@
+"""ASCII renderings of the bitonic sorting network and its layouts.
+
+The paper communicates its core ideas through diagrams: the butterfly
+structure of the network (Figure 2.4), which arcs are remote under the
+blocked/cyclic layouts (Figures 2.5/2.6), and where the smart schedule
+remaps (Figure 3.3).  These functions reproduce those diagrams as text.
+
+A network column is drawn as one character per row:
+
+* ``|`` — this row is not compared at this step (never happens in a full
+  bitonic network; kept for partial renderings);
+* ``m`` / ``M`` — the row receives the minimum / maximum of its pair;
+* upper-case (``M``) vs lower-case encodes min/max exactly as the paper's
+  shaded/unshaded nodes do.
+
+In communication renderings, a step's marker is replaced by ``*`` when the
+compared pair spans two processors (a remote arc — the paper's black arcs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.layouts.base import BitFieldLayout
+from repro.layouts.schedule import RemapSchedule
+from repro.network.addressing import compare_bit, is_ascending, network_columns
+from repro.utils.bits import bit_of, ilog2
+from repro.utils.validation import require_power_of_two
+
+__all__ = [
+    "render_network",
+    "render_communication",
+    "render_schedule_map",
+    "step_locality",
+]
+
+
+def _column_markers(N: int, stage: int, step: int) -> List[str]:
+    """Per-row min/max markers for one network column."""
+    cb = compare_bit(step)
+    out = []
+    for r in range(N):
+        asc = bool(is_ascending(r, stage))
+        low = bit_of(r, cb) == 0
+        takes_min = asc == low
+        out.append("m" if takes_min else "M")
+    return out
+
+
+def step_locality(layout: BitFieldLayout, step: int) -> bool:
+    """True iff ``step`` executes without communication under ``layout``
+    (the compared absolute bit is a local-address bit)."""
+    return layout.step_is_local(step)
+
+
+def render_network(N: int, max_rows: int = 32) -> str:
+    """Draw the full bitonic sorting network for ``N`` rows (Figure 2.4).
+
+    Columns are labelled ``stage.step``; each column shows, for every row,
+    whether it keeps the minimum (``m``) or maximum (``M``) of its pair.
+    """
+    require_power_of_two(N, "N")
+    if N > max_rows:
+        raise ValueError(
+            f"refusing to draw {N} rows (> {max_rows}); pass max_rows to override"
+        )
+    cols = list(network_columns(N))
+    header = ["row"] + [f"{s}.{j}" for s, j in cols]
+    widths = [max(3, len(h)) for h in header]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    markers = [_column_markers(N, s, j) for s, j in cols]
+    for r in range(N):
+        cells = [str(r)] + [m[r] for m in markers]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_communication(
+    layout: BitFieldLayout, max_rows: int = 32
+) -> str:
+    """Draw which steps are local (``.``) vs remote (``*``) under a fixed
+    ``layout``, one cell per (stage, step) — the content of Figures 2.5/2.6
+    reduced to its communication pattern.
+
+    Each row of the rendering is one stage; remote steps are exactly those
+    comparing an absolute bit held in the processor part of the address.
+    """
+    N = layout.N
+    lgN = ilog2(N)
+    lines = [
+        f"{layout.name} layout, N={N}, P={layout.P}  "
+        f"(. = local step, * = remote step)"
+    ]
+    lines.append("stage  steps (stage .. 1)")
+    for stage in range(1, lgN + 1):
+        cells = []
+        for step in range(stage, 0, -1):
+            cells.append("." if step_locality(layout, step) else "*")
+        lines.append(f"{stage:>5}  {' '.join(cells)}")
+    remote = sum(
+        0 if step_locality(layout, step) else 1
+        for stage in range(1, lgN + 1)
+        for step in range(stage, 0, -1)
+    )
+    lines.append(f"remote steps: {remote} of {lgN * (lgN + 1) // 2}")
+    return "\n".join(lines)
+
+
+def render_schedule_map(schedule: RemapSchedule) -> str:
+    """Draw a remap schedule across the communication region (Figure 3.3):
+    one row per stage, one cell per step, with ``R<i>`` marking the column
+    at which remap ``i`` occurs and ``.`` marking locally executed steps."""
+    lgN = ilog2(schedule.N)
+    lgn = ilog2(schedule.N // schedule.P)
+    remap_at = {}
+    for i, ph in enumerate(schedule.phases):
+        remap_at[ph.columns[0]] = i
+    lines = [
+        f"smart schedule map, N={schedule.N}, P={schedule.P} "
+        f"({schedule.num_remaps} remaps; stages 1..{lgn} run under the "
+        f"initial blocked layout)"
+    ]
+    for stage in range(lgn + 1, lgN + 1):
+        cells = []
+        for step in range(stage, 0, -1):
+            i = remap_at.get((stage, step))
+            cells.append(f"R{i}" if i is not None else " .")
+        lines.append(f"stage {stage:>2}: " + " ".join(cells))
+    return "\n".join(lines)

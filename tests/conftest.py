@@ -1,0 +1,32 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the property tests run vectorized NumPy per
+# example, so a smaller example count keeps the suite fast while still
+# exploring the space well.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sizes",
+        action="store_true",
+        default=False,
+        help="run size-sweep tests at the paper's full problem sizes",
+    )

@@ -1,0 +1,94 @@
+"""Tests for network node addressing and the direction rule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.addressing import (
+    NetworkShape,
+    compare_bit,
+    direction_bit,
+    is_ascending,
+    network_columns,
+    partner,
+    steps_of_stage,
+    total_steps,
+)
+
+
+class TestNetworkShape:
+    def test_counts(self):
+        shape = NetworkShape(16)
+        assert shape.num_stages == 4
+        assert shape.num_steps == 10
+        assert shape.comparators_per_step == 8
+
+    def test_columns_order(self):
+        cols = list(NetworkShape(8).columns())
+        assert cols == [(1, 1), (2, 2), (2, 1), (3, 3), (3, 2), (3, 1)]
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 12])
+    def test_rejects_bad_sizes(self, bad):
+        with pytest.raises(ConfigurationError):
+            NetworkShape(bad)
+
+
+class TestStepsAndColumns:
+    def test_steps_of_stage_descend(self):
+        assert list(steps_of_stage(4)) == [4, 3, 2, 1]
+
+    def test_rejects_stage_zero(self):
+        with pytest.raises(ConfigurationError):
+            steps_of_stage(0)
+
+    def test_total_steps(self):
+        assert total_steps(2) == 1
+        assert total_steps(256) == 8 * 9 // 2
+
+    def test_network_columns_matches_shape(self):
+        assert len(list(network_columns(64))) == total_steps(64)
+
+
+class TestCompareAndPartner:
+    def test_compare_bit(self):
+        assert compare_bit(1) == 0
+        assert compare_bit(5) == 4
+
+    def test_compare_bit_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            compare_bit(0)
+
+    def test_partner_flips_one_bit(self):
+        assert partner(0b1010, 2) == 0b1000
+        assert partner(partner(13, 3), 3) == 13
+
+    def test_partner_vectorized(self):
+        rows = np.arange(16)
+        np.testing.assert_array_equal(partner(rows, 1), rows ^ 1)
+
+
+class TestDirection:
+    def test_direction_bit(self):
+        assert direction_bit(3) == 3
+
+    def test_final_stage_all_ascending(self):
+        # Stage lg N uses bit lg N, which is 0 for every row < N.
+        rows = np.arange(32)
+        assert is_ascending(rows, 5).all()
+
+    def test_alternating_blocks(self):
+        # Stage 1: blocks of 4 rows alternate direction by bit 1.
+        assert is_ascending(0, 1) and is_ascending(1, 1)
+        assert not is_ascending(2, 1) and not is_ascending(3, 1)
+        assert is_ascending(4, 1)
+
+    def test_pair_agrees_on_direction(self):
+        # Partners at step j differ in bit j-1 < stage, so the direction
+        # bit (stage) is identical for both.
+        for stage in range(1, 6):
+            for step in range(1, stage + 1):
+                rows = np.arange(64)
+                np.testing.assert_array_equal(
+                    is_ascending(rows, stage),
+                    is_ascending(partner(rows, step), stage),
+                )

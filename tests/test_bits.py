@@ -1,0 +1,134 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import (
+    bit_field,
+    bit_of,
+    bit_reverse,
+    deposit_field,
+    ilog2,
+    is_power_of_two,
+    mask,
+    popcount,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for e in range(20):
+            assert is_power_of_two(1 << e)
+
+    def test_non_powers(self):
+        for x in (0, -1, -8, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(x)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for e in range(25):
+            assert ilog2(1 << e) == e
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigurationError):
+            ilog2(bad)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(10) == 1023
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+
+class TestBitOf:
+    def test_scalar(self):
+        assert bit_of(0b1010, 1) == 1
+        assert bit_of(0b1010, 0) == 0
+        assert bit_of(0b1010, 3) == 1
+
+    def test_vectorized(self):
+        a = np.array([0b00, 0b01, 0b10, 0b11])
+        np.testing.assert_array_equal(bit_of(a, 0), [0, 1, 0, 1])
+        np.testing.assert_array_equal(bit_of(a, 1), [0, 0, 1, 1])
+
+
+class TestBitField:
+    def test_extract(self):
+        assert bit_field(0b10110, 1, 3) == 0b011
+        assert bit_field(0b10110, 0, 5) == 0b10110
+        assert bit_field(0xFF, 4, 4) == 0xF
+
+    def test_zero_width(self):
+        assert bit_field(0xFF, 3, 0) == 0
+
+    def test_negative_lo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_field(1, -1, 2)
+
+    def test_vectorized(self):
+        a = np.arange(16)
+        np.testing.assert_array_equal(bit_field(a, 1, 2), (a >> 1) & 3)
+
+
+class TestDepositField:
+    def test_roundtrip_with_extract(self):
+        x = 0b101010
+        y = deposit_field(x, 0b11, 1, 2)
+        assert bit_field(y, 1, 2) == 0b11
+        # Other bits untouched.
+        assert y & ~(0b11 << 1) == x & ~(0b11 << 1)
+
+    def test_masks_stray_high_bits(self):
+        assert deposit_field(0, 0b1111, 0, 2) == 0b11
+
+    def test_vectorized(self):
+        a = np.zeros(4, dtype=np.int64)
+        out = deposit_field(a, np.array([0, 1, 2, 3]), 2, 2)
+        np.testing.assert_array_equal(out, [0, 4, 8, 12])
+
+    @given(
+        st.integers(0, 2**20 - 1),
+        st.integers(0, 2**6 - 1),
+        st.integers(0, 14),
+        st.integers(0, 6),
+    )
+    def test_extract_after_deposit(self, x, v, lo, width):
+        assert bit_field(deposit_field(x, v, lo, width), lo, width) == v & mask(width)
+
+
+class TestBitReverse:
+    def test_known(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 12))
+    def test_involution(self, x, width):
+        x &= mask(width)
+        assert bit_reverse(bit_reverse(x, width), width) == x
+
+    def test_vectorized_matches_scalar(self):
+        a = np.arange(64)
+        out = bit_reverse(a, 6)
+        for i in range(64):
+            assert out[i] == bit_reverse(i, 6)
+
+
+class TestPopcount:
+    @given(st.integers(0, 2**40))
+    def test_matches_python(self, x):
+        assert popcount(x) == x.bit_count()
+
+    def test_vectorized(self):
+        a = np.array([0, 1, 3, 7, 255, 2**31], dtype=np.int64)
+        np.testing.assert_array_equal(popcount(a), [0, 1, 2, 3, 8, 1])

@@ -1,0 +1,72 @@
+"""Tests for column sort (Ch. 6 related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.sorts import ColumnSort, SmartBitonicSort
+from repro.utils.rng import make_keys
+
+
+class TestColumnSortCorrectness:
+    @pytest.mark.parametrize("P,n", [(2, 8), (2, 64), (4, 32), (4, 256),
+                                     (8, 128), (16, 512)])
+    def test_sorts(self, P, n):
+        ColumnSort().run(make_keys(P * n, seed=P * n), P, verify=True)
+
+    @pytest.mark.parametrize("dist", ["low-entropy", "zero-entropy", "sorted",
+                                      "reverse-sorted"])
+    def test_adversarial_distributions(self, dist):
+        keys = make_keys(8 * 128, seed=4, distribution=dist)
+        ColumnSort().run(keys, 8, verify=True)
+
+    def test_single_processor(self):
+        ColumnSort().run(make_keys(64, seed=1), 1, verify=True)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15)
+    def test_property_random(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 1 << 31, 4 * 64, dtype=np.uint32)
+        ColumnSort().run(keys, 4, verify=True)
+
+
+class TestColumnSortConstraints:
+    def test_rejects_r_too_small(self):
+        """Leighton's r >= 2(s-1)**2 condition (the paper's 'N >= P**3')."""
+        with pytest.raises(ScheduleError, match="2\\(s-1\\)\\*\\*2"):
+            ColumnSort().run(make_keys(16 * 64, seed=1), 16)  # n=64 < 450
+
+    def test_boundary_sizes(self):
+        # P=4 needs r >= 18 -> r=32 works, r=16 does not.
+        ColumnSort().run(make_keys(4 * 32, seed=2), 4, verify=True)
+        with pytest.raises(ScheduleError):
+            ColumnSort().run(make_keys(4 * 16, seed=2), 4)
+
+
+class TestColumnSortStructure:
+    def test_four_communication_phases(self):
+        """Two remaps (transpose/untranspose) + two one-to-one shifts."""
+        res = ColumnSort().run(make_keys(8 * 128, seed=3), 8)
+        assert res.stats.remaps == 4
+
+    def test_transpose_volume_is_all_to_all(self):
+        """Each transpose keeps only n/P per processor; shifts move n/2.
+        V = 2 n (1 - 1/P) + 2 * n/2 (max; the last processor sends only
+        one half-column but receives both)."""
+        P, n = 8, 256
+        res = ColumnSort().run(make_keys(P * n, seed=5), P)
+        expect = 2 * (n - n // P) + 2 * (n // 2)
+        assert res.stats.volume_per_proc == expect
+
+    def test_comparison_with_bitonic(self):
+        """Column sort does 4+ local sorts; with radix-sort local phases it
+        is computation-heavier than the smart bitonic sort at these sizes
+        (CDMS94 found column sort competitive only at huge n/P)."""
+        P, n = 8, 2048
+        keys = make_keys(P * n, seed=6)
+        col = ColumnSort().run(keys, P).stats
+        smart = SmartBitonicSort().run(keys, P).stats
+        assert col.computation_per_key > smart.computation_per_key

@@ -1,0 +1,73 @@
+"""The exception hierarchy: catchability contracts.
+
+Downstream code relies on two properties: every library error derives from
+:class:`ReproError`, and configuration mistakes are also ``ValueError``
+(so generic argument-validation handlers catch them) while runtime
+failures are ``RuntimeError`` / ``AssertionError`` respectively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    LayoutError,
+    ReproError,
+    ScheduleError,
+    SizeError,
+    VerificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, SizeError, LayoutError, ScheduleError,
+        CommunicationError, VerificationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, SizeError, LayoutError, ScheduleError,
+    ])
+    def test_config_errors_are_value_errors(self, exc):
+        assert issubclass(exc, ValueError)
+
+    def test_communication_is_runtime_error(self):
+        assert issubclass(CommunicationError, RuntimeError)
+
+    def test_verification_is_assertion_error(self):
+        assert issubclass(VerificationError, AssertionError)
+
+
+class TestOneHandlerCatchesEverything:
+    def test_size_error_caught_as_repro_error(self):
+        from repro.sorts import SmartBitonicSort
+
+        with pytest.raises(ReproError):
+            SmartBitonicSort().run(np.arange(100, dtype=np.uint32), 4)
+
+    def test_schedule_error_caught_as_repro_error(self):
+        from repro.layouts import smart_schedule
+
+        with pytest.raises(ReproError):
+            smart_schedule(8, 8)
+
+    def test_layout_error_caught_as_repro_error(self):
+        from repro.layouts import blocked_layout, bits_changed
+
+        with pytest.raises(ReproError):
+            bits_changed(blocked_layout(64, 4), blocked_layout(128, 8))
+
+    def test_communication_error_caught_as_repro_error(self):
+        from repro.machine import Machine, Message
+
+        with pytest.raises(ReproError):
+            Machine(2).exchange([Message(0, 0, np.arange(3))])
+
+    def test_verification_error_caught_as_repro_error(self):
+        from repro.sorts.base import verify_sorted
+
+        with pytest.raises(ReproError):
+            verify_sorted(np.array([2, 1]), np.array([2, 1]), "broken")

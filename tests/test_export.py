@@ -1,0 +1,40 @@
+"""Tests for the JSON export of results and statistics."""
+
+import json
+
+from repro.harness import run_experiment
+from repro.harness.export import dump_result, result_to_dict, stats_to_dict
+from repro.sorts import SmartBitonicSort
+from repro.utils.rng import make_keys
+
+
+class TestStatsExport:
+    def test_roundtrips_through_json(self):
+        stats = SmartBitonicSort().run(make_keys(512, seed=1), 4).stats
+        d = stats_to_dict(stats)
+        loaded = json.loads(json.dumps(d))
+        assert loaded["P"] == 4 and loaded["n"] == 128
+        assert loaded["remaps"] == stats.remaps
+        assert set(loaded["breakdown_us"]) >= {"transfer", "merge", "local_sort"}
+
+    def test_derived_fields_consistent(self):
+        stats = SmartBitonicSort().run(make_keys(512, seed=2), 4).stats
+        d = stats_to_dict(stats)
+        assert d["us_per_key"] * d["n"] == d["elapsed_us"]
+        assert d["seconds_total"] == d["elapsed_us"] * 1e-6
+
+
+class TestResultExport:
+    def test_contains_paper_rows(self):
+        res = run_experiment("table5.1", sizes=(2,), P=8)
+        d = result_to_dict(res)
+        assert d["ident"] == "table5.1"
+        assert d["paper_rows"]["128"] == [1.07, 0.68, 0.52]
+        assert list(d["rows"]) == ["2"]
+
+    def test_dump_to_file(self, tmp_path):
+        res = run_experiment("bitonic-min")
+        out = tmp_path / "res.json"
+        text = dump_result(res, out)
+        assert json.loads(out.read_text()) == json.loads(text)
+        assert json.loads(text)["unit"] == "comparisons"

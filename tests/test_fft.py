@@ -1,0 +1,147 @@
+"""Tests for the FFT generalization of the remap framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError, SizeError, VerificationError
+from repro.fft import (
+    ParallelFFT,
+    bit_reverse_permute,
+    butterfly_schedule,
+    fft_reference,
+    window_layout,
+)
+from repro.layouts import blocked_layout, cyclic_layout
+
+
+def _signal(rng, n):
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestSequentialFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 1024])
+    def test_matches_numpy(self, n, rng):
+        x = _signal(rng, n)
+        np.testing.assert_allclose(fft_reference(x), np.fft.fft(x), rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_inverse(self, rng):
+        x = _signal(rng, 64)
+        np.testing.assert_allclose(fft_reference(x, inverse=True),
+                                   np.fft.ifft(x) * 64, rtol=1e-9, atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        x = _signal(rng, 128)
+        back = fft_reference(fft_reference(x), inverse=True) / 128
+        np.testing.assert_allclose(back, x, rtol=1e-9, atol=1e-9)
+
+    def test_real_signal_symmetry(self, rng):
+        x = rng.normal(size=32).astype(np.complex128)
+        X = fft_reference(x)
+        np.testing.assert_allclose(X[1:], np.conj(X[1:][::-1]), rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SizeError):
+            fft_reference(np.zeros(12, dtype=complex))
+
+    def test_bit_reverse_permute_involution(self, rng):
+        x = _signal(rng, 64)
+        np.testing.assert_array_equal(bit_reverse_permute(bit_reverse_permute(x)), x)
+
+
+class TestWindowLayouts:
+    def test_window_zero_is_blocked(self):
+        assert window_layout(256, 8, 0) == blocked_layout(256, 8)
+
+    def test_window_lgp_is_cyclic(self):
+        assert window_layout(256, 8, 3) == cyclic_layout(256, 8)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ScheduleError):
+            window_layout(256, 8, 6)
+
+    def test_schedule_covers_each_level_once(self):
+        for N, P in [(64, 4), (256, 16), (1 << 12, 8), (64, 32)]:
+            phases = butterfly_schedule(N, P)
+            levels = [lv for _, rng_ in phases for lv in rng_]
+            assert levels == list(range(1, N.bit_length()))
+            # Every phase's levels are local under its layout.
+            for layout, rng_ in phases:
+                for lv in rng_:
+                    assert layout.local_bit_of_abs_bit(lv - 1) is not None
+
+    def test_one_remap_when_n_ge_p(self):
+        """[CKP+93]: n >= P needs exactly one blocked->cyclic remap."""
+        phases = butterfly_schedule(1 << 12, 16)
+        assert len(phases) == 2
+        assert phases[0][0] == blocked_layout(1 << 12, 16)
+        assert phases[1][0] == cyclic_layout(1 << 12, 16)
+
+    def test_sliding_window_when_n_lt_p(self):
+        """n < P: ceil(lgP/lgn) remaps, generalizing the cyclic-blocked
+        restriction away exactly as the smart layout does for sorting."""
+        phases = butterfly_schedule(64, 32)  # lg n = 1, lg P = 5
+        assert len(phases) - 1 == 5
+
+    def test_single_processor(self):
+        phases = butterfly_schedule(64, 1)
+        assert len(phases) == 1
+
+
+class TestParallelFFT:
+    @pytest.mark.parametrize("P,n", [(2, 32), (4, 64), (8, 16), (16, 64)])
+    def test_matches_numpy(self, P, n, rng):
+        x = _signal(rng, P * n)
+        ParallelFFT().run(x, P, verify=True)
+
+    def test_inverse_transform(self, rng):
+        x = _signal(rng, 256)
+        ParallelFFT(inverse=True).run(x, 8, verify=True)
+
+    def test_n_less_than_p(self, rng):
+        x = _signal(rng, 64)
+        ParallelFFT().run(x, 32, verify=True)
+
+    def test_single_processor(self, rng):
+        x = _signal(rng, 128)
+        ParallelFFT().run(x, 1, verify=True)
+
+    def test_remap_count(self, rng):
+        x = _signal(rng, 1 << 12)
+        res = ParallelFFT().run(x, 16)
+        assert res.stats.remaps == 1  # n >= P: the classic single remap
+        res2 = ParallelFFT().run(_signal(rng, 128), 32)  # lg n = 2, lg P = 5
+        assert res2.stats.remaps == 3
+
+    def test_volume_counted_in_points(self, rng):
+        """One all-to-all remap moves n - n/P points per processor."""
+        P, n = 8, 512
+        res = ParallelFFT().run(_signal(rng, P * n), P)
+        assert res.stats.volume_per_proc == n - n // P
+
+    def test_verify_catches_corruption(self, rng):
+        x = _signal(rng, 64)
+        res = ParallelFFT().run(x, 4)
+        res.output[3] += 1.0
+        with pytest.raises(VerificationError):
+            res.verify(x)
+
+    @given(st.integers(0, 10_000))
+    def test_property_random_signals(self, seed):
+        rng = np.random.default_rng(seed)
+        P = int(rng.choice([2, 4, 8]))
+        n = int(rng.choice([8, 32]))
+        x = _signal(rng, P * n)
+        ParallelFFT().run(x, P, verify=True)
+
+    def test_faster_than_naive_layout(self, rng):
+        """The windowed FFT's communication beats executing every level
+        under the blocked layout with pairwise exchanges would (sanity on
+        the cost accounting: 1 remap of (1-1/P)n points vs lg P exchanges
+        of n points)."""
+        P, n = 16, 1024
+        res = ParallelFFT().run(_signal(rng, P * n), P)
+        assert res.stats.volume_per_proc < n * 4  # lgP * n would be 4096... times 4

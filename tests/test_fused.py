@@ -1,0 +1,90 @@
+"""Tests for the fused sort+pack kernel (§4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layouts import blocked_layout, smart_layout
+from repro.localsort.bitonic_merge_sort import sort_bitonic
+from repro.localsort.fused import (
+    compose_permutation,
+    fused_sort_and_pack,
+    sort_bitonic_with_perm,
+)
+from repro.remap.plan import build_remap_plan
+
+
+def _bitonic(rng, n):
+    vals = rng.integers(0, 1000, n)
+    peak = int(rng.integers(0, n + 1))
+    seq = np.concatenate([np.sort(vals[:peak]), np.sort(vals[peak:])[::-1]])
+    return np.roll(seq, int(rng.integers(0, n)))
+
+
+class TestSortWithPerm:
+    @given(st.integers(0, 50_000), st.integers(1, 128))
+    def test_perm_reproduces_sort(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = _bitonic(rng, n)
+        out, perm = sort_bitonic_with_perm(a)
+        np.testing.assert_array_equal(out, a[perm])
+        np.testing.assert_array_equal(out, np.sort(a))
+        # perm is a permutation.
+        assert np.array_equal(np.sort(perm), np.arange(n))
+
+    def test_descending(self, rng):
+        a = _bitonic(rng, 64)
+        out, perm = sort_bitonic_with_perm(a, ascending=False)
+        np.testing.assert_array_equal(out, np.sort(a)[::-1])
+        np.testing.assert_array_equal(out, a[perm])
+
+    def test_matches_unpermuted_kernel(self, rng):
+        a = _bitonic(rng, 256)
+        np.testing.assert_array_equal(sort_bitonic_with_perm(a)[0],
+                                      sort_bitonic(a))
+
+    def test_trivial(self):
+        out, perm = sort_bitonic_with_perm(np.array([7]))
+        assert out.tolist() == [7] and perm.tolist() == [0]
+
+
+class TestCompose:
+    def test_composition_identity(self, rng):
+        a = rng.integers(0, 100, 32)
+        perm = rng.permutation(32)
+        gather = rng.integers(0, 32, 10)
+        np.testing.assert_array_equal(
+            a[compose_permutation(perm, gather)], a[perm][gather]
+        )
+
+
+class TestFusedSortAndPack:
+    def test_equals_two_step_pipeline(self, rng):
+        """The fused single-gather outputs are identical to sort-then-pack."""
+        N, P = 256, 8
+        old = smart_layout(N, P, 6, 6)
+        new = smart_layout(N, P, 6, 2)
+        for r in range(P):
+            plan = build_remap_plan(old, new, r)
+            data = _bitonic(rng, N // P)
+            kept_f, bufs_f = fused_sort_and_pack(data, plan)
+            # Two-step reference.
+            sorted_ = sort_bitonic(data)
+            np.testing.assert_array_equal(kept_f, sorted_[plan.keep_src])
+            assert set(bufs_f) == set(plan.send)
+            for dst, idx in plan.send.items():
+                np.testing.assert_array_equal(bufs_f[dst], sorted_[idx])
+
+    def test_single_pass_volume(self, rng):
+        """Everything is emitted exactly once."""
+        N, P = 512, 8
+        old = blocked_layout(N, P)
+        new = smart_layout(N, P, 7, 7)
+        plan = build_remap_plan(old, new, 3)
+        data = _bitonic(rng, N // P)
+        kept, bufs = fused_sort_and_pack(data, plan)
+        total = kept.size + sum(b.size for b in bufs.values())
+        assert total == N // P
+        values = np.concatenate([kept] + list(bufs.values()))
+        np.testing.assert_array_equal(np.sort(values), np.sort(data))

@@ -1,0 +1,74 @@
+"""Tests for run tracing and the Gantt rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import Machine
+from repro.sorts import ParallelSampleSort, SmartBitonicSort
+from repro.utils.rng import make_keys
+from repro.viz import render_gantt
+
+
+class TestTracing:
+    def test_untraced_by_default(self):
+        res = SmartBitonicSort().run(make_keys(256, seed=1), 4)
+        assert res.traces is None
+
+    def test_traced_run_collects_events(self):
+        res = SmartBitonicSort().run(make_keys(256, seed=1), 4, trace=True)
+        assert res.traces is not None and len(res.traces) == 4
+        for tr in res.traces:
+            assert tr, "every processor did some work"
+            for start, end, cat in tr:
+                assert 0 <= start <= end
+                assert isinstance(cat, str)
+
+    def test_trace_times_cover_breakdown(self):
+        """The traced busy intervals sum to the breakdown totals."""
+        res = SmartBitonicSort().run(make_keys(512, seed=2), 4, trace=True)
+        # Compare the first processor's trace against its share.
+        total_traced = sum(end - start for start, end, _ in res.traces[0])
+        # The clock advanced through exactly the traced intervals.
+        assert total_traced == pytest.approx(res.stats.elapsed_us, rel=0.01)
+
+    def test_tracing_does_not_change_results(self):
+        keys = make_keys(512, seed=3)
+        plain = SmartBitonicSort().run(keys, 4)
+        traced = SmartBitonicSort().run(keys, 4, trace=True)
+        assert plain.stats.elapsed_us == traced.stats.elapsed_us
+
+    def test_machine_trace_flag(self):
+        m = Machine(2, trace=True)
+        m.charge_compute(0, "merge", 10, 1.0)
+        assert m.procs[0].trace == [(0.0, 10.0, "merge")]
+
+
+class TestGanttRendering:
+    def test_renders_rows_per_processor(self):
+        res = SmartBitonicSort().run(make_keys(512, seed=4), 4, trace=True)
+        text = render_gantt(res.traces, width=60)
+        lines = text.splitlines()
+        assert sum(1 for l in lines if l.startswith("P")) == 4
+        # Contains sort and transfer glyphs.
+        body = "\n".join(lines[1:-1])
+        assert "S" in body and "t" in body
+
+    def test_sample_sort_imbalance_visible(self):
+        """Skewed input: some processor's row is mostly idle dots."""
+        keys = make_keys(8 * 1024, seed=5, distribution="zero-entropy")
+        res = ParallelSampleSort().run(keys, 8, trace=True)
+        text = render_gantt(res.traces, width=80, legend=False)
+        rows = [l[5:] for l in text.splitlines()[1:]]
+        dot_fractions = [row.count(".") / max(len(row), 1) for row in rows]
+        assert max(dot_fractions) > 0.5  # someone waits most of the run
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt([])
+        with pytest.raises(ConfigurationError):
+            render_gantt([[]])
+
+    def test_rejects_bad_width(self):
+        res = SmartBitonicSort().run(make_keys(64, seed=6), 2, trace=True)
+        with pytest.raises(ConfigurationError):
+            render_gantt(res.traces, width=0)

@@ -1,0 +1,95 @@
+"""Tests for the memory-hierarchy application of the remap technique."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import (
+    TrafficCounter,
+    naive_butterfly_traffic,
+    tiled_butterfly_traffic,
+    tiled_fft,
+)
+from repro.utils.bits import ilog2
+
+
+class TestTrafficCounter:
+    def test_load_store_accounting(self):
+        c = TrafficCounter(capacity=8)
+        c.load(8)
+        c.store(8)
+        assert c.total_traffic == 16
+        assert c.resident == 0
+
+    def test_capacity_enforced(self):
+        c = TrafficCounter(capacity=8)
+        c.load(8)
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            c.load(1)
+
+    def test_cannot_store_more_than_resident(self):
+        c = TrafficCounter(capacity=8)
+        c.load(4)
+        with pytest.raises(ConfigurationError):
+            c.store(5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TrafficCounter(capacity=0)
+
+
+class TestAnalyticTraffic:
+    def test_fits_in_cache(self):
+        assert naive_butterfly_traffic(64, 128) == 128
+        assert tiled_butterfly_traffic(64, 128) == 128
+
+    def test_naive_streams_per_level(self):
+        assert naive_butterfly_traffic(1 << 10, 64) == 2 * (1 << 10) * 10
+
+    def test_tiled_windows(self):
+        # lg N = 12, lg C = 4 -> 3 passes.
+        assert tiled_butterfly_traffic(1 << 12, 16) == 2 * (1 << 12) * 3
+
+    def test_improvement_ratio_is_lgC(self):
+        """The paper's hierarchy claim: traffic shrinks by ~lg C."""
+        N, C = 1 << 20, 1 << 10
+        ratio = naive_butterfly_traffic(N, C) / tiled_butterfly_traffic(N, C)
+        assert ratio == pytest.approx(ilog2(C), rel=0.01)
+
+    @given(st.integers(3, 18), st.integers(1, 10))
+    def test_tiled_never_worse(self, lgN, lgC):
+        N, C = 1 << lgN, 1 << lgC
+        assert tiled_butterfly_traffic(N, C) <= naive_butterfly_traffic(N, C)
+
+
+class TestTiledFFT:
+    @pytest.mark.parametrize("n,cap", [(64, 8), (256, 16), (1024, 4), (64, 256)])
+    def test_matches_numpy(self, n, cap, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        res = tiled_fft(x, cap)
+        np.testing.assert_allclose(res.output, np.fft.fft(x), rtol=1e-9, atol=1e-6)
+
+    @pytest.mark.parametrize("n,cap", [(256, 16), (1 << 12, 64), (1 << 10, 4)])
+    def test_traffic_matches_closed_form(self, n, cap, rng):
+        x = rng.normal(size=n).astype(complex)
+        res = tiled_fft(x, cap)
+        assert res.traffic.total_traffic == tiled_butterfly_traffic(n, cap)
+
+    def test_pass_count(self, rng):
+        x = rng.normal(size=1 << 12).astype(complex)
+        res = tiled_fft(x, 16)  # lg N = 12, lg C = 4
+        assert res.passes == 3
+
+    def test_in_cache_single_pass(self, rng):
+        x = rng.normal(size=64).astype(complex)
+        res = tiled_fft(x, 64)
+        assert res.passes == 1
+        assert res.traffic.total_traffic == 128
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            tiled_fft(np.zeros(12, dtype=complex), 4)
+        with pytest.raises(ConfigurationError):
+            tiled_fft(np.zeros(16, dtype=complex), 6)

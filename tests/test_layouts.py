@@ -1,0 +1,209 @@
+"""Tests for the layout machinery: BitFieldLayout, blocked, cyclic, smart."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, LayoutError
+from repro.layouts import (
+    BitFieldLayout,
+    Field,
+    bits_changed,
+    blocked_layout,
+    cyclic_layout,
+    kept_fraction,
+    smart_layout,
+    smart_params,
+)
+from repro.utils.bits import ilog2
+
+
+def _size_pairs():
+    return st.tuples(
+        st.sampled_from([8, 16, 32, 64, 256, 1024]),
+        st.sampled_from([2, 4, 8, 16]),
+    ).filter(lambda t: t[1] <= t[0])
+
+
+class TestBitFieldLayoutValidation:
+    def test_missing_bits_rejected(self):
+        with pytest.raises(LayoutError, match="do not cover"):
+            BitFieldLayout(16, 4, [Field(0, 2, "local", 0)])
+
+    def test_overlapping_bits_rejected(self):
+        with pytest.raises(LayoutError):
+            BitFieldLayout(
+                16, 4,
+                [Field(0, 2, "local", 0), Field(1, 3, "proc", 0)],
+            )
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(LayoutError):
+            Field(0, 2, "nope", 0)
+
+    def test_proc_width_must_match(self):
+        # All 4 bits to local: proc part unfilled.
+        with pytest.raises(LayoutError):
+            BitFieldLayout(16, 4, [Field(0, 4, "local", 0)])
+
+
+class TestBlockedCyclic:
+    def test_blocked_definition4(self):
+        """Key i -> processor floor(i / n)."""
+        lay = blocked_layout(32, 4)
+        for i in range(32):
+            assert lay.proc_of(i) == i // 8
+            assert lay.local_of(i) == i % 8
+
+    def test_cyclic_definition5(self):
+        """Key i -> processor (i mod P)."""
+        lay = cyclic_layout(32, 4)
+        for i in range(32):
+            assert lay.proc_of(i) == i % 4
+            assert lay.local_of(i) == i // 4
+
+    def test_blocked_pattern(self):
+        assert blocked_layout(32, 4).pattern() == "PP..."
+
+    def test_cyclic_pattern(self):
+        assert cyclic_layout(32, 4).pattern() == "...PP"
+
+    def test_blocked_local_bits(self):
+        lay = blocked_layout(32, 4)
+        assert [lay.local_bit_of_abs_bit(b) for b in range(5)] == [0, 1, 2, None, None]
+
+    def test_cyclic_local_bits(self):
+        lay = cyclic_layout(32, 4)
+        assert [lay.local_bit_of_abs_bit(b) for b in range(5)] == [None, None, 0, 1, 2]
+
+    def test_single_processor(self):
+        lay = blocked_layout(16, 1)
+        assert lay.proc_of(np.arange(16)).max() == 0
+
+    def test_one_key_per_proc(self):
+        lay = blocked_layout(8, 8)
+        np.testing.assert_array_equal(lay.proc_of(np.arange(8)), np.arange(8))
+        assert lay.local_of(5) == 0
+
+
+class TestLayoutBijectivity:
+    @given(_size_pairs())
+    def test_blocked_cyclic_roundtrip(self, sizes):
+        N, P = sizes
+        for lay in (blocked_layout(N, P), cyclic_layout(N, P)):
+            a = np.arange(N, dtype=np.int64)
+            proc, local = lay.to_relative(a)
+            back = lay.to_absolute(proc, local)
+            np.testing.assert_array_equal(back, a)
+            # Each processor holds exactly n distinct locals.
+            for r in range(P):
+                locs = local[proc == r]
+                assert np.array_equal(np.sort(locs), np.arange(N // P))
+
+    def test_absolute_addresses_inverse(self):
+        lay = cyclic_layout(64, 8)
+        for r in range(8):
+            aa = lay.absolute_addresses(r)
+            np.testing.assert_array_equal(lay.proc_of(aa), r)
+            np.testing.assert_array_equal(lay.local_of(aa), np.arange(8))
+
+    def test_absolute_addresses_range_check(self):
+        with pytest.raises(LayoutError):
+            blocked_layout(16, 4).absolute_addresses(4)
+
+
+class TestSmartParams:
+    def test_inside(self):
+        # N=256, P=16: lg n = 4.  Remap at (5, 5): inside, t = 1.
+        p = smart_params(256, 16, 5, 5)
+        assert (p.k, p.s, p.a, p.b, p.t) == (1, 5, 0, 4, 1)
+        assert not p.is_crossing and not p.is_last
+
+    def test_crossing(self):
+        p = smart_params(256, 16, 5, 1)
+        assert (p.k, p.s, p.a, p.b, p.t) == (1, 1, 1, 3, 3)
+        assert p.is_crossing
+
+    def test_last(self):
+        p = smart_params(256, 16, 8, 2)
+        assert (p.k, p.s, p.a, p.b, p.t) == (4, 2, 4, 0, 4)
+        assert p.is_last
+
+    def test_last_remap_is_blocked(self):
+        lay = smart_layout(256, 16, 8, 2)
+        assert lay == blocked_layout(256, 16)
+
+    def test_rejects_outside_region(self):
+        with pytest.raises(ConfigurationError):
+            smart_params(256, 16, 4, 2)  # stage <= lg n
+        with pytest.raises(ConfigurationError):
+            smart_params(256, 16, 9, 2)  # stage > lg N
+        with pytest.raises(ConfigurationError):
+            smart_params(256, 16, 5, 6)  # step > stage
+
+
+class TestSmartLayout:
+    def test_figure_3_4_patterns(self):
+        """The absolute-address bit patterns of Figure 3.4 (N=256, P=16)."""
+        expected = {
+            (5, 5): "PPP....P",   # remap 0
+            (5, 1): "PP...PP.",   # remap 1
+            (6, 3): "P.PPP...",   # remap 2
+            (7, 6): "PP....PP",   # remap 3
+            (7, 2): "..PPPP..",   # remap 4
+            (8, 6): "PP....PP",   # remap 5
+            (8, 2): "PPPP....",   # remap 6 (last: blocked)
+        }
+        for (stage, step), pattern in expected.items():
+            assert smart_layout(256, 16, stage, step).pattern() == pattern
+
+    @given(_size_pairs())
+    def test_bijective(self, sizes):
+        N, P = sizes
+        if N // P < 2:
+            return
+        lgn, lgP = ilog2(N // P), ilog2(P)
+        a = np.arange(N, dtype=np.int64)
+        for k in range(1, lgP + 1):
+            stage = lgn + k
+            for step in range(1, stage + 1):
+                lay = smart_layout(N, P, stage, step)
+                proc, local = lay.to_relative(a)
+                np.testing.assert_array_equal(lay.to_absolute(proc, local), a)
+                assert proc.min() == 0 and proc.max() == P - 1
+                assert np.bincount(proc).tolist() == [N // P] * P
+
+    def test_lemma2_keeps_lgn_steps_local(self):
+        """After a smart remap the next lg n steps are executable locally."""
+        N, P = 1024, 8
+        lgn = ilog2(N // P)
+        from repro.layouts.schedule import smart_schedule
+
+        sched = smart_schedule(N, P)
+        for phase in sched.phases:
+            for stage, step in phase.columns:
+                assert phase.layout.step_is_local(step), (stage, step)
+
+
+class TestBitsChanged:
+    def test_blocked_to_cyclic_changes_lgP(self):
+        # All lg P local bits become processor bits when lg n >= lg P.
+        old = blocked_layout(256, 16)
+        new = cyclic_layout(256, 16)
+        assert bits_changed(old, new) == 4
+        assert kept_fraction(old, new) == 1 / 16
+
+    def test_identity_changes_nothing(self):
+        lay = blocked_layout(64, 4)
+        assert bits_changed(lay, lay) == 0
+        assert kept_fraction(lay, lay) == 1.0
+
+    def test_mismatched_machines_rejected(self):
+        with pytest.raises(LayoutError):
+            bits_changed(blocked_layout(64, 4), blocked_layout(128, 4))
+
+    def test_symmetric(self):
+        a = blocked_layout(256, 16)
+        b = smart_layout(256, 16, 5, 1)
+        assert bits_changed(a, b) == bits_changed(b, a)

@@ -1,0 +1,227 @@
+"""Tests for the simulated machine: clocks, accounting, exchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.machine import CATEGORIES, Machine, Message, PhaseBreakdown, Processor
+from repro.model.machines import MEIKO_CS2
+
+
+class TestMessage:
+    def test_basic(self):
+        m = Message(src=0, dst=1, payload=np.arange(4))
+        assert m.num_elements == 4
+
+    def test_rejects_2d_payload(self):
+        with pytest.raises(CommunicationError):
+            Message(src=0, dst=1, payload=np.zeros((2, 2)))
+
+    def test_rejects_negative_endpoints(self):
+        with pytest.raises(CommunicationError):
+            Message(src=-1, dst=1, payload=np.arange(4))
+
+
+class TestPhaseBreakdown:
+    def test_categories_partition(self):
+        bd = PhaseBreakdown()
+        assert set(bd.times) == set(CATEGORIES)
+
+    def test_add_and_totals(self):
+        bd = PhaseBreakdown()
+        bd.add("merge", 2.0)
+        bd.add("pack", 1.0)
+        bd.add("wait", 5.0)
+        assert bd.computation == 2.0
+        assert bd.communication == 1.0
+        assert bd.total() == 8.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseBreakdown().add("teleport", 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseBreakdown().add("merge", -1.0)
+
+    def test_merged_with(self):
+        a, b = PhaseBreakdown(), PhaseBreakdown()
+        a.add("merge", 1.0)
+        b.add("merge", 2.0)
+        assert a.merged_with(b).times["merge"] == 3.0
+
+
+class TestProcessor:
+    def test_advance(self):
+        p = Processor(rank=0)
+        p.advance("merge", 3.0)
+        assert p.clock == 3.0
+        assert p.breakdown.times["merge"] == 3.0
+
+    def test_wait_until(self):
+        p = Processor(rank=0)
+        p.advance("merge", 3.0)
+        p.wait_until(10.0)
+        assert p.clock == 10.0
+        assert p.breakdown.times["wait"] == 7.0
+        p.wait_until(5.0)  # no-op backwards
+        assert p.clock == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Processor(rank=0).advance("merge", -1.0)
+
+
+class TestMachineCompute:
+    def test_charge_uses_unit_cost(self):
+        m = Machine(2)
+        m.charge_compute(0, "merge", 100, 0.5)
+        assert m.procs[0].clock == pytest.approx(50.0)
+
+    def test_cache_factor_applies(self):
+        m = Machine(1)
+        cap = m.spec.cache.capacity_keys
+        m.charge_compute(0, "merge", cap * 4, 1.0, working_set=cap * 4)
+        assert m.procs[0].clock > cap * 4  # inflated by the cache penalty
+
+    def test_zero_elements_free(self):
+        m = Machine(1)
+        m.charge_compute(0, "merge", 0, 1.0)
+        assert m.procs[0].clock == 0.0
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(2).charge_compute(5, "merge", 1, 1.0)
+
+    def test_charge_fixed(self):
+        m = Machine(1)
+        m.charge_fixed(0, "transfer", 2.5)
+        assert m.procs[0].clock == 2.5
+
+
+class TestMachineExchange:
+    def test_delivers_payloads(self):
+        m = Machine(3)
+        out = m.exchange([
+            Message(0, 1, np.array([1, 2])),
+            Message(2, 1, np.array([3])),
+            Message(1, 0, np.array([4])),
+        ])
+        assert sorted(msg.src for msg in out[1]) == [0, 2]
+        assert out[0][0].payload.tolist() == [4]
+
+    def test_self_message_rejected(self):
+        m = Machine(2)
+        with pytest.raises(CommunicationError, match="itself"):
+            m.exchange([Message(0, 0, np.array([1]))])
+
+    def test_out_of_range_rejected(self):
+        m = Machine(2)
+        with pytest.raises(CommunicationError, match="outside machine"):
+            m.exchange([Message(0, 5, np.array([1]))])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(CommunicationError):
+            Machine(2).exchange([], mode="medium")
+
+    def test_counts_metrics(self):
+        m = Machine(4)
+        m.exchange([Message(0, 1, np.arange(10)), Message(0, 2, np.arange(5))])
+        assert m.procs[0].elements_sent == 15
+        assert m.procs[0].messages_sent == 2
+        assert m.remap_count == 1
+
+    def test_short_mode_counts_element_messages(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.arange(10))], mode="short")
+        assert m.procs[0].messages_sent == 10
+
+    def test_short_mode_time_is_logp_formula(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.arange(10))], mode="short")
+        net = m.net
+        expect = net.L + 2 * net.o + 9 * max(net.g, 2 * net.o)
+        assert m.procs[0].breakdown.times["transfer"] == pytest.approx(expect)
+
+    def test_long_mode_sender_time(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.arange(100, dtype=np.uint32))])
+        net = m.net
+        expect = net.o + (100 * 4 - 1) * net.G
+        assert m.procs[0].breakdown.times["transfer"] == pytest.approx(expect)
+
+    def test_long_mode_receiver_pays_overhead_and_latency(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.arange(100, dtype=np.uint32))])
+        net = m.net
+        send_busy = net.o + (100 * 4 - 1) * net.G
+        assert m.procs[1].clock == pytest.approx(send_busy + net.L + net.o)
+
+    def test_gap_between_messages(self):
+        """Two tiny messages from one sender are spaced by at least g."""
+        m = Machine(3)
+        m.exchange([
+            Message(0, 1, np.array([1], dtype=np.uint32)),
+            Message(0, 2, np.array([2], dtype=np.uint32)),
+        ])
+        assert m.procs[0].clock >= m.net.g
+
+    def test_count_remap_flag(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.array([1]))], count_remap=False)
+        assert m.remap_count == 0
+
+    def test_deterministic(self):
+        def run():
+            m = Machine(4)
+            msgs = [Message(s, d, np.arange(8))
+                    for s in range(4) for d in range(4) if s != d]
+            m.exchange(msgs)
+            return [p.clock for p in m.procs]
+
+        assert run() == run()
+
+
+class TestMachineMisc:
+    def test_barrier_aligns_clocks(self):
+        m = Machine(3)
+        m.charge_compute(1, "merge", 10, 1.0)
+        m.barrier()
+        assert all(p.clock == 10.0 for p in m.procs)
+        assert m.procs[0].breakdown.times["wait"] == 10.0
+
+    def test_elapsed_is_max(self):
+        m = Machine(3)
+        m.charge_compute(2, "merge", 7, 1.0)
+        assert m.elapsed() == 7.0
+
+    def test_stats_mean_breakdown(self):
+        m = Machine(2)
+        m.charge_compute(0, "merge", 10, 1.0)
+        st = m.stats(16)
+        assert st.mean_breakdown.times["merge"] == pytest.approx(5.0)
+        assert st.P == 2 and st.n == 16 and st.N == 32
+
+    def test_partition_even(self):
+        m = Machine(4)
+        parts = m.partition(np.arange(16))
+        assert [p.tolist() for p in parts] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]
+        ]
+
+    def test_partition_uneven_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(4).partition(np.arange(10))
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(0)
+
+    def test_run_stats_per_key(self):
+        m = Machine(2, MEIKO_CS2)
+        m.charge_compute(0, "merge", 100, 1.0)
+        m.charge_compute(1, "merge", 100, 1.0)
+        st = m.stats(100)
+        assert st.us_per_key == pytest.approx(1.0)
+        assert st.computation_per_key == pytest.approx(1.0)
+        assert st.seconds_total == pytest.approx(100e-6)

@@ -1,0 +1,131 @@
+"""Tests for the LogP/LogGP cost model, cache model, and machine presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (
+    GENERIC_CLUSTER,
+    MEIKO_CS2,
+    CacheModel,
+    ComputeCosts,
+    LogGPParams,
+    LogPParams,
+    MachineSpec,
+)
+
+
+class TestLogPParams:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            LogPParams(L=-1, o=1, g=1, P=4)
+        with pytest.raises(ConfigurationError):
+            LogPParams(L=1, o=1, g=1, P=0)
+
+    def test_per_message_cost_is_max(self):
+        assert LogPParams(L=5, o=2, g=3, P=4).per_message_cost == 4.0  # 2o
+        assert LogPParams(L=5, o=1, g=3, P=4).per_message_cost == 3.0  # g
+
+    def test_short_remap_time_formula(self):
+        p = LogPParams(L=5, o=1, g=3, P=4)
+        # T = L + 2o + (V-1) * max(g, 2o)
+        assert p.short_remap_time(1) == 7.0
+        assert p.short_remap_time(10) == 7.0 + 9 * 3.0
+
+    def test_short_remap_zero_volume(self):
+        assert LogPParams(L=5, o=1, g=3, P=4).short_remap_time(0) == 0.0
+
+    def test_total_short_time_matches_per_remap_sum(self):
+        p = LogPParams(L=5, o=1, g=3, P=4)
+        # 4 remaps of 25 elements each == total formula with R=4, V=100.
+        per = sum(p.short_remap_time(25) for _ in range(4))
+        assert p.total_short_time(4, 100) == pytest.approx(per)
+
+
+class TestLogGPParams:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            LogGPParams(L=1, o=1, g=1, G=-0.1, P=4)
+
+    def test_long_message_times(self):
+        p = LogGPParams(L=10, o=2, g=4, G=0.5, P=4)
+        assert p.long_message_send_busy(1) == 2.0
+        assert p.long_message_send_busy(11) == 2.0 + 10 * 0.5
+        assert p.long_message_latency(11) == 2.0 + 5.0 + 10.0 + 2.0
+
+    def test_remap_time_formula(self):
+        p = LogGPParams(L=10, o=2, g=4, G=0.5, P=4)
+        # T = L + 2o + G (V - M) + g (M - 1)
+        assert p.remap_time(100, 4) == 10 + 4 + 0.5 * 96 + 4 * 3
+        assert p.remap_time(0, 0) == 0.0
+
+    def test_total_long_time(self):
+        p = LogGPParams(L=10, o=2, g=4, G=0.5, P=4)
+        # T = (L + 2o) R + G (V - M) + g (M - R)
+        assert p.total_long_time(2, 100, 10) == 14 * 2 + 0.5 * 90 + 4 * 8
+
+    def test_with_procs(self):
+        assert MEIKO_CS2.network.with_procs(8).P == 8
+        assert MEIKO_CS2.network.with_procs(8).L == MEIKO_CS2.network.L
+
+    def test_logp_restriction(self):
+        lp = MEIKO_CS2.network.logp
+        assert (lp.L, lp.o, lp.g, lp.P) == (
+            MEIKO_CS2.network.L,
+            MEIKO_CS2.network.o,
+            MEIKO_CS2.network.g,
+            MEIKO_CS2.network.P,
+        )
+
+
+class TestCacheModel:
+    def test_no_penalty_inside_cache(self):
+        cm = CacheModel(capacity_bytes=1 << 20, key_bytes=4, alpha=0.5)
+        assert cm.factor(1000) == 1.0
+        assert cm.factor(cm.capacity_keys) == 1.0
+
+    def test_penalty_grows_and_saturates(self):
+        cm = CacheModel(capacity_bytes=1 << 20, key_bytes=4, alpha=0.5)
+        f2 = cm.factor(2 * cm.capacity_keys)
+        f8 = cm.factor(8 * cm.capacity_keys)
+        assert 1.0 < f2 < f8 < 1.5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CacheModel(alpha=-1)
+        with pytest.raises(ConfigurationError):
+            CacheModel().factor(0)
+
+
+class TestComputeCosts:
+    def test_defaults_positive(self):
+        c = ComputeCosts()
+        assert c.radix_pass > 0 and c.merge > 0 and c.pack > c.unpack
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ComputeCosts(merge=-0.1)
+
+
+class TestMachineSpec:
+    def test_presets_valid(self):
+        for spec in (MEIKO_CS2, GENERIC_CLUSTER):
+            assert spec.key_bytes == 4
+            assert spec.network.P >= 1
+
+    def test_with_procs(self):
+        assert MEIKO_CS2.with_procs(16).network.P == 16
+        assert MEIKO_CS2.with_procs(16).name == MEIKO_CS2.name
+
+    def test_rejects_bad_key_bytes(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", network=MEIKO_CS2.network, key_bytes=0)
+
+    def test_meiko_calibration_regime(self):
+        """Sanity of the calibration targets documented in machines.py."""
+        net = MEIKO_CS2.network
+        # Short messages ~3.3-3.4 us per element.
+        assert 3.0 <= max(net.g, 2 * net.o) <= 4.0
+        # Long-message bandwidth ~100 MB/s: 16 bytes in ~0.15 us.
+        assert 0.10 <= 16 * net.G <= 0.20

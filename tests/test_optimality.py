@@ -1,0 +1,74 @@
+"""§3.2.2's open question, answered exhaustively at small sizes.
+
+The paper conjectures that the TailRemap placement achieves the minimum
+transferred volume among remap-based schedules ("we believe ... however
+this was beyond the scope of this thesis").  Within the placement family
+the framework expresses, these tests enumerate *every* valid placement for
+a sweep of tractable problem shapes and confirm the conjecture — including
+shapes with a non-zero step remainder, where Head and Tail genuinely
+differ as schedules (results/ holds a 786,568-placement confirmation at
+N=256, P=8 too slow for the default suite).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.layouts.optimality import (
+    count_placements,
+    enumerate_placements,
+    minimum_volume_placement,
+    placement_volume,
+)
+from repro.layouts.schedule import _region_steps, _walk, build_schedule
+from repro.utils.bits import ilog2
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        N, P = 32, 4
+        total = _region_steps(N, P)
+        expect = count_placements(total, ilog2(N // P))
+        assert sum(1 for _ in enumerate_placements(N, P)) == expect
+
+    def test_every_placement_is_valid_schedule(self):
+        for sched in enumerate_placements(32, 4):
+            assert sum(ph.num_steps for ph in sched.phases) == _region_steps(32, 4)
+
+    def test_cap_enforced(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            list(enumerate_placements(1 << 12, 16))
+
+    def test_fast_volume_matches_schedule(self):
+        for N, P, counts in [(32, 4, (3, 3, 3)), (64, 4, (2, 3, 3, 3)),
+                             (128, 8, (2, 4, 4, 4, 4))]:
+            assert placement_volume(N, P, counts) == _walk(
+                N, P, counts, "x"
+            ).volume_per_processor()
+
+    def test_fast_volume_rejects_n_less_than_p(self):
+        with pytest.raises(ConfigurationError, match="n >= P"):
+            placement_volume(64, 16, (2, 2, 2, 2, 2, 2, 2, 2, 2))
+
+
+class TestTailConjecture:
+    @pytest.mark.parametrize("N,P", [(32, 4), (64, 4), (128, 4), (256, 4),
+                                     (128, 8)])
+    def test_tail_achieves_global_minimum(self, N, P):
+        _, vol = minimum_volume_placement(N, P, build=False)
+        tail = build_schedule(N, P, "tail").volume_per_processor()
+        assert tail == vol, (
+            f"counterexample to §3.2.2's conjecture at N={N}, P={P}: "
+            f"tail={tail}, optimum={vol}"
+        )
+
+    def test_build_and_fast_paths_agree(self):
+        sched, v1 = minimum_volume_placement(64, 4, build=True)
+        counts, v2 = minimum_volume_placement(64, 4, build=False)
+        assert v1 == v2
+        assert tuple(ph.num_steps for ph in sched.phases) == counts
+
+    def test_head_never_below_minimum(self):
+        for N, P in [(32, 4), (128, 8)]:
+            _, vol = minimum_volume_placement(N, P, build=False)
+            head = build_schedule(N, P, "head").volume_per_processor()
+            assert head >= vol

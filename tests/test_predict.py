@@ -1,0 +1,135 @@
+"""The analytic predictor must agree with the simulator exactly.
+
+Every category the simulator charges is a deterministic sum, so the
+predictions of :mod:`repro.theory.predict` are required to match the mean
+per-processor breakdown of a real simulated run to float precision — for
+all three bitonic algorithms, in both message modes, fused or not.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.metrics import CATEGORIES
+from repro.sorts import (
+    BlockedMergeBitonicSort,
+    CyclicBlockedBitonicSort,
+    SmartBitonicSort,
+)
+from repro.theory.predict import (
+    predict,
+    predict_blocked_merge,
+    predict_cyclic_blocked,
+    predict_smart,
+)
+from repro.utils.rng import make_keys
+
+
+def _compare(stats, predicted):
+    for cat in CATEGORIES:
+        if cat == "wait":
+            continue  # waits depend on skew; excluded from busy-time totals
+        got = stats.mean_breakdown.times[cat]
+        want = predicted.times.get(cat, 0.0)
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-6), (
+            f"category {cat}: simulated {got} vs predicted {want}"
+        )
+
+
+class TestSmartPrediction:
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512), (16, 1024), (16, 8)])
+    def test_long_fused(self, P, n):
+        stats = SmartBitonicSort().run(make_keys(P * n, seed=1), P).stats
+        _compare(stats, predict_smart(P * n, P))
+
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512)])
+    def test_long_unfused(self, P, n):
+        stats = SmartBitonicSort(fused=False).run(make_keys(P * n, seed=1), P).stats
+        _compare(stats, predict_smart(P * n, P, fused=False))
+
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512)])
+    def test_short(self, P, n):
+        stats = SmartBitonicSort(mode="short", fused=False).run(
+            make_keys(P * n, seed=1), P
+        ).stats
+        _compare(stats, predict_smart(P * n, P, mode="short"))
+
+    def test_tail_strategy(self):
+        # The tail placement's truncated first phase simulates its steps,
+        # so the merge/compare_exchange split differs; only communication
+        # categories are required to match there.
+        stats = SmartBitonicSort(strategy="tail").run(make_keys(2048, seed=1), 8).stats
+        pred = predict_smart(2048, 8, strategy="tail")
+        for cat in ("address", "pack", "unpack", "transfer"):
+            assert stats.mean_breakdown.times[cat] == pytest.approx(
+                pred.times.get(cat, 0.0), rel=1e-9, abs=1e-6
+            )
+
+    def test_single_proc(self):
+        stats = SmartBitonicSort().run(make_keys(128, seed=1), 1).stats
+        _compare(stats, predict_smart(128, 1))
+
+    def test_cache_regime_included(self):
+        """Above the cache capacity the prediction inflates like the run."""
+        small = predict_smart(1 << 14, 4)
+        # Same shape but per-key: the large run is in the cache-penalty
+        # regime, so its per-key computation is strictly larger.
+        big = predict_smart(1 << 24, 4)
+        assert big.computation / big.n > small.computation / small.n
+
+    def test_totals_track_makespan(self):
+        """Busy-time prediction ≈ simulated makespan (balanced schedule)."""
+        P, n = 8, 2048
+        stats = SmartBitonicSort().run(make_keys(P * n, seed=2), P).stats
+        pred = predict_smart(P * n, P)
+        assert stats.elapsed_us == pytest.approx(pred.total, rel=0.15)
+
+
+class TestBaselinePredictions:
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512), (16, 1024)])
+    def test_cyclic_blocked(self, P, n):
+        stats = CyclicBlockedBitonicSort().run(make_keys(P * n, seed=1), P).stats
+        _compare(stats, predict_cyclic_blocked(P * n, P))
+
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512)])
+    def test_cyclic_blocked_short(self, P, n):
+        stats = CyclicBlockedBitonicSort(mode="short").run(
+            make_keys(P * n, seed=1), P
+        ).stats
+        _compare(stats, predict_cyclic_blocked(P * n, P, mode="short"))
+
+    @pytest.mark.parametrize("P,n", [(4, 256), (8, 512), (16, 1024)])
+    def test_blocked_merge(self, P, n):
+        stats = BlockedMergeBitonicSort().run(make_keys(P * n, seed=1), P).stats
+        _compare(stats, predict_blocked_merge(P * n, P))
+
+
+class TestPredictDispatch:
+    def test_by_name(self):
+        pt = predict("smart", 1 << 12, 8)
+        assert pt.algorithm == "smart"
+        assert pt.us_per_key > 0
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            predict("sample", 1 << 12, 8)
+
+    def test_paper_scale_is_instant(self):
+        """The whole point: predicting the paper's 1M keys/proc sweep takes
+        microseconds, not minutes."""
+        import time
+
+        t0 = time.perf_counter()
+        for algo in ("smart", "cyclic-blocked", "blocked-merge"):
+            for nk in (128, 256, 512, 1024):
+                predict(algo, 32 * nk * 1024, 32)
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_paper_ordering_at_paper_scale(self):
+        """At the paper's exact sizes the predicted ordering matches
+        Table 5.1: Smart < Cyclic-Blocked < Blocked-Merge."""
+        for nk in (128, 256, 512, 1024):
+            N = 32 * nk * 1024
+            s = predict("smart", N, 32).us_per_key
+            c = predict("cyclic-blocked", N, 32).us_per_key
+            b = predict("blocked-merge", N, 32).us_per_key
+            assert s < c < b

@@ -1,0 +1,62 @@
+"""Tests for the approximate radix/sample predictors."""
+
+import pytest
+
+from repro.sorts import ParallelRadixSort, ParallelSampleSort
+from repro.theory.predict import predict_smart
+from repro.theory.predict_comparators import (
+    crossover_keys_per_proc,
+    predict_radix,
+    predict_sample,
+)
+from repro.utils.rng import make_keys
+
+
+def _busy(stats):
+    return stats.mean_breakdown.total() - stats.mean_breakdown.times["wait"]
+
+
+class TestRadixPrediction:
+    @pytest.mark.parametrize("P,n", [(4, 4096), (8, 8192), (16, 8192)])
+    def test_close_to_simulation_on_uniform_keys(self, P, n):
+        stats = ParallelRadixSort().run(make_keys(P * n, seed=2), P).stats
+        pred = predict_radix(P * n, P)
+        assert _busy(stats) == pytest.approx(pred.total, rel=0.06)
+
+    def test_single_proc(self):
+        """P=1: the pass loop still runs (address/pack work happens; no
+        transfer) and the prediction matches the simulation."""
+        stats = ParallelRadixSort().run(make_keys(1 << 10, seed=1), 1).stats
+        pred = predict_radix(1 << 10, 1)
+        assert pred.times.get("transfer", 0.0) == 0.0
+        assert _busy(stats) == pytest.approx(pred.total, rel=1e-9)
+
+
+class TestSamplePrediction:
+    @pytest.mark.parametrize("P,n", [(4, 4096), (8, 8192), (16, 8192)])
+    def test_close_to_simulation_on_uniform_keys(self, P, n):
+        stats = ParallelSampleSort().run(make_keys(P * n, seed=2), P).stats
+        pred = predict_sample(P * n, P)
+        assert _busy(stats) == pytest.approx(pred.total, rel=0.12)
+
+    def test_cheapest_of_the_three(self):
+        """Sample sort's prediction undercuts both bitonic and radix at the
+        evaluation sizes — the Figure 5.7/5.8 'clear winner'."""
+        for P in (16, 32):
+            N = P * (1 << 17)
+            assert predict_sample(N, P).total < predict_radix(N, P).total
+            assert predict_sample(N, P).total < predict_smart(N, P).total
+
+
+class TestCrossover:
+    def test_p16_no_crossover(self):
+        """Figure 5.7: on 16 processors bitonic wins through 1M keys/proc."""
+        x = crossover_keys_per_proc(16, max_lgn=20)
+        assert x is None or x > 1 << 20
+
+    def test_p32_crossover_near_paper(self):
+        """Figure 5.8: on 32 processors the crossover falls between 256K
+        and 1M keys per processor."""
+        x = crossover_keys_per_proc(32, max_lgn=22)
+        assert x is not None
+        assert (1 << 18) < x <= (1 << 20)

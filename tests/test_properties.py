@@ -1,0 +1,91 @@
+"""Tests for sequence predicates (bitonicity etc.)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.network.properties import (
+    count_circular_direction_changes,
+    is_bitonic,
+    is_monotonic,
+    is_sorted_ascending,
+    is_sorted_descending,
+)
+
+
+class TestSortedPredicates:
+    def test_ascending(self):
+        assert is_sorted_ascending(np.array([1, 2, 2, 5]))
+        assert not is_sorted_ascending(np.array([1, 3, 2]))
+
+    def test_descending(self):
+        assert is_sorted_descending(np.array([5, 5, 3, 1]))
+        assert not is_sorted_descending(np.array([3, 1, 2]))
+
+    def test_monotonic(self):
+        assert is_monotonic(np.array([1, 2, 3]))
+        assert is_monotonic(np.array([3, 2, 1]))
+        assert not is_monotonic(np.array([1, 3, 2]))
+
+    def test_trivial_sequences(self):
+        for seq in (np.array([]), np.array([7]), np.array([7, 7])):
+            assert is_sorted_ascending(seq)
+            assert is_sorted_descending(seq)
+            assert is_bitonic(seq)
+
+
+class TestBitonic:
+    def test_paper_examples(self):
+        # The two example sequences from §2.1.1.
+        assert is_bitonic(np.array([2, 3, 4, 5, 6, 7, 8, 8, 7, 5, 3, 2, 1]))
+        assert is_bitonic(np.array([6, 7, 8, 8, 7, 5, 3, 2, 1, 2, 3, 4, 5]))
+
+    def test_monotone_is_bitonic(self):
+        assert is_bitonic(np.arange(10))
+        assert is_bitonic(np.arange(10)[::-1])
+
+    def test_constant_is_bitonic(self):
+        assert is_bitonic(np.full(8, 3))
+        assert count_circular_direction_changes(np.full(8, 3)) == 0
+
+    def test_non_bitonic(self):
+        assert not is_bitonic(np.array([1, 3, 1, 3]))
+        assert not is_bitonic(np.array([0, 5, 2, 7, 1, 6]))
+
+    def test_direction_change_counts(self):
+        assert count_circular_direction_changes(np.array([1, 5, 2])) == 2
+        assert count_circular_direction_changes(np.array([1, 3, 1, 3])) == 4
+
+    @given(
+        st.integers(2, 64),
+        st.integers(0, 63),
+        st.integers(0, 1_000_000),
+    )
+    def test_rotations_of_bitonic_stay_bitonic(self, n, shift, seed):
+        rng = np.random.default_rng(seed)
+        up = np.sort(rng.integers(0, 100, n))
+        down = np.sort(rng.integers(0, 100, n))[::-1]
+        seq = np.concatenate([up, down])
+        assert is_bitonic(np.roll(seq, shift % seq.size))
+
+    @given(hnp.arrays(np.int64, st.integers(1, 32), elements=st.integers(-50, 50)))
+    def test_count_is_even(self, a):
+        assert count_circular_direction_changes(a) % 2 == 0
+
+    @given(hnp.arrays(np.int64, st.integers(1, 32), elements=st.integers(-50, 50)))
+    def test_bitonic_iff_some_rotation_is_rise_then_fall(self, a):
+        """Cross-check the circular-count test against the literal
+        Definition 1: some cyclic shift is increasing-then-decreasing."""
+        n = a.size
+
+        def rise_then_fall(seq):
+            for i in range(len(seq)):
+                if not (np.all(np.diff(seq[: i + 1]) >= 0)
+                        and np.all(np.diff(seq[i:]) <= 0)):
+                    continue
+                return True
+            return False
+
+        literal = any(rise_then_fall(np.roll(a, -s)) for s in range(n))
+        assert is_bitonic(a) == literal

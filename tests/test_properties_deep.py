@@ -1,0 +1,157 @@
+"""Deep hypothesis property suite: randomized machine/problem shapes.
+
+Where the per-module tests pin specific examples, this module draws random
+``(lg N, lg P)`` shapes and random workloads and checks the library's
+global contracts hold across the whole space — including the corners the
+paper brushes past (``n < P``, ``P = N/2``, two processors, duplicate-heavy
+keys).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts import (
+    bits_changed,
+    blocked_layout,
+    cyclic_layout,
+    smart_layout,
+    smart_schedule,
+)
+from repro.layouts.analysis import communication_group
+from repro.network.properties import is_bitonic
+from repro.network.sequential import bitonic_sort_network
+from repro.remap.masks import changed_local_bits, pack_mask, unpack_mask
+from repro.remap.plan import build_remap_plan
+from repro.sorts import SmartBitonicSort
+from repro.theory.predict import predict_smart
+from repro.utils.bits import ilog2
+
+
+shapes = st.tuples(st.integers(2, 12), st.integers(1, 6)).filter(
+    lambda t: t[1] < t[0]
+)
+
+
+class TestLayoutSpace:
+    @given(shapes, st.data())
+    def test_any_smart_layout_is_a_bijection(self, shape, data):
+        lgN, lgP = shape
+        N, P = 1 << lgN, 1 << lgP
+        lgn = lgN - lgP
+        stage = data.draw(st.integers(lgn + 1, lgN))
+        step = data.draw(st.integers(1, stage))
+        lay = smart_layout(N, P, stage, step)
+        a = np.arange(N)
+        proc, local = lay.to_relative(a)
+        np.testing.assert_array_equal(lay.to_absolute(proc, local), a)
+
+    @given(shapes, st.data())
+    def test_pack_and_unpack_masks_same_weight(self, shape, data):
+        """The number of shaded bits is the same in both masks: what
+        leaves the local address on one side enters it on the other."""
+        lgN, lgP = shape
+        N, P = 1 << lgN, 1 << lgP
+        lgn = lgN - lgP
+        stage = data.draw(st.integers(lgn + 1, lgN))
+        step = data.draw(st.integers(1, stage))
+        old = data.draw(st.sampled_from(
+            [blocked_layout(N, P), cyclic_layout(N, P)]
+        ))
+        new = smart_layout(N, P, stage, step)
+        assert pack_mask(old, new).count("S") == unpack_mask(old, new).count("S")
+        assert len(changed_local_bits(old, new)) == bits_changed(old, new)
+
+    @given(shapes)
+    def test_schedule_remap_invariants(self, shape):
+        lgN, lgP = shape
+        N, P = 1 << lgN, 1 << lgP
+        sched = smart_schedule(N, P)
+        bits = sched.bits_changed_per_remap()
+        # Every remap moves something (no no-op remaps in the schedule).
+        assert all(bc >= 1 for bc in bits)
+        # No remap can change more bits than the local address has.
+        lgn = lgN - lgP
+        assert all(bc <= min(lgn, lgP) for bc in bits)
+        # The final layout is blocked: the sort ends in standard placement.
+        assert sched.phases[-1].layout == blocked_layout(N, P)
+
+    @given(shapes)
+    def test_plan_conservation_random_transition(self, shape):
+        """Every remap plan conserves elements globally."""
+        lgN, lgP = shape
+        N, P = 1 << lgN, 1 << lgP
+        sched = smart_schedule(N, P)
+        total_sent = total_kept = 0
+        old, new = sched.transitions()[len(sched.transitions()) // 2]
+        for r in range(P):
+            plan = build_remap_plan(old, new, r)
+            total_sent += plan.elements_sent
+            total_kept += plan.keep_src.size
+        assert total_sent + total_kept == N
+
+
+class TestGroupStructure:
+    @given(shapes)
+    def test_groups_partition_machine_when_n_ge_p(self, shape):
+        lgN, lgP = shape
+        N, P = 1 << lgN, 1 << lgP
+        if N // P < P:
+            return
+        sched = smart_schedule(N, P)
+        for (old, new), bc in zip(sched.transitions(),
+                                  sched.bits_changed_per_remap()):
+            seen = set()
+            for r in range(P):
+                first, size = communication_group(r, bc, P)
+                assert first <= r < first + size
+                seen.add((first, size))
+            # The groups tile the machine.
+            assert sum(size for _, size in seen) == P
+
+
+class TestSortSpace:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25)
+    def test_random_shape_random_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        lgP = int(rng.integers(1, 5))
+        lgn = int(rng.integers(1, 8))
+        P, n = 1 << lgP, 1 << lgn
+        keys = rng.integers(0, 1 << 31, P * n, dtype=np.uint32)
+        res = SmartBitonicSort().run(keys, P, verify=True)
+        # The simulated time is positive and the breakdown covers it.
+        st_ = res.stats
+        assert st_.elapsed_us > 0
+        busy = st_.mean_breakdown.total() - st_.mean_breakdown.times["wait"]
+        assert busy == pytest.approx(predict_smart(P * n, P).total,
+                                     rel=1e-9, abs=1e-6)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15)
+    def test_matches_sequential_network_exactly(self, seed):
+        """Not just sorted: identical to the sequential network's output
+        (which equals np.sort, but this closes the loop independently)."""
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 64, 256, dtype=np.uint32)  # heavy duplicates
+        res = SmartBitonicSort().run(keys, 8)
+        np.testing.assert_array_equal(res.sorted_keys,
+                                      bitonic_sort_network(keys))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15)
+    def test_partition_states_remain_bitonic_compatible(self, seed):
+        """After the initial local sorts, concatenating partitions yields
+        Lemma 6's stage input: alternating monotone runs, i.e. adjacent
+        pairs form bitonic sequences."""
+        from repro.localsort.radix import radix_sort
+
+        rng = np.random.default_rng(seed)
+        P, n = 8, 64
+        keys = rng.integers(0, 1 << 31, P * n, dtype=np.uint32)
+        parts = [radix_sort(keys[r * n:(r + 1) * n], ascending=(r % 2 == 0))
+                 for r in range(P)]
+        glob = np.concatenate(parts)
+        for pair in glob.reshape(-1, 2 * n):
+            assert is_bitonic(pair)

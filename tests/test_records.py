@@ -1,0 +1,90 @@
+"""Tests for key-value (record) sorting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.records import sort_records
+from repro.sorts import (
+    BlockedMergeBitonicSort,
+    CyclicBlockedBitonicSort,
+    ParallelRadixSort,
+    ParallelSampleSort,
+    SmartBitonicSort,
+)
+from repro.utils.rng import make_keys
+
+ALL = [SmartBitonicSort, CyclicBlockedBitonicSort, BlockedMergeBitonicSort,
+       ParallelRadixSort, ParallelSampleSort]
+
+
+@pytest.mark.parametrize("sort_cls", ALL)
+class TestRecordSortAllAlgorithms:
+    def test_payloads_follow_keys(self, sort_cls, rng):
+        keys = make_keys(512, seed=31)
+        values = rng.integers(0, 10**9, 512)
+        res = sort_records(sort_cls(), keys, values, P=8, verify=True)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        # Spot-check the pairing beyond verify's own assertion.
+        pairs = {int(k): set() for k in keys}
+        for k, v in zip(keys.tolist(), values.tolist()):
+            pairs[k].add(v)
+        for k, v in zip(res.sorted_keys.tolist(), res.sorted_values.tolist()):
+            assert v in pairs[k]
+
+    def test_duplicate_keys_stable(self, sort_cls, rng):
+        """Equal keys keep their original relative order (the composite
+        breaks ties by origin index)."""
+        keys = np.repeat(np.arange(8, dtype=np.uint32), 32)
+        rng.shuffle(keys)
+        values = np.arange(256)
+        res = sort_records(sort_cls(), keys, values, P=4, verify=True)
+        # Within each key group, payload origins must appear in increasing
+        # original position.
+        for k in range(8):
+            group = res.sorted_values[res.sorted_keys == k]
+            origins = [int(np.nonzero((keys == k) & (values == v))[0][0])
+                       for v in group.tolist()]
+            assert origins == sorted(origins)
+
+
+class TestRecordSortEdgeCases:
+    def test_structured_payloads(self, rng):
+        keys = make_keys(128, seed=3)
+        values = rng.normal(size=(128, 3))  # vector payloads
+        res = sort_records(SmartBitonicSort(), keys, values, P=4, verify=True)
+        assert res.sorted_values.shape == (128, 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sort_records(SmartBitonicSort(), make_keys(64), np.zeros(32), P=4)
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sort_records(SmartBitonicSort(), np.zeros((4, 4), dtype=np.uint32),
+                         np.zeros(16), P=4)
+
+    def test_float_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sort_records(SmartBitonicSort(), np.zeros(16), np.zeros(16), P=4)
+
+    def test_oversized_keys_rejected(self):
+        keys = np.full(16, 1 << 31, dtype=np.uint64)
+        with pytest.raises(ConfigurationError, match="2\\*\\*31"):
+            sort_records(SmartBitonicSort(), keys, np.zeros(16), P=4)
+
+    def test_volume_charged_at_8_bytes(self):
+        """The composite is what travels: per-element wire cost doubles."""
+        keys = make_keys(2048, seed=5)
+        values = np.zeros(2048)
+        rec = sort_records(SmartBitonicSort(fused=False), keys, values, P=8)
+        plain = SmartBitonicSort(fused=False).run(keys, 8)
+        assert rec.stats.volume_per_proc == plain.stats.volume_per_proc
+        assert (rec.stats.mean_breakdown.times["transfer"]
+                > plain.stats.mean_breakdown.times["transfer"])
+
+    def test_original_algorithm_untouched(self):
+        algo = SmartBitonicSort()
+        before = (algo.key_bits, algo.spec.key_bytes)
+        sort_records(algo, make_keys(128), np.zeros(128), P=4)
+        assert (algo.key_bits, algo.spec.key_bytes) == before

@@ -1,0 +1,212 @@
+"""Tests for the remap machinery: masks, plans, and execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError, LayoutError
+from repro.layouts import (
+    bits_changed,
+    blocked_layout,
+    communication_group,
+    cyclic_layout,
+    smart_layout,
+    smart_schedule,
+)
+from repro.machine import Machine
+from repro.remap import (
+    build_remap_plan,
+    changed_local_bits,
+    pack_mask,
+    perform_remap,
+    unpack_mask,
+)
+
+
+class TestMasks:
+    def test_changed_bits_count_equals_bits_changed(self):
+        old = blocked_layout(256, 16)
+        new = smart_layout(256, 16, 5, 5)
+        assert len(changed_local_bits(old, new)) == bits_changed(old, new)
+
+    def test_blocked_to_cyclic_masks(self):
+        old = blocked_layout(256, 16)
+        new = cyclic_layout(256, 16)
+        # All 4 local bits become processor bits (lg n = lg P = 4).
+        assert pack_mask(old, new) == "SSSS"
+        assert unpack_mask(old, new) == "SSSS"
+
+    def test_identity_mask_unshaded(self):
+        lay = blocked_layout(256, 16)
+        assert pack_mask(lay, lay) == "...."
+
+    def test_first_smart_remap_mask(self):
+        """Figure 3.4's remap 0 changes exactly one bit."""
+        old = blocked_layout(256, 16)
+        new = smart_layout(256, 16, 5, 5)
+        assert pack_mask(old, new).count("S") == 1
+
+    def test_mismatched_machines_rejected(self):
+        with pytest.raises(LayoutError):
+            pack_mask(blocked_layout(64, 4), blocked_layout(64, 8))
+
+
+class TestRemapPlan:
+    def test_plan_partitions_slots(self):
+        old = blocked_layout(256, 16)
+        new = cyclic_layout(256, 16)
+        for r in range(16):
+            plan = build_remap_plan(old, new, r)
+            sent = plan.elements_sent
+            assert sent + plan.keep_src.size == 16
+            # All slot indices used exactly once on each side.
+            srcs = np.concatenate(
+                [plan.keep_src] + [idx for idx in plan.send.values()]
+            )
+            assert np.array_equal(np.sort(srcs), np.arange(16))
+            dsts = np.concatenate(
+                [plan.keep_dst] + [idx for idx in plan.recv.values()]
+            )
+            assert np.array_equal(np.sort(dsts), np.arange(16))
+
+    def test_lemma4_group_structure(self):
+        """Processors communicate in groups of 2**bits_changed consecutive
+        ranks, sending n / 2**bc to every other group member."""
+        N, P = 1024, 16
+        sched = smart_schedule(N, P)
+        layouts = [sched.initial_layout] + [ph.layout for ph in sched.phases]
+        n = N // P
+        for old, new in zip(layouts[:-1], layouts[1:]):
+            bc = bits_changed(old, new)
+            for r in range(P):
+                plan = build_remap_plan(old, new, r)
+                first, size = communication_group(r, bc, P)
+                expect_peers = set(range(first, first + size)) - {r}
+                assert set(plan.send) == expect_peers
+                for idx in plan.send.values():
+                    assert idx.size == n >> bc
+                assert plan.keep_src.size == n >> bc
+                assert set(plan.recv) == expect_peers
+
+    def test_send_recv_are_mirror_images(self):
+        """What r plans to send q is exactly what q plans to receive
+        from r (same count, matching addresses)."""
+        old = blocked_layout(512, 8)
+        new = smart_layout(512, 8, 7, 7)
+        plans = [build_remap_plan(old, new, r) for r in range(8)]
+        for r in range(8):
+            for q, send_idx in plans[r].send.items():
+                recv_idx = plans[q].recv[r]
+                assert send_idx.size == recv_idx.size
+                # The absolute addresses agree element by element.
+                sent_abs = old.to_absolute(np.int64(r), send_idx)
+                got_abs = new.to_absolute(np.int64(q), recv_idx)
+                np.testing.assert_array_equal(sent_abs, got_abs)
+
+    def test_mismatched_machines_rejected(self):
+        with pytest.raises(LayoutError):
+            build_remap_plan(blocked_layout(64, 4), blocked_layout(128, 8), 0)
+
+
+class TestPerformRemap:
+    def _trace_setup(self, N, P):
+        """Partitions where every value equals its absolute address, so any
+        misrouting is immediately visible."""
+        machine = Machine(P)
+        lay = blocked_layout(N, P)
+        parts = [lay.absolute_addresses(r).astype(np.uint32) for r in range(P)]
+        return machine, lay, parts
+
+    @pytest.mark.parametrize("mode", ["long", "short"])
+    def test_data_lands_by_layout(self, mode):
+        N, P = 512, 8
+        machine, lay, parts = self._trace_setup(N, P)
+        new = cyclic_layout(N, P)
+        parts = perform_remap(machine, parts, lay, new, mode=mode)
+        for r in range(P):
+            np.testing.assert_array_equal(
+                parts[r], new.absolute_addresses(r).astype(np.uint32)
+            )
+
+    def test_chain_through_smart_schedule(self):
+        N, P = 1024, 8
+        machine, lay, parts = self._trace_setup(N, P)
+        for ph in smart_schedule(N, P).phases:
+            parts = perform_remap(machine, parts, lay, ph.layout)
+            lay = ph.layout
+            for r in range(P):
+                np.testing.assert_array_equal(
+                    parts[r], lay.absolute_addresses(r).astype(np.uint32)
+                )
+
+    def test_counts_volume_and_messages(self):
+        N, P = 1024, 8
+        machine, lay, parts = self._trace_setup(N, P)
+        sched = smart_schedule(N, P)
+        for ph in sched.phases:
+            parts = perform_remap(machine, parts, lay, ph.layout)
+            lay = ph.layout
+        st = machine.stats(N // P)
+        assert st.remaps == sched.num_remaps
+        assert st.volume_per_proc == sched.volume_per_processor()
+        assert st.messages_per_proc == sched.messages_per_processor()
+
+    def test_fused_charges_no_pack_unpack(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        perform_remap(machine, parts, lay, cyclic_layout(N, P), fused=True)
+        st = machine.stats(N // P)
+        assert st.mean_breakdown.times["unpack"] == 0.0
+        assert st.mean_breakdown.times["pack"] > 0.0  # the fusion surcharge
+
+    def test_unfused_charges_both(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        perform_remap(machine, parts, lay, cyclic_layout(N, P), fused=False)
+        st = machine.stats(N // P)
+        assert st.mean_breakdown.times["pack"] > 0.0
+        assert st.mean_breakdown.times["unpack"] > 0.0
+
+    def test_short_mode_skips_packing(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        perform_remap(machine, parts, lay, cyclic_layout(N, P), mode="short")
+        st = machine.stats(N // P)
+        assert st.mean_breakdown.times["pack"] == 0.0
+        assert st.mean_breakdown.times["unpack"] == 0.0
+
+    def test_short_fused_rejected(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        with pytest.raises(CommunicationError):
+            perform_remap(machine, parts, lay, cyclic_layout(N, P),
+                          mode="short", fused=True)
+
+    def test_wrong_partition_count_rejected(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        with pytest.raises(CommunicationError):
+            perform_remap(machine, parts[:-1], lay, cyclic_layout(N, P))
+
+    def test_wrong_partition_size_rejected(self):
+        N, P = 256, 4
+        machine, lay, parts = self._trace_setup(N, P)
+        parts[0] = parts[0][:-1]
+        with pytest.raises(CommunicationError):
+            perform_remap(machine, parts, lay, cyclic_layout(N, P))
+
+    @given(st.integers(0, 10_000))
+    def test_random_values_preserved(self, seed):
+        """A remap is a permutation: the multiset of values is unchanged."""
+        N, P = 256, 8
+        rng = np.random.default_rng(seed)
+        machine = Machine(P)
+        vals = rng.integers(0, 100, N).astype(np.uint32)
+        lay = blocked_layout(N, P)
+        parts = [vals[lay.absolute_addresses(r)] for r in range(P)]
+        new = smart_layout(N, P, 6, 6)
+        out = perform_remap(machine, parts, lay, new)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(out)), np.sort(vals)
+        )

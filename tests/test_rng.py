@@ -1,0 +1,66 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import DISTRIBUTIONS, KEY_RANGE, KeyGenerator, make_keys
+
+
+class TestKeyGenerator:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key distribution"):
+            KeyGenerator(distribution="nope")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyGenerator().generate(-1)
+
+    def test_reproducible(self):
+        a = KeyGenerator(seed=42).generate(1000)
+        b = KeyGenerator(seed=42).generate(1000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = KeyGenerator(seed=1).generate(1000)
+        b = KeyGenerator(seed=2).generate(1000)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_dtype_and_range(self, dist):
+        keys = make_keys(4096, distribution=dist, seed=5)
+        assert keys.dtype == np.uint32
+        assert keys.size == 4096
+        assert int(keys.max(initial=0)) < KEY_RANGE
+
+    def test_zero_size(self):
+        assert make_keys(0).size == 0
+
+
+class TestDistributionShapes:
+    def test_uniform_spreads(self):
+        keys = make_keys(1 << 14, distribution="uniform")
+        # Rough spread check: values land in all four quartiles of the range.
+        hist, _ = np.histogram(keys, bins=4, range=(0, KEY_RANGE))
+        assert (hist > 0).all()
+
+    def test_low_entropy_few_distinct(self):
+        keys = make_keys(1 << 14, distribution="low-entropy")
+        assert np.unique(keys).size <= 16
+
+    def test_zero_entropy_single_value(self):
+        keys = make_keys(1 << 10, distribution="zero-entropy")
+        assert np.unique(keys).size == 1
+
+    def test_sorted_orders(self):
+        asc = make_keys(1 << 10, distribution="sorted")
+        desc = make_keys(1 << 10, distribution="reverse-sorted")
+        assert (np.diff(asc.astype(np.int64)) >= 0).all()
+        assert (np.diff(desc.astype(np.int64)) <= 0).all()
+
+    def test_gaussian_concentrated(self):
+        keys = make_keys(1 << 14, distribution="gaussian")
+        center = KEY_RANGE // 2
+        # The clipped normal concentrates near the center of the range.
+        frac_middle = np.mean(np.abs(keys.astype(np.int64) - center) < KEY_RANGE // 4)
+        assert frac_middle > 0.95

@@ -1,0 +1,201 @@
+"""Tests for the SPMD runtime: primitives under real concurrency, and the
+message-passing implementation of Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.sorts import SmartBitonicSort
+from repro.utils.rng import make_keys
+
+
+class TestPrimitives:
+    def test_allgather(self):
+        out = run_spmd(4, lambda c: c.allgather(c.rank * 10))
+        assert out == [[0, 10, 20, 30]] * 4
+
+    def test_bcast(self):
+        out = run_spmd(4, lambda c: c.bcast(c.rank + 99, root=2))
+        assert out == [101] * 4
+
+    def test_bcast_bad_root(self):
+        with pytest.raises(CommunicationError):
+            run_spmd(2, lambda c: c.bcast(1, root=5))
+
+    def test_alltoallv_routes_by_destination(self):
+        def prog(c):
+            buckets = [np.array([c.rank * 10 + q]) for q in range(c.size)]
+            received = c.alltoallv(buckets)
+            return [int(x[0]) for x in received]
+
+        out = run_spmd(3, prog)
+        # Rank q receives p*10+q from every p.
+        assert out == [[0, 10, 20], [1, 11, 21], [2, 12, 22]]
+
+    def test_alltoallv_none_buckets(self):
+        def prog(c):
+            buckets = [None] * c.size
+            if c.rank == 0:
+                buckets[1] = np.array([7])
+            received = c.alltoallv(buckets)
+            return received[0] is not None
+
+        out = run_spmd(2, prog)
+        assert out == [False, True]
+
+    def test_alltoallv_wrong_bucket_count(self):
+        with pytest.raises(CommunicationError):
+            run_spmd(2, lambda c: c.alltoallv([None]))
+
+    def test_sendrecv_pairwise(self):
+        def prog(c):
+            partner = c.rank ^ 1
+            got = c.sendrecv(np.array([c.rank]), dst=partner, src=partner)
+            return int(got[0])
+
+        assert run_spmd(4, prog) == [1, 0, 3, 2]
+
+    def test_repeated_collectives_reuse_mailbox(self):
+        def prog(c):
+            total = 0
+            for i in range(20):
+                got = c.alltoallv([np.array([i]) for _ in range(c.size)])
+                total += sum(int(x[0]) for x in got)
+            return total
+
+        out = run_spmd(3, prog)
+        assert out == [3 * sum(range(20))] * 3
+
+    def test_failure_propagates_and_unblocks_peers(self):
+        def prog(c):
+            if c.rank == 1:
+                raise ValueError("rank 1 exploded")
+            c.barrier()  # would deadlock if the abort didn't break it
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(3, prog)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_spmd(0, lambda c: None)
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda c: c.allgather("x")) == [["x"]]
+
+
+class TestSpmdBitonicSort:
+    @pytest.mark.parametrize("P,n", [(2, 64), (4, 128), (8, 256), (16, 32)])
+    def test_sorts(self, P, n):
+        keys = make_keys(P * n, seed=P * n + 1)
+
+        def prog(c):
+            local = keys[c.rank * n:(c.rank + 1) * n]
+            return spmd_bitonic_sort(c, local)
+
+        parts = run_spmd(P, prog)
+        np.testing.assert_array_equal(np.concatenate(parts), np.sort(keys))
+
+    def test_matches_simulator_implementation(self):
+        """Two independent implementations of Algorithm 1 agree exactly."""
+        P, n = 8, 512
+        keys = make_keys(P * n, seed=3)
+        sim = SmartBitonicSort().run(keys, P).sorted_keys
+
+        def prog(c):
+            return spmd_bitonic_sort(c, keys[c.rank * n:(c.rank + 1) * n])
+
+        spmd = np.concatenate(run_spmd(P, prog))
+        np.testing.assert_array_equal(spmd, sim)
+
+    def test_duplicate_heavy_keys(self):
+        P, n = 4, 256
+        keys = make_keys(P * n, seed=4, distribution="low-entropy")
+
+        def prog(c):
+            return spmd_bitonic_sort(c, keys[c.rank * n:(c.rank + 1) * n])
+
+        parts = run_spmd(P, prog)
+        np.testing.assert_array_equal(np.concatenate(parts), np.sort(keys))
+
+    def test_single_rank_sorts_locally(self):
+        keys = make_keys(128, seed=5)
+        parts = run_spmd(1, lambda c: spmd_bitonic_sort(c, keys))
+        np.testing.assert_array_equal(parts[0], np.sort(keys))
+
+    def test_ragged_partitions_rejected(self):
+        def prog(c):
+            local = make_keys(64 if c.rank == 0 else 32, seed=c.rank)
+            return spmd_bitonic_sort(c, local)
+
+        with pytest.raises(CommunicationError, match="unequal"):
+            run_spmd(2, prog)
+
+    def test_n_less_than_p(self):
+        P, n = 16, 4
+        keys = make_keys(P * n, seed=6)
+
+        def prog(c):
+            return spmd_bitonic_sort(c, keys[c.rank * n:(c.rank + 1) * n])
+
+        parts = run_spmd(P, prog)
+        np.testing.assert_array_equal(np.concatenate(parts), np.sort(keys))
+
+    def test_many_concurrent_repetitions(self):
+        """Stress the collectives for ordering races: many rounds, varying
+        seeds, all must sort."""
+        P, n = 4, 64
+        for seed in range(8):
+            keys = make_keys(P * n, seed=seed)
+
+            def prog(c):
+                return spmd_bitonic_sort(c, keys[c.rank * n:(c.rank + 1) * n])
+
+            parts = run_spmd(P, prog)
+            np.testing.assert_array_equal(np.concatenate(parts), np.sort(keys))
+
+
+class TestSpmdFFT:
+    @pytest.mark.parametrize("P,n", [(2, 64), (4, 64), (8, 32), (16, 8)])
+    def test_matches_numpy(self, P, n):
+        from repro.runtime import gather_natural_order, local_bitrev_slice, spmd_fft
+
+        rng = np.random.default_rng(P * n)
+        x = rng.normal(size=P * n) + 1j * rng.normal(size=P * n)
+
+        def prog(c):
+            local = local_bitrev_slice(x, c.rank, c.size)
+            out = spmd_fft(c, local)
+            return gather_natural_order(c, out)
+
+        results = run_spmd(P, prog)
+        for full in results:  # every rank reassembled the same spectrum
+            np.testing.assert_allclose(full, np.fft.fft(x), rtol=1e-9, atol=1e-6)
+
+    def test_inverse(self):
+        from repro.runtime import gather_natural_order, local_bitrev_slice, spmd_fft
+
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+
+        def prog(c):
+            local = local_bitrev_slice(x, c.rank, c.size)
+            return gather_natural_order(c, spmd_fft(c, local, inverse=True))
+
+        full = run_spmd(4, prog)[0]
+        np.testing.assert_allclose(full, np.fft.ifft(x) * 256, rtol=1e-9, atol=1e-6)
+
+    def test_matches_simulator_fft(self):
+        from repro.fft import ParallelFFT
+        from repro.runtime import gather_natural_order, local_bitrev_slice, spmd_fft
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=512) + 1j * rng.normal(size=512)
+        sim = ParallelFFT().run(x, 8).output
+
+        def prog(c):
+            local = local_bitrev_slice(x, c.rank, c.size)
+            return gather_natural_order(c, spmd_fft(c, local))
+
+        spmd = run_spmd(8, prog)[0]
+        np.testing.assert_allclose(spmd, sim, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,197 @@
+"""Tests for remap schedules (smart, cyclic-blocked, and Lemma 5 variants)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.layouts import (
+    bits_changed_lemma3,
+    build_schedule,
+    cyclic_blocked_schedule,
+    remap_count_cyclic_blocked,
+    remap_count_smart,
+    smart_schedule,
+    volume_cyclic_blocked,
+    volume_smart_closed_form,
+)
+from repro.layouts.smart import smart_params
+from repro.utils.bits import ilog2
+
+
+def _cases():
+    return st.tuples(
+        st.integers(2, 14),   # lg N
+        st.integers(1, 7),    # lg P
+    ).filter(lambda t: t[1] < t[0])  # n >= 2
+
+
+class TestSmartSchedule:
+    def test_paper_example_n256_p16(self):
+        sched = smart_schedule(256, 16)
+        assert sched.num_remaps == 7
+        assert sched.bits_changed_per_remap() == [1, 2, 3, 3, 4, 4, 2]
+        # Figure 3.3's narration: fewer remaps than cyclic-blocked's 8.
+        assert sched.num_remaps < cyclic_blocked_schedule(256, 16).num_remaps
+
+    def test_large_n_regime(self):
+        """For lgP(lgP+1)/2 <= lg n: R = lg P + 1 and V = n lg P."""
+        N, P = 1 << 16, 16
+        sched = smart_schedule(N, P)
+        assert sched.num_remaps == ilog2(P) + 1
+        assert sched.volume_per_processor() == (N // P) * ilog2(P)
+
+    @given(_cases())
+    def test_covers_region_exactly(self, case):
+        lgN, lgP = case
+        N, P = 1 << lgN, 1 << lgP
+        lgn = lgN - lgP
+        sched = smart_schedule(N, P)
+        total = sum(ph.num_steps for ph in sched.phases)
+        assert total == lgP * lgn + lgP * (lgP + 1) // 2
+        # Columns are the region's columns, in order, without gaps.
+        cols = [c for ph in sched.phases for c in ph.columns]
+        expect = [
+            (stage, step)
+            for stage in range(lgn + 1, lgN + 1)
+            for step in range(stage, 0, -1)
+        ]
+        assert cols == expect
+
+    @given(_cases())
+    def test_remap_count_formula(self, case):
+        lgN, lgP = case
+        N, P = 1 << lgN, 1 << lgP
+        assert smart_schedule(N, P).num_remaps == remap_count_smart(N, P)
+
+    @given(_cases())
+    def test_every_phase_local(self, case):
+        lgN, lgP = case
+        sched = smart_schedule(1 << lgN, 1 << lgP)
+        for ph in sched.phases:
+            for _, step in ph.columns:
+                assert ph.layout.step_is_local(step)
+
+    @given(_cases())
+    def test_phase_lengths_bounded_by_lemma1(self, case):
+        """No phase executes more than lg n steps (Lemma 1's bound)."""
+        lgN, lgP = case
+        lgn = lgN - lgP
+        sched = smart_schedule(1 << lgN, 1 << lgP)
+        assert all(1 <= ph.num_steps <= lgn for ph in sched.phases)
+
+    @given(_cases())
+    def test_lemma3_bit_counts(self, case):
+        """The empirical pattern-difference counts match Lemma 3's formula
+        for every remap of every schedule."""
+        lgN, lgP = case
+        N, P = 1 << lgN, 1 << lgP
+        lgn = lgN - lgP
+        sched = smart_schedule(N, P)
+        for ph, bc in zip(sched.phases, sched.bits_changed_per_remap()):
+            stage, step = ph.columns[0]
+            params = smart_params(N, P, stage, step)
+            assert bc == bits_changed_lemma3(params, lgn, lgP), (N, P, stage, step)
+
+    @given(_cases())
+    def test_volume_closed_form(self, case):
+        """§3.2.1's closed form equals the schedule-counted volume
+        (derived for n >= P; verified there)."""
+        lgN, lgP = case
+        N, P = 1 << lgN, 1 << lgP
+        if N // P < P:
+            return
+        sched = smart_schedule(N, P)
+        assert sched.volume_per_processor() == volume_smart_closed_form(N, P)
+
+    def test_n1_rejected(self):
+        with pytest.raises(ScheduleError, match="n >= 2"):
+            smart_schedule(8, 8)
+
+    def test_smart_beats_cyclic_blocked_on_R_and_V(self):
+        """Theorem 1 + §3.2.1 on a sweep: fewer remaps, less volume."""
+        for lgN, lgP in [(8, 2), (10, 3), (12, 4), (16, 5), (14, 3)]:
+            N, P = 1 << lgN, 1 << lgP
+            if N < P * P:
+                continue
+            s = smart_schedule(N, P)
+            assert s.num_remaps <= remap_count_cyclic_blocked(P)
+            assert s.volume_per_processor() <= volume_cyclic_blocked(N, P)
+
+
+class TestCyclicBlockedSchedule:
+    def test_remap_count(self):
+        assert cyclic_blocked_schedule(256, 16).num_remaps == 8
+
+    def test_alternates_cyclic_blocked(self):
+        sched = cyclic_blocked_schedule(256, 4)
+        names = [ph.layout.name for ph in sched.phases]
+        assert names == ["cyclic", "blocked"] * 2
+
+    def test_every_phase_local(self):
+        sched = cyclic_blocked_schedule(1024, 8)
+        for ph in sched.phases:
+            for _, step in ph.columns:
+                assert ph.layout.step_is_local(step)
+
+    def test_requires_n_ge_p(self):
+        with pytest.raises(ScheduleError, match="P\\*\\*2"):
+            cyclic_blocked_schedule(32, 8)
+
+    def test_volume_matches_formula(self):
+        sched = cyclic_blocked_schedule(1024, 8)
+        assert sched.volume_per_processor() == volume_cyclic_blocked(1024, 8)
+
+
+class TestLemma5Strategies:
+    def test_tail_never_worse_than_head(self):
+        for lgN, lgP in [(10, 3), (12, 4), (14, 5), (16, 4), (11, 3)]:
+            N, P = 1 << lgN, 1 << lgP
+            head = build_schedule(N, P, "head").volume_per_processor()
+            tail = build_schedule(N, P, "tail").volume_per_processor()
+            assert tail <= head, (N, P)
+
+    def test_middle1_worse_than_head(self):
+        """V_head < V_middle1 whenever middle1 applies (n >= P**2)."""
+        for lgN, lgP in [(13, 2), (18, 3), (22, 4)]:
+            N, P = 1 << lgN, 1 << lgP
+            if (N // P) < P * P:
+                continue
+            try:
+                mid = build_schedule(N, P, "middle1")
+            except ScheduleError:
+                continue
+            head = build_schedule(N, P, "head")
+            assert head.volume_per_processor() < mid.volume_per_processor(), (N, P)
+
+    def test_middle2_not_better_than_tail(self):
+        for lgN, lgP in [(13, 2), (18, 3), (22, 4)]:
+            N, P = 1 << lgN, 1 << lgP
+            if (N // P) < P * P:
+                continue
+            try:
+                mid = build_schedule(N, P, "middle2")
+            except ScheduleError:
+                continue
+            tail = build_schedule(N, P, "tail")
+            assert tail.volume_per_processor() <= mid.volume_per_processor(), (N, P)
+
+    def test_head_equals_tail_when_no_remainder(self):
+        """For lgP(lgP+1)/2 <= lg n the placements coincide in volume."""
+        N, P = 1 << 16, 16  # lg n = 12 >= 10
+        head = build_schedule(N, P, "head")
+        tail = build_schedule(N, P, "tail")
+        assert head.volume_per_processor() == tail.volume_per_processor()
+
+    def test_middle_strategies_reject_zero_remainder(self):
+        # lgP(lgP+1)/2 = 1, lg n = 1 -> rem = 0 for P=2, N=4? lgn=1, total=1*1+1=2, rem=0
+        with pytest.raises(ScheduleError):
+            build_schedule(16, 2, "middle1")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown strategy"):
+            build_schedule(64, 4, "sideways")
+
+    def test_describe_renders(self):
+        text = smart_schedule(256, 16).describe()
+        assert "remap 0" in text and "bits_changed=1" in text

@@ -1,0 +1,124 @@
+"""Tests for the sequential reference networks (the ground truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SizeError
+from repro.network.properties import is_bitonic, is_sorted_ascending
+from repro.network.sequential import (
+    batcher_sort,
+    bitonic_merge_network,
+    bitonic_sort_network,
+    compare_exchange_step,
+)
+
+
+class TestBitonicSortNetwork:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+    def test_sorts_random(self, n, rng):
+        a = rng.integers(0, 1000, n)
+        np.testing.assert_array_equal(bitonic_sort_network(a), np.sort(a))
+
+    def test_sorts_with_duplicates(self, rng):
+        a = rng.integers(0, 4, 64)
+        np.testing.assert_array_equal(bitonic_sort_network(a), np.sort(a))
+
+    def test_already_sorted_and_reverse(self):
+        a = np.arange(32)
+        np.testing.assert_array_equal(bitonic_sort_network(a), a)
+        np.testing.assert_array_equal(bitonic_sort_network(a[::-1].copy()), a)
+
+    def test_input_not_mutated(self, rng):
+        a = rng.integers(0, 100, 16)
+        b = a.copy()
+        bitonic_sort_network(a)
+        np.testing.assert_array_equal(a, b)
+
+    def test_trivial_sizes(self):
+        np.testing.assert_array_equal(bitonic_sort_network(np.array([5])), [5])
+        np.testing.assert_array_equal(bitonic_sort_network(np.array([])), [])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SizeError):
+            bitonic_sort_network(np.arange(12))
+
+    @given(st.integers(0, 2**32), st.sampled_from([2, 4, 8, 16, 32, 64]))
+    def test_property_sorts(self, seed, n):
+        a = np.random.default_rng(seed).integers(0, 2**31, n, dtype=np.uint32)
+        np.testing.assert_array_equal(bitonic_sort_network(a), np.sort(a))
+
+
+class TestBatcherSort:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 128])
+    def test_matches_network(self, n, rng):
+        a = rng.integers(0, 500, n)
+        np.testing.assert_array_equal(batcher_sort(a), np.sort(a))
+
+    def test_descending(self, rng):
+        a = rng.integers(0, 500, 32)
+        np.testing.assert_array_equal(batcher_sort(a, ascending=False),
+                                      np.sort(a)[::-1])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SizeError):
+            batcher_sort(np.arange(7))
+
+
+class TestStageStructure:
+    """Lemma 6 / Lemma 7: the data shape at stage boundaries and columns."""
+
+    def test_lemma6_stage_input_runs(self, rng):
+        """After stages 1..k-1, the array is alternating sorted runs of
+        length 2**(k-1)."""
+        n = 64
+        a = rng.integers(0, 1000, n)
+        data = a.copy()
+        from repro.network.addressing import steps_of_stage
+
+        for stage in range(1, 7):
+            # Check Lemma 6 on the input of this stage.
+            run = 1 << (stage - 1)
+            runs = data.reshape(-1, run)
+            for j, r in enumerate(runs):
+                if j % 2 == 0:
+                    assert is_sorted_ascending(r), (stage, j)
+                else:
+                    assert is_sorted_ascending(r[::-1]), (stage, j)
+            for step in steps_of_stage(stage):
+                compare_exchange_step(data, stage, step)
+        np.testing.assert_array_equal(data, np.sort(a))
+
+    def test_lemma7_column_bitonic_runs(self, rng):
+        """At column s of stage k the array consists of bitonic runs of
+        length 2**s."""
+        n = 64
+        data = rng.integers(0, 1000, n)
+        from repro.network.addressing import steps_of_stage
+
+        for stage in range(1, 7):
+            for step in steps_of_stage(stage):
+                # Before executing `step`, column == step: bitonic runs of
+                # length 2**step.
+                for run in data.reshape(-1, 1 << step):
+                    assert is_bitonic(run), (stage, step)
+                compare_exchange_step(data, stage, step)
+
+    def test_bitonic_merge_network_sorts_stage_input(self, rng):
+        """A full stage turns Lemma 6's input into sorted runs of twice the
+        length."""
+        up = np.sort(rng.integers(0, 100, 8))
+        down = np.sort(rng.integers(0, 100, 8))[::-1]
+        data = np.concatenate([up, down, up[::-1] * 0 + np.sort(rng.integers(0, 100, 8)),
+                               np.sort(rng.integers(0, 100, 8))[::-1]])
+        out = bitonic_merge_network(data, stage=4)
+        for j, run in enumerate(out.reshape(-1, 16)):
+            if j % 2 == 0:
+                assert is_sorted_ascending(run)
+            else:
+                assert is_sorted_ascending(run[::-1])
+
+    def test_merge_network_rejects_bad_stage(self):
+        with pytest.raises(SizeError):
+            bitonic_merge_network(np.arange(8), stage=4)

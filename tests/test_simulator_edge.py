@@ -1,0 +1,85 @@
+"""Edge-case and cross-feature tests for the machine simulator."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.fft.layouts import window_layout
+from repro.layouts import smart_layout
+from repro.machine import Machine, Message
+from repro.model.machines import MEIKO_CS2
+from repro.utils.bits import ilog2
+
+
+class TestByteAccounting:
+    def test_wire_cost_follows_itemsize(self):
+        """Equal element counts, different dtypes: the 8-byte payload costs
+        about twice the injection time of the 4-byte one."""
+        m4, m8 = Machine(2), Machine(2)
+        m4.exchange([Message(0, 1, np.arange(10_000, dtype=np.uint32))])
+        m8.exchange([Message(0, 1, np.arange(10_000, dtype=np.uint64))])
+        t4 = m4.procs[0].breakdown.times["transfer"]
+        t8 = m8.procs[0].breakdown.times["transfer"]
+        assert t8 / t4 == pytest.approx(2.0, rel=0.05)
+
+    def test_complex_payloads(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.zeros(100, dtype=np.complex128))])
+        # 1600 bytes on the wire.
+        expect = m.net.o + (1600 - 1) * m.net.G
+        assert m.procs[0].breakdown.times["transfer"] == pytest.approx(expect)
+
+    def test_volume_still_counted_in_elements(self):
+        m = Machine(2)
+        m.exchange([Message(0, 1, np.zeros(100, dtype=np.complex128))])
+        assert m.procs[0].elements_sent == 100
+
+
+class TestDmaShortInterplay:
+    def test_dma_does_not_affect_short_messages(self):
+        """Short messages have no bulk injection to offload: the LogP
+        formula applies unchanged."""
+        plain, dma = Machine(2), Machine(2, replace(MEIKO_CS2, dma_offload=True))
+        payload = np.arange(64, dtype=np.uint32)
+        plain.exchange([Message(0, 1, payload)], mode="short")
+        dma.exchange([Message(0, 1, payload)], mode="short")
+        assert (plain.procs[0].breakdown.times["transfer"]
+                == dma.procs[0].breakdown.times["transfer"])
+
+
+class TestDeterminismUnderTies:
+    def test_simultaneous_arrivals_ordered_by_source(self):
+        """Two identical messages arriving at the same instant are
+        processed in source order — reruns are bit-identical."""
+        def run():
+            m = Machine(3)
+            m.exchange([
+                Message(2, 0, np.arange(4, dtype=np.uint32)),
+                Message(1, 0, np.arange(4, dtype=np.uint32)),
+            ])
+            return m.procs[0].clock
+
+        assert run() == run()
+
+
+class TestWindowSmartLayoutRelation:
+    def test_inside_smart_layout_is_a_window(self):
+        """An *inside* smart remap's layout is exactly the FFT bit-window
+        at its t parameter — the two generalizations share one geometry."""
+        N, P = 1 << 10, 16
+        lgn = ilog2(N // P)
+        for stage, step in [(7, 7), (8, 8), (9, 7), (10, 10)]:
+            if step < lgn:
+                continue
+            from repro.layouts.smart import smart_params
+
+            params = smart_params(N, P, stage, step)
+            if params.is_crossing or params.is_last:
+                continue
+            assert smart_layout(N, P, stage, step) == window_layout(N, P, params.t)
+
+    def test_window_zero_matches_last_smart_remap(self):
+        N, P = 1 << 10, 16
+        lgN = ilog2(N)
+        assert window_layout(N, P, 0) == smart_layout(N, P, lgN, 2)

@@ -1,0 +1,120 @@
+"""Tests for the local compare-exchange engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.layouts import blocked_layout, cyclic_layout, smart_layout
+from repro.network.sequential import bitonic_sort_network, compare_exchange_step
+from repro.network.steps import (
+    compare_exchange_general,
+    compare_exchange_local,
+    run_steps_general,
+)
+
+
+def _global_state(rng, N):
+    """A random global array indexed by absolute address."""
+    return rng.integers(0, 10_000, N).astype(np.int64)
+
+
+class TestGeneralEngine:
+    def test_matches_sequential_step(self, rng):
+        """Executing a step on a full partition (P=1 view) must equal the
+        sequential network step."""
+        N = 64
+        glob = _global_state(rng, N)
+        expect = glob.copy()
+        compare_exchange_step(expect, stage=4, step=2)
+        local = glob.copy()
+        compare_exchange_general(local, np.arange(N), stage=4, step=2)
+        np.testing.assert_array_equal(local, expect)
+
+    def test_partitioned_blocked(self, rng):
+        """Blocked partitions: the last lg n steps of any stage are local
+        and produce the sequential result."""
+        N, P = 64, 4
+        lay = blocked_layout(N, P)
+        glob = _global_state(rng, N)
+        expect = glob.copy()
+        for stage, step in [(5, 4), (5, 3), (5, 2), (5, 1)]:
+            compare_exchange_step(expect, stage, step)
+        for r in range(P):
+            absaddr = lay.absolute_addresses(r)
+            local = glob[absaddr].copy()
+            run_steps_general(local, absaddr, [(5, 4), (5, 3), (5, 2), (5, 1)])
+            np.testing.assert_array_equal(local, expect[absaddr])
+
+    def test_detects_nonlocal_step(self, rng):
+        """Step lg n + 1 under blocked needs communication — the engine
+        must refuse, not silently corrupt."""
+        N, P = 64, 4
+        lay = blocked_layout(N, P)
+        absaddr = lay.absolute_addresses(0)
+        data = _global_state(rng, N)[absaddr].copy()
+        with pytest.raises(LayoutError, match="not local"):
+            compare_exchange_general(data, absaddr, stage=5, step=5)
+
+    def test_arbitrary_local_order(self, rng):
+        """The general engine works for shuffled local placements."""
+        N = 32
+        glob = _global_state(rng, N)
+        expect = glob.copy()
+        compare_exchange_step(expect, stage=3, step=1)
+        perm = rng.permutation(N)
+        data = glob[perm].copy()
+        compare_exchange_general(data, perm, stage=3, step=1)
+        np.testing.assert_array_equal(data, expect[perm])
+
+
+class TestLocalEngine:
+    @pytest.mark.parametrize(
+        "layout_fn,stage,step",
+        [
+            (lambda N, P: blocked_layout(N, P), 5, 2),
+            (lambda N, P: cyclic_layout(N, P), 5, 5),
+            (lambda N, P: smart_layout(N, P, 5, 5), 5, 5),
+        ],
+    )
+    def test_matches_general_engine(self, layout_fn, stage, step, rng):
+        N, P = 64, 4
+        lay = layout_fn(N, P)
+        glob = _global_state(rng, N)
+        for r in range(P):
+            absaddr = lay.absolute_addresses(r)
+            lb = lay.local_bit_of_abs_bit(step - 1)
+            assert lb is not None
+            fast = glob[absaddr].copy()
+            slow = glob[absaddr].copy()
+            compare_exchange_local(fast, absaddr, stage, step, lb)
+            compare_exchange_general(slow, absaddr, stage, step)
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_rejects_wrong_local_bit(self, rng):
+        N, P = 64, 4
+        lay = blocked_layout(N, P)
+        absaddr = lay.absolute_addresses(0)
+        data = _global_state(rng, N)[absaddr].copy()
+        with pytest.raises(LayoutError, match="does not map"):
+            compare_exchange_local(data, absaddr, stage=4, step=2, local_bit=3)
+
+    def test_rejects_out_of_range_bit(self, rng):
+        N, P = 64, 4
+        lay = blocked_layout(N, P)
+        absaddr = lay.absolute_addresses(0)
+        data = _global_state(rng, N)[absaddr].copy()
+        with pytest.raises(LayoutError, match="out of range"):
+            compare_exchange_local(data, absaddr, stage=4, step=2, local_bit=9)
+
+
+class TestEndToEndViaSteps:
+    def test_full_network_on_one_processor(self, rng):
+        """Running every column through the general engine sorts."""
+        N = 128
+        glob = _global_state(rng, N)
+        data = glob.copy()
+        from repro.network.addressing import network_columns
+
+        run_steps_general(data, np.arange(N), network_columns(N))
+        np.testing.assert_array_equal(data, np.sort(glob))
+        np.testing.assert_array_equal(bitonic_sort_network(glob), np.sort(glob))

@@ -1,0 +1,54 @@
+"""Tests for the (P, n) sweep utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.sweeps import compare_sweep, render_heatmap, run_sweep
+from repro.sorts import CyclicBlockedBitonicSort, SmartBitonicSort
+
+
+class TestRunSweep:
+    def test_grid_covered(self):
+        res = run_sweep(SmartBitonicSort(), procs=(2, 4), keys_per_proc=(64, 128))
+        assert set(res.values) == {(2, 64), (2, 128), (4, 64), (4, 128)}
+        assert all(v > 0 for v in res.values.values())
+
+    def test_custom_metric(self):
+        res = run_sweep(
+            SmartBitonicSort(), (4,), (128,),
+            metric=lambda st: st.remaps, metric_name="remaps",
+        )
+        assert res.values[(4, 128)] == 3  # lg P + 1 at this size
+
+    def test_row_accessor(self):
+        res = run_sweep(SmartBitonicSort(), (2, 4), (64, 128))
+        assert res.row(2) == [res.values[(2, 64)], res.values[(2, 128)]]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(SmartBitonicSort(), (), (64,))
+
+
+class TestCompareSweep:
+    def test_smart_beats_cyclic_blocked_on_grid(self):
+        res = compare_sweep(
+            SmartBitonicSort(), CyclicBlockedBitonicSort(),
+            procs=(4, 8), keys_per_proc=(1024, 4096),
+        )
+        # Ratio > 1 everywhere: smart is the faster of the two.
+        assert all(v > 1.0 for v in res.values.values())
+
+
+class TestHeatmap:
+    def test_renders_all_cells(self):
+        res = run_sweep(SmartBitonicSort(), (2, 4, 8), (64, 256))
+        text = render_heatmap(res)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + column row + one per P
+        for P in (2, 4, 8):
+            assert any(line.strip().startswith(str(P)) for line in lines[2:])
+
+    def test_shades_span_ramp(self):
+        res = run_sweep(SmartBitonicSort(), (2, 8), (64, 4096))
+        text = render_heatmap(res)
+        assert "light=low" in text

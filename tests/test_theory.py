@@ -1,0 +1,139 @@
+"""Tests for the analytical communication models (§3.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.layouts.analysis import (
+    communication_group,
+    messages_smart_lower_bound,
+)
+from repro.model.logp import LogGPParams
+from repro.theory import (
+    best_algorithm,
+    comm_time_table,
+    counts_for,
+    loggp_comm_time,
+    logp_comm_time,
+    predict_comm_per_key,
+)
+from repro.theory.counts import STRATEGIES
+
+
+NET = LogGPParams(L=7.5, o=1.7, g=3.3, G=0.0094, P=64)
+
+
+class TestCounts:
+    def test_blocked(self):
+        c = counts_for("blocked", 1 << 14, 16)
+        n = (1 << 14) // 16
+        assert c.remaps == 10
+        assert c.volume == 10 * n
+        assert c.messages == 10
+
+    def test_cyclic_blocked(self):
+        c = counts_for("cyclic-blocked", 1 << 14, 16)
+        n = (1 << 14) // 16
+        assert c.remaps == 8
+        assert c.volume == 2 * (n - n // 16) * 4
+        assert c.messages == 2 * 4 * 15
+
+    def test_smart_large_n(self):
+        c = counts_for("smart", 1 << 16, 16)
+        assert c.remaps == 5
+        assert c.volume == (1 << 12) * 4
+
+    def test_smart_message_lower_bound(self):
+        """§3.4.3's bound M >= 3(P-1) - lgP holds for the actual count."""
+        for N, P in [(1 << 12, 8), (1 << 14, 16), (1 << 16, 32)]:
+            c = counts_for("smart", N, P)
+            assert c.messages >= messages_smart_lower_bound(P)
+
+    def test_single_proc_all_zero(self):
+        for strat in STRATEGIES:
+            c = counts_for(strat, 64, 1)
+            assert (c.remaps, c.volume, c.messages) == (0, 0, 0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            counts_for("psychic", 64, 4)
+
+    def test_smart_dominates_on_R_and_V(self):
+        """§3.4.2: smart is optimal on remaps and volume simultaneously."""
+        for N, P in [(1 << 12, 8), (1 << 16, 16), (1 << 18, 32)]:
+            smart = counts_for("smart", N, P)
+            for other in ("blocked", "cyclic-blocked"):
+                c = counts_for(other, N, P)
+                assert smart.remaps <= c.remaps
+                assert smart.volume <= c.volume
+
+    def test_blocked_fewest_messages(self):
+        """§3.4.3: the blocked strategy sends the fewest messages."""
+        for N, P in [(1 << 12, 8), (1 << 16, 16)]:
+            blocked = counts_for("blocked", N, P)
+            for other in ("smart", "cyclic-blocked"):
+                assert blocked.messages <= counts_for(other, N, P).messages
+
+
+class TestTimes:
+    def test_logp_time_formula(self):
+        c = counts_for("smart", 1 << 14, 16)
+        gp = max(NET.g, 2 * NET.o)
+        expect = (NET.L + 2 * NET.o - gp) * c.remaps + gp * c.volume
+        assert logp_comm_time(c, NET) == pytest.approx(expect)
+
+    def test_loggp_time_formula(self):
+        c = counts_for("smart", 1 << 14, 16)
+        v_bytes = c.volume * 4
+        expect = ((NET.L + 2 * NET.o) * c.remaps
+                  + NET.G * (v_bytes - c.messages)
+                  + NET.g * (c.messages - c.remaps))
+        assert loggp_comm_time(c, NET) == pytest.approx(expect)
+
+    def test_long_messages_much_cheaper(self):
+        c = counts_for("smart", 1 << 18, 16)
+        assert logp_comm_time(c, NET) > 10 * loggp_comm_time(c, NET)
+
+    def test_per_key(self):
+        c = counts_for("smart", 1 << 18, 16)
+        assert predict_comm_per_key(c, NET) == pytest.approx(
+            loggp_comm_time(c, NET) / c.n
+        )
+
+
+class TestCrossover:
+    def test_smart_wins_under_logp(self):
+        """Short messages: smart optimal on all metrics, so always best."""
+        for N, P in [(1 << 12, 4), (1 << 16, 16), (1 << 20, 32)]:
+            best, _ = best_algorithm(N, P, NET, long_messages=False)
+            assert best == "smart"
+
+    def test_blocked_wins_tiny_p_long_messages(self):
+        """§3.4.3: for P=2 the blocked strategy (one message per step) has
+        the best long-message communication time."""
+        best, table = best_algorithm(1 << 20, 2, NET, long_messages=True)
+        assert best == "blocked"
+        assert table["blocked"] <= table["smart"]
+
+    def test_smart_wins_moderate_p_long_messages(self):
+        best, _ = best_algorithm(1 << 20, 32, NET, long_messages=True)
+        assert best == "smart"
+
+    def test_table_has_all_strategies(self):
+        table = comm_time_table(1 << 14, 8, NET)
+        assert set(table) == set(STRATEGIES)
+        assert all(v > 0 for v in table.values())
+
+
+class TestCommunicationGroup:
+    def test_group_arithmetic(self):
+        assert communication_group(5, 2, 16) == (4, 4)
+        assert communication_group(3, 0, 16) == (3, 1)
+        assert communication_group(15, 4, 16) == (0, 16)
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ConfigurationError):
+            communication_group(0, 5, 16)
+
+    def test_rejects_bad_proc(self):
+        with pytest.raises(ConfigurationError):
+            communication_group(16, 2, 16)

@@ -1,0 +1,50 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SizeError
+from repro.utils.validation import require, require_power_of_two, require_sizes
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePowerOfTwo:
+    def test_accepts_and_returns(self):
+        assert require_power_of_two(8, "x") == 8
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(SizeError, match="x"):
+            require_power_of_two(bad, "x")
+
+    @pytest.mark.parametrize("bad", [2.0, "8", True, None])
+    def test_rejects_non_ints(self, bad):
+        with pytest.raises(SizeError):
+            require_power_of_two(bad, "x")
+
+
+class TestRequireSizes:
+    def test_returns_triple(self):
+        assert require_sizes(64, 4) == (64, 4, 16)
+
+    def test_one_key_per_proc_allowed(self):
+        assert require_sizes(8, 8) == (8, 8, 1)
+
+    def test_more_procs_than_keys_rejected(self):
+        with pytest.raises(SizeError, match="at least one key"):
+            require_sizes(4, 8)
+
+    def test_non_power_of_two_keys_rejected(self):
+        with pytest.raises(SizeError):
+            require_sizes(48, 4)
+
+    def test_non_power_of_two_procs_rejected(self):
+        with pytest.raises(SizeError):
+            require_sizes(64, 3)

@@ -1,0 +1,92 @@
+"""Tests for the ASCII diagram renderings."""
+
+import pytest
+
+from repro.layouts import blocked_layout, cyclic_layout, smart_schedule
+from repro.viz import (
+    render_communication,
+    render_network,
+    render_schedule_map,
+    step_locality,
+)
+
+
+class TestRenderNetwork:
+    def test_small_network_shape(self):
+        text = render_network(8)
+        lines = text.splitlines()
+        assert len(lines) == 9  # header + 8 rows
+        # 6 columns for N=8 plus the row label column.
+        assert len(lines[0].split()) == 7
+
+    def test_final_stage_direction(self):
+        """In the last stage every comparison is ascending: the row with a
+        0 in the compared bit takes the min."""
+        text = render_network(4)
+        rows = [line.split() for line in text.splitlines()[1:]]
+        # Column 2.2 compares bit 1: rows 0,1 take min, rows 2,3 take max.
+        assert [r[2] for r in rows] == ["m", "m", "M", "M"]
+        # Column 2.1 compares bit 0: even rows take min, odd rows take max.
+        assert [r[3] for r in rows] == ["m", "M", "m", "M"]
+
+    def test_first_stage_alternates(self):
+        text = render_network(4)
+        rows = [line.split() for line in text.splitlines()[1:]]
+        first = [r[1] for r in rows]
+        # Rows 0,1 ascending pair; rows 2,3 descending pair.
+        assert first == ["m", "M", "M", "m"]
+
+    def test_refuses_huge(self):
+        with pytest.raises(ValueError):
+            render_network(64)
+
+
+class TestRenderCommunication:
+    def test_blocked_figure_2_5(self):
+        """Blocked layout: the first k steps of stage lg n + k are remote,
+        the rest local (Figure 2.5)."""
+        text = render_communication(blocked_layout(16, 4))
+        lines = {int(l.split()[0]): l for l in text.splitlines()[2:-1]}
+        assert lines[1].endswith(".")
+        assert lines[3].split()[1:] == ["*", ".", "."]
+        assert lines[4].split()[1:] == ["*", "*", ".", "."]
+        assert "remote steps: 3 of 10" in text
+
+    def test_cyclic_figure_2_6(self):
+        """Cyclic layout: the mirror image — first lg n stages remote, the
+        first k steps of stage lg n + k local (Figure 2.6)."""
+        text = render_communication(cyclic_layout(16, 4))
+        lines = {int(l.split()[0]): l for l in text.splitlines()[2:-1]}
+        assert lines[1].split()[1:] == ["*"]
+        assert lines[3].split()[1:] == [".", "*", "*"]
+        assert lines[4].split()[1:] == [".", ".", "*", "*"]
+
+    def test_cyclic_more_remote_than_blocked(self):
+        """'Overall a cyclic layout has a higher communication complexity
+        than a blocked layout' (§2.2)."""
+        def remote_count(text):
+            return int(text.splitlines()[-1].split()[2])
+
+        blocked = remote_count(render_communication(blocked_layout(64, 4)))
+        cyclic = remote_count(render_communication(cyclic_layout(64, 4)))
+        assert cyclic > blocked
+
+    def test_step_locality_matches_layout(self):
+        lay = blocked_layout(64, 8)
+        assert step_locality(lay, 1)
+        assert not step_locality(lay, 6)
+
+
+class TestRenderScheduleMap:
+    def test_marks_every_remap_once(self):
+        sched = smart_schedule(256, 16)
+        text = render_schedule_map(sched)
+        for i in range(sched.num_remaps):
+            assert f"R{i}" in text
+        assert "7 remaps" in text
+
+    def test_stage_rows_cover_region(self):
+        sched = smart_schedule(256, 16)
+        text = render_schedule_map(sched)
+        for stage in (5, 6, 7, 8):
+            assert f"stage  {stage}:" in text

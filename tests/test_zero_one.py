@@ -1,0 +1,87 @@
+"""0-1-principle certification of every sorting/merging kernel.
+
+These tests upgrade "sorted some random arrays" to exhaustive correctness
+over all 0-1 inputs — for comparison networks the two are equivalent
+(Knuth's 0-1 principle).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, VerificationError
+from repro.localsort import radix_sort, sort_bitonic
+from repro.localsort.bitonic_merge_sort import batched_bitonic_merge
+from repro.network.sequential import batcher_sort, bitonic_sort_network
+from repro.network.zero_one import (
+    all_zero_one_bitonic_inputs,
+    all_zero_one_inputs,
+    certify_bitonic_merger,
+    certify_sorter,
+)
+from repro.sorts import SmartBitonicSort
+
+
+class TestEnumeration:
+    def test_all_inputs_shape(self):
+        m = all_zero_one_inputs(4)
+        assert m.shape == (16, 4)
+        assert m.min() == 0 and m.max() == 1
+        # Row i encodes i.
+        assert m[5].tolist() == [1, 0, 1, 0]
+
+    def test_refuses_huge(self):
+        with pytest.raises(ConfigurationError):
+            all_zero_one_inputs(25)
+
+    def test_bitonic_inputs_are_bitonic_and_complete(self):
+        from repro.network.properties import is_bitonic
+
+        m = all_zero_one_bitonic_inputs(6)
+        for row in m:
+            assert is_bitonic(row)
+        # Every 0-1 bitonic sequence of length 6 appears: compare against
+        # brute force over all 64 inputs.
+        brute = [row for row in all_zero_one_inputs(6) if is_bitonic(row)]
+        assert m.shape[0] == len(brute)
+
+
+class TestCertifications:
+    @pytest.mark.parametrize("N", [2, 4, 8, 16])
+    def test_sequential_network_certified(self, N):
+        assert certify_sorter(bitonic_sort_network, N) == 1 << N
+
+    @pytest.mark.parametrize("N", [2, 4, 8])
+    def test_batcher_certified(self, N):
+        certify_sorter(batcher_sort, N)
+
+    @pytest.mark.parametrize("N", [4, 8, 16])
+    def test_radix_sort_certified(self, N):
+        certify_sorter(lambda a: radix_sort(a, key_bits=1), N)
+
+    @pytest.mark.parametrize("N,P", [(4, 2), (8, 2), (8, 4)])
+    def test_smart_parallel_sort_certified(self, N, P):
+        """The full parallel algorithm on a small simulated machine, run
+        against every 0-1 input of length N.  (n = 1 key per processor is
+        excluded: the smart layout needs lg n >= 1 — Lemma 1.)"""
+        algo = SmartBitonicSort()
+        certify_sorter(lambda a: algo.run(a, P).sorted_keys, N)
+
+    @pytest.mark.parametrize("N", [2, 8, 32, 64])
+    def test_bitonic_merge_sort_certified(self, N):
+        assert certify_bitonic_merger(sort_bitonic, N) >= N * (N - 1)
+
+    @pytest.mark.parametrize("N", [4, 16, 64])
+    def test_butterfly_merge_certified(self, N):
+        def merge(row):
+            return batched_bitonic_merge(row[None, :], True, axis=1)[0]
+
+        certify_bitonic_merger(merge, N)
+
+    def test_counterexample_detected(self):
+        """A deliberately broken 'sorter' is caught."""
+        with pytest.raises(VerificationError, match="counterexample"):
+            certify_sorter(lambda a: a, 3)
+
+    def test_broken_merger_detected(self):
+        with pytest.raises(VerificationError):
+            certify_bitonic_merger(lambda a: a, 4)
