@@ -28,11 +28,22 @@ paper-vs-measured record of every table and figure.
 from repro.errors import (
     CommunicationError,
     ConfigurationError,
+    CorruptPayloadError,
     LayoutError,
+    PeerFailedError,
     ReproError,
     ScheduleError,
     SizeError,
+    SpmdTimeoutError,
     VerificationError,
+)
+from repro.faults import (
+    ChaosReport,
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    ReliableComm,
+    run_chaos_sort,
 )
 from repro.harness import run_experiment
 from repro.layouts import (
@@ -68,7 +79,17 @@ __all__ = [
     "LayoutError",
     "ScheduleError",
     "CommunicationError",
+    "PeerFailedError",
+    "SpmdTimeoutError",
+    "CorruptPayloadError",
     "VerificationError",
+    # fault injection & tolerance
+    "FaultPlan",
+    "FaultInjector",
+    "ReliableComm",
+    "CheckpointStore",
+    "ChaosReport",
+    "run_chaos_sort",
     # machine & model
     "Machine",
     "RunStats",

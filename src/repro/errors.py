@@ -3,9 +3,34 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 distinguishing configuration mistakes from runtime/verification failures.
+
+The full hierarchy::
+
+    ReproError
+    ├── ConfigurationError            (also ValueError)
+    │   ├── SizeError
+    │   ├── LayoutError
+    │   └── ScheduleError
+    ├── CommunicationError            (also RuntimeError)
+    │   ├── PeerFailedError           — a specific rank died or went silent
+    │   ├── SpmdTimeoutError          (also TimeoutError) — a deadline expired
+    │   └── CorruptPayloadError       — a checksum rejected a payload
+    └── VerificationError             (also AssertionError)
+
+The three :class:`CommunicationError` subclasses are raised by the
+fault-tolerant transport (:mod:`repro.faults`): :class:`PeerFailedError`
+names the rank that failed and the phase it failed in, carrying the retry
+history that led to the verdict; :class:`SpmdTimeoutError` is the watchdog's
+"nobody in particular, but the deadline passed" escalation (it additionally
+derives from :class:`TimeoutError` so generic timeout handlers catch it);
+:class:`CorruptPayloadError` reports a payload whose checksum never
+validated within the retry budget — corruption is *always* surfaced as this
+typed error, never as silently wrong data.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence
 
 
 class ReproError(Exception):
@@ -42,6 +67,81 @@ class CommunicationError(ReproError, RuntimeError):
     """The simulated machine was asked to perform an impossible transfer,
     such as a message addressed to a processor outside the machine or a
     payload whose length disagrees with its declared size."""
+
+
+class PeerFailedError(CommunicationError):
+    """A specific peer rank crashed or went silent.
+
+    Raised by the fault-tolerant transport when a watchdog concludes that a
+    named rank will never answer: its barrier collapsed, or it stopped
+    acknowledging retransmissions while other peers kept making progress.
+
+    Attributes
+    ----------
+    rank:
+        The rank judged dead (``None`` when the culprit is unknowable, e.g.
+        a collapsed barrier that does not identify its breaker).
+    phase:
+        The communication phase in which the failure was detected.
+    retries:
+        Retry history accumulated before giving up (one entry per attempt).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: Optional[int] = None,
+        phase: Optional[str] = None,
+        retries: Sequence[str] = (),
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.phase = phase
+        self.retries = list(retries)
+
+
+class SpmdTimeoutError(CommunicationError, TimeoutError):
+    """An SPMD deadline expired with no specific peer to blame.
+
+    Raised by :func:`repro.runtime.threads.run_spmd` when the world misses
+    its wall-clock budget, and by the reliable transport when a collective's
+    retry budget drains without isolating a single failed rank.  Also a
+    :class:`TimeoutError` so generic timeout handlers catch it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: Optional[int] = None,
+        phase: Optional[str] = None,
+        retries: Sequence[str] = (),
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.phase = phase
+        self.retries = list(retries)
+
+
+class CorruptPayloadError(CommunicationError):
+    """A payload's checksum never validated within the retry budget.
+
+    The reliable transport detects in-flight corruption by checksum and
+    normally recovers by requesting a retransmission; this error is the
+    escalation when every attempt from a sender arrived corrupted.  It names
+    the sending rank and the phase so a wrong sort can never be silent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: Optional[int] = None,
+        phase: Optional[str] = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.phase = phase
+        self.attempts = attempts
 
 
 class VerificationError(ReproError, AssertionError):

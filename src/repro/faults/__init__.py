@@ -1,0 +1,50 @@
+"""Fault injection and fault tolerance for the communication substrates.
+
+The rest of the package assumes every transfer succeeds and every rank
+survives; real coarse-grained machines deliver late, drop, and fail.  This
+subpackage makes the communication plane adversarial-by-default testable:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultInjector`:
+  seeded, deterministic message drop / duplication / corruption / delay
+  plus rank crash and slowdown, replayable bit-for-bit from the seed;
+* :mod:`repro.faults.transport` — :class:`ReliableComm`: sequence numbers,
+  payload checksums, timeout + capped exponential backoff with jitter,
+  idempotent resend, and a watchdog that converts silence into typed
+  :class:`~repro.errors.PeerFailedError` / ``SpmdTimeoutError`` /
+  ``CorruptPayloadError``;
+* :mod:`repro.faults.checkpoint` — :class:`CheckpointStore`: phase-level
+  shard snapshots so a crashed run resumes from the last completed stage;
+* :mod:`repro.faults.chaos` — :func:`run_chaos_sort`: the driver that
+  sorts through an adversarial network, restarting from checkpoints, and
+  verifies the result element-exactly.
+
+The same :class:`FaultInjector` also plugs into the LogGP simulator
+(:class:`repro.machine.Machine`), where retransmissions are charged as
+simulated time so fault rates show up in the makespan and R/V/M metrics —
+see the ``chaos-sweep`` experiment and the ``repro-bitonic chaos`` CLI.
+"""
+
+from repro.faults.checkpoint import CheckpointStore
+from repro.faults.chaos import ChaosReport, run_chaos_sort
+from repro.faults.plan import (
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    InjectedCrash,
+    corrupt_payload,
+)
+from repro.faults.transport import ReliableComm
+
+__all__ = [
+    "ChaosReport",
+    "CheckpointStore",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedCrash",
+    "ReliableComm",
+    "corrupt_payload",
+    "run_chaos_sort",
+]

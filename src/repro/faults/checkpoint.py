@@ -1,0 +1,88 @@
+"""Phase-level checkpointing for the SPMD sorts.
+
+A :class:`CheckpointStore` keeps, per rank, snapshots of the local shard
+taken after each completed sort stage (stage 0 = after the initial local
+sort, stage *i* = after remap phase *i*).  The store is shared by every
+rank of a world and survives a world restart, so a crashed run can resume
+from the last stage *every* rank completed instead of starting over.
+
+Because the sort phases are separated by collectives, concurrently running
+ranks are never more than one stage apart; keeping the last two snapshots
+per rank therefore always preserves the globally completed stage while
+bounding memory to ``2 × shard`` per rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Thread-safe in-memory snapshots: ``rank -> {stage: shard copy}``.
+
+    ``keep`` bounds how many most-recent stages are retained per rank
+    (must be >= 2 so the resumable stage is never pruned mid-run).
+    """
+
+    def __init__(self, keep: int = 2):
+        if keep < 2:
+            raise ConfigurationError(
+                f"checkpoint store must keep >= 2 stages, got {keep}"
+            )
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._snaps: Dict[int, Dict[int, np.ndarray]] = {}
+        #: Bookkeeping for chaos reports.
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, rank: int, stage: int, data: np.ndarray) -> None:
+        """Snapshot ``rank``'s shard as of completed ``stage``."""
+        snap = np.array(data, copy=True)
+        with self._lock:
+            stages = self._snaps.setdefault(rank, {})
+            stages[stage] = snap
+            for old in sorted(stages)[: -self.keep]:
+                del stages[old]
+            self.saves += 1
+
+    def load(self, rank: int, stage: int) -> Optional[np.ndarray]:
+        """The shard snapshot of ``rank`` at ``stage`` (a copy), or None."""
+        with self._lock:
+            snap = self._snaps.get(rank, {}).get(stage)
+            if snap is None:
+                return None
+            self.restores += 1
+            return np.array(snap, copy=True)
+
+    def latest_stage(self, rank: int) -> int:
+        """The newest stage snapshotted for ``rank`` (-1 when none)."""
+        with self._lock:
+            stages = self._snaps.get(rank)
+            return max(stages) if stages else -1
+
+    def resumable_stage(self, ranks: Optional[List[int]] = None) -> int:
+        """The newest stage *every* rank has completed (-1 when any rank has
+        no snapshot — i.e. restart from scratch)."""
+        with self._lock:
+            if not self._snaps:
+                return -1
+            ranks = ranks if ranks is not None else sorted(self._snaps)
+            best = []
+            for r in ranks:
+                stages = self._snaps.get(r)
+                if not stages:
+                    return -1
+                best.append(max(stages))
+            return min(best)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._snaps.clear()

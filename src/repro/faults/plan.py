@@ -1,0 +1,272 @@
+"""Deterministic fault plans and the injector that executes them.
+
+A :class:`FaultPlan` declares *what* can go wrong — per-message drop /
+duplication / corruption / delay probabilities, an optional one-shot rank
+crash, per-rank slowdown factors — and a :class:`FaultInjector` turns the
+plan into reproducible per-message verdicts.  Determinism is the whole
+point: every decision is a pure function of ``(seed, phase, src, dst, seq,
+attempt)``, hashed into its own :class:`numpy.random.Generator`, so the
+same plan injects the *same* faults regardless of thread interleaving,
+retry timing, or which substrate (simulator or threads runtime) carries
+the messages.  A chaos run that fails can therefore be replayed exactly.
+
+The same injector instance serves both substrates:
+
+* :class:`~repro.machine.simulator.Machine` consults it per simulated
+  message and charges LogGP time for the induced retransmissions, so
+  injected faults show up in the simulated makespan and the R/V/M metrics;
+* :class:`~repro.faults.transport.ReliableComm` consults it per envelope on
+  the in-process threads runtime, where the induced retries exercise real
+  concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "FaultDecision",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "InjectedCrash",
+    "NO_FAULT",
+    "corrupt_payload",
+]
+
+#: Phases are named on the threads runtime ("phase-3") and numbered on the
+#: simulator (the remap counter); both hash stably.
+PhaseId = Union[int, str]
+
+
+class InjectedCrash(ReproError):
+    """A rank death injected by a :class:`FaultPlan` (never a real bug).
+
+    Raised *inside* the crashing rank; peers observe the collapse as a
+    :class:`~repro.errors.PeerFailedError`.  The chaos driver catches this
+    to trigger a checkpoint restart.
+    """
+
+    def __init__(self, rank: int, phase: PhaseId):
+        super().__init__(f"injected crash of rank {rank} at phase {phase!r}")
+        self.rank = rank
+        self.phase = phase
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The injector's verdict for one message attempt."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    delay: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.corrupt or self.delay)
+
+
+#: Shared "nothing happens" verdict (the rate-0 fast path allocates nothing).
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seeded description of the faults to inject.
+
+    Rates are independent per-message probabilities in ``[0, 1]``; a message
+    attempt may suffer several faults at once (e.g. delayed *and*
+    duplicated).  ``crash_rank``/``crash_phase`` schedule at most one rank
+    death: the first time ``crash_rank`` enters a phase with index >=
+    ``crash_phase`` it dies (one-shot — after a restart the plan lets it
+    live, modelling a recovered node).  ``slowdown`` multiplies the named
+    ranks' simulated compute charges.  ``phases`` (when given) restricts all
+    message faults to those phase ids.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    #: Simulated delay magnitude (µs) on the machine; on the threads
+    #: runtime a delayed envelope simply arrives one retry round late.
+    delay_us: float = 500.0
+    crash_rank: Optional[int] = None
+    crash_phase: int = 0
+    slowdown: Mapping[int, float] = field(default_factory=dict)
+    phases: Optional[FrozenSet[PhaseId]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "delay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate {name}={rate} outside [0, 1]"
+                )
+        if self.delay_us < 0:
+            raise ConfigurationError(f"delay_us must be >= 0, got {self.delay_us}")
+        for rank, factor in self.slowdown.items():
+            if factor < 1.0:
+                raise ConfigurationError(
+                    f"slowdown factor for rank {rank} must be >= 1, got {factor}"
+                )
+        # Freeze the mapping/set fields so the plan is safely shareable.
+        object.__setattr__(self, "slowdown", dict(self.slowdown))
+        if self.phases is not None:
+            object.__setattr__(self, "phases", frozenset(self.phases))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything — the transports use
+        this to take a byte-identical fast path."""
+        return (
+            self.drop == self.duplicate == self.corrupt == self.delay == 0.0
+            and self.crash_rank is None
+            and not self.slowdown
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters of what an injector actually did (one injector's totals,
+    accumulated across restarts)."""
+
+    decisions: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    crashes: int = 0
+    #: Recovery work observed by the transports (they report back here).
+    retries: int = 0
+    resent_elements: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "delayed": self.delayed,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "resent_elements": self.resent_elements,
+        }
+
+
+def _phase_key(phase: PhaseId) -> int:
+    if isinstance(phase, int):
+        return phase & 0xFFFFFFFF
+    return zlib.crc32(str(phase).encode("utf-8"))
+
+
+def corrupt_payload(payload: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Return a copy of ``payload`` with one bit flipped in one element
+    (the classic single-event-upset model).  Empty payloads pass through."""
+    bad = np.array(payload, copy=True)
+    if bad.size == 0:
+        return bad
+    pos = int(rng.integers(bad.size))
+    flat = bad.reshape(-1).view(np.uint8)
+    byte = pos * bad.dtype.itemsize + int(rng.integers(bad.dtype.itemsize))
+    flat[byte] ^= np.uint8(1 << int(rng.integers(8)))
+    return bad
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically; thread-safe.
+
+    One injector is shared by every rank of a world (threads runtime) or by
+    every processor of a :class:`~repro.machine.simulator.Machine`.  All
+    mutable state is the statistics and the one-shot crash latch, both
+    lock-protected; the fault verdicts themselves are pure functions.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = FaultStats()
+        self._lock = threading.Lock()
+        self._crash_pending = plan.crash_rank is not None
+
+    # -- verdicts ------------------------------------------------------
+
+    def decide(
+        self, phase: PhaseId, src: int, dst: int, seq: int, attempt: int = 0
+    ) -> FaultDecision:
+        """The (deterministic) fate of attempt ``attempt`` of message
+        ``seq`` from ``src`` to ``dst`` in ``phase``."""
+        plan = self.plan
+        if plan.is_null:
+            return NO_FAULT
+        if plan.phases is not None and phase not in plan.phases:
+            return NO_FAULT
+        rng = self._rng(phase, src, dst, seq, attempt, salt=0)
+        u = rng.random(4)
+        verdict = FaultDecision(
+            drop=bool(u[0] < plan.drop),
+            duplicate=bool(u[1] < plan.duplicate),
+            corrupt=bool(u[2] < plan.corrupt),
+            delay=bool(u[3] < plan.delay),
+        )
+        with self._lock:
+            self.stats.decisions += 1
+            self.stats.dropped += verdict.drop
+            self.stats.duplicated += verdict.duplicate
+            self.stats.corrupted += verdict.corrupt
+            self.stats.delayed += verdict.delay
+        return verdict
+
+    def corrupt(
+        self, payload: np.ndarray, phase: PhaseId, src: int, dst: int,
+        seq: int, attempt: int = 0,
+    ) -> np.ndarray:
+        """Deterministically corrupted copy of ``payload``."""
+        return corrupt_payload(
+            payload, self._rng(phase, src, dst, seq, attempt, salt=1)
+        )
+
+    def check_crash(self, rank: int, phase_index: int) -> bool:
+        """One-shot: True exactly once, for the planned victim at (or after)
+        the planned phase.  The caller raises :class:`InjectedCrash`."""
+        plan = self.plan
+        if plan.crash_rank != rank or phase_index < plan.crash_phase:
+            return False
+        with self._lock:
+            if not self._crash_pending:
+                return False
+            self._crash_pending = False
+            self.stats.crashes += 1
+            return True
+
+    def slowdown_factor(self, rank: int) -> float:
+        return self.plan.slowdown.get(rank, 1.0)
+
+    # -- transport feedback -------------------------------------------
+
+    def note_retry(self, elements: int = 0) -> None:
+        """Transports report each retransmission here (for the overhead
+        accounting in chaos reports)."""
+        with self._lock:
+            self.stats.retries += 1
+            self.stats.resent_elements += elements
+
+    # -- helpers -------------------------------------------------------
+
+    def _rng(
+        self, phase: PhaseId, src: int, dst: int, seq: int, attempt: int,
+        salt: int,
+    ) -> np.random.Generator:
+        ss = np.random.SeedSequence(
+            entropy=self.plan.seed,
+            spawn_key=(_phase_key(phase), src, dst, seq, attempt, salt),
+        )
+        return np.random.default_rng(ss)

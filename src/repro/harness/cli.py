@@ -15,6 +15,11 @@ Python:
     Closed-form time predictions for the three bitonic algorithms.
 ``repro-bitonic fft --points 65536 --procs 16``
     Run the parallel FFT generalization and verify it against NumPy.
+``repro-bitonic chaos --keys 4096 --procs 4 --drop 0.05``
+    Run the real SPMD sort on the threads backend through an adversarial
+    network (seeded drop/duplication/corruption/delay, optional rank
+    crash) and report the recovery cost; the ``chaos-sweep`` experiment
+    is the simulator-side counterpart.
 """
 
 from __future__ import annotations
@@ -162,6 +167,32 @@ def _cmd_fft(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan, run_chaos_sort
+    from repro.utils.rng import make_keys
+
+    plan = FaultPlan(
+        seed=args.seed,
+        drop=args.drop,
+        duplicate=args.duplicate,
+        corrupt=args.corrupt,
+        delay=args.delay,
+        crash_rank=args.crash_rank,
+        crash_phase=args.crash_phase,
+    )
+    keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
+    report = run_chaos_sort(
+        keys,
+        args.procs,
+        plan,
+        max_restarts=args.max_restarts,
+        timeout=args.timeout,
+        checkpoint=not args.no_checkpoint,
+    )
+    print(report.describe())
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bitonic",
@@ -207,6 +238,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gantt.add_argument("--seed", type=int, default=0)
     p_gantt.set_defaults(fn=_cmd_gantt)
 
+    p_chaos = sub.add_parser(
+        "chaos", help="run the SPMD sort through an adversarial network"
+    )
+    p_chaos.add_argument("--keys", type=int, default=1 << 12)
+    p_chaos.add_argument("--procs", type=int, default=4)
+    p_chaos.add_argument("--drop", type=float, default=0.05,
+                         help="per-message drop probability")
+    p_chaos.add_argument("--duplicate", type=float, default=0.0)
+    p_chaos.add_argument("--corrupt", type=float, default=0.0)
+    p_chaos.add_argument("--delay", type=float, default=0.0)
+    p_chaos.add_argument("--crash-rank", type=int, default=None,
+                         help="rank to kill once (recovers from checkpoints)")
+    p_chaos.add_argument("--crash-phase", type=int, default=1,
+                         help="phase index at which --crash-rank dies")
+    p_chaos.add_argument("--max-restarts", type=int, default=2)
+    p_chaos.add_argument("--timeout", type=float, default=60.0)
+    p_chaos.add_argument("--no-checkpoint", action="store_true",
+                         help="disable phase-level checkpoint/restart")
+    p_chaos.add_argument("--distribution", default="uniform")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
     p_fft.add_argument("--points", type=int, default=1 << 16)
     p_fft.add_argument("--procs", type=int, default=16)
@@ -220,7 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
-             "-h", "--help"}
+             "chaos", "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

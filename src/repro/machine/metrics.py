@@ -15,6 +15,7 @@ Category map (µs, per processor):
 ``pack``           gathering elements into long-message send buffers
 ``unpack``         scattering received long messages into the local array
 ``transfer``       LogP/LogGP wire time: overheads, gaps, bytes, latency
+``retransmit``     recovery wire time under fault injection (resends, NACKs)
 ``wait``           idle time at barriers / waiting for arrivals
 =================  ==========================================================
 
@@ -33,7 +34,7 @@ from repro.errors import ConfigurationError
 __all__ = ["CATEGORIES", "COMPUTE_CATEGORIES", "COMM_CATEGORIES", "PhaseBreakdown", "RunStats"]
 
 COMPUTE_CATEGORIES = ("local_sort", "merge", "compare_exchange")
-COMM_CATEGORIES = ("address", "pack", "transfer", "unpack")
+COMM_CATEGORIES = ("address", "pack", "transfer", "retransmit", "unpack")
 OTHER_CATEGORIES = ("wait",)
 CATEGORIES = COMPUTE_CATEGORIES + COMM_CATEGORIES + OTHER_CATEGORIES
 

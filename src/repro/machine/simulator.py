@@ -26,12 +26,20 @@ the benchmark tables are makespan / keys-per-processor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import CommunicationError, ConfigurationError
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    CorruptPayloadError,
+    PeerFailedError,
+)
 from repro.machine.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover — avoid a machine->faults import cycle
+    from repro.faults.plan import FaultInjector
 from repro.machine.metrics import PhaseBreakdown, RunStats
 from repro.machine.processor import Processor
 from repro.model.machines import MEIKO_CS2, MachineSpec
@@ -49,9 +57,28 @@ class Machine:
         algorithms; the machine itself accepts any positive count).
     spec:
         Hardware description; defaults to the calibrated Meiko CS-2.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector`.  When armed, the
+        machine behaves like a reliable transport over a lossy network:
+        dropped and corrupted messages are retransmitted (charged LogGP
+        time, so faults show up in the makespan and the V/M metrics),
+        duplicates cost the receiver an extra overhead, delays add latency,
+        slowed ranks pay inflated compute charges, and a planned crash
+        raises :class:`~repro.errors.PeerFailedError`.  A null plan leaves
+        every charge and counter byte-identical to no injector at all.
     """
 
-    def __init__(self, P: int, spec: MachineSpec = MEIKO_CS2, trace: bool = False):
+    #: Retransmission attempts per message before the simulated transport
+    #: declares the link dead (far above any realistic fault rate's needs).
+    MAX_SEND_ATTEMPTS = 64
+
+    def __init__(
+        self,
+        P: int,
+        spec: MachineSpec = MEIKO_CS2,
+        trace: bool = False,
+        injector: Optional["FaultInjector"] = None,
+    ):
         if P < 1:
             raise ConfigurationError(f"machine needs at least 1 processor, got {P}")
         self.P = P
@@ -61,6 +88,7 @@ class Machine:
             Processor(rank=r, trace=[] if trace else None) for r in range(P)
         ]
         self.remap_count = 0
+        self.injector = injector
 
     # -- computation ---------------------------------------------------
 
@@ -83,10 +111,14 @@ class Machine:
             return
         ws = working_set if working_set is not None else elements
         factor = self.spec.cache.factor(max(ws, 1))
+        if self.injector is not None:
+            factor *= self.injector.slowdown_factor(rank)
         self._proc(rank).advance(category, elements * passes * unit_cost * factor)
 
     def charge_fixed(self, rank: int, category: str, micros: float) -> None:
         """Charge a fixed time (e.g. a per-phase constant) to ``rank``."""
+        if self.injector is not None:
+            micros *= self.injector.slowdown_factor(rank)
         self._proc(rank).advance(category, micros)
 
     # -- communication ---------------------------------------------------
@@ -96,12 +128,16 @@ class Machine:
         messages: Sequence[Message],
         mode: str = "long",
         count_remap: bool = True,
+        label: Optional[str] = None,
     ) -> Dict[int, List[Message]]:
         """Deliver ``messages`` and charge communication time.
 
         Self-addressed messages are rejected: data a processor keeps never
         travels, and creating such a message indicates a bug in the caller's
         destination computation.
+
+        ``label`` names the phase in fault-injection error reports (defaults
+        to the remap counter).
 
         Returns the delivered messages grouped by destination, each group
         ordered by arrival time (deterministically).
@@ -168,6 +204,10 @@ class Machine:
                             proc.advance("transfer", self.net.g - busy)
                         arrivals.append((proc.clock + self.net.L, src, m.dst, m))
 
+        junk: List[Tuple[float, int]] = []
+        if self.injector is not None and not self.injector.plan.is_null:
+            arrivals, junk = self._inject_faults(arrivals, mode, label)
+
         delivered: Dict[int, List[Message]] = {}
         for arrival, src, dst, m in sorted(arrivals, key=lambda t: (t[3].dst, t[0], t[1])):
             delivered.setdefault(dst, []).append(m)
@@ -175,7 +215,90 @@ class Machine:
             rp.wait_until(arrival)
             if mode == "long":
                 rp.advance("transfer", self.net.o)
+        # Corrupted and duplicated copies physically land too: the receiver
+        # pays the pull overhead before the transport discards them (in
+        # short mode the remap formula already covers receive overheads).
+        if mode == "long":
+            for arrival, dst in sorted(junk):
+                rp = self.procs[dst]
+                rp.wait_until(arrival)
+                rp.advance("transfer", self.net.o)
         return delivered
+
+    def _inject_faults(
+        self, arrivals: List[tuple], mode: str, label: Optional[str] = None
+    ) -> Tuple[List[tuple], List[Tuple[float, int]]]:
+        """Apply the injector's verdicts to the scheduled arrivals.
+
+        The machine models a *reliable transport over a lossy network*:
+        every payload is eventually delivered intact (so the sort stays
+        correct), but drops cost a retransmission timeout, corruption costs
+        a NACK round trip, and both cost the sender a fresh injection — all
+        charged as LogGP time and counted in the V/M metrics.  Returns the
+        adjusted arrivals plus the junk copies (corrupt/duplicate) that
+        arrive only to be discarded.
+        """
+        inj = self.injector
+        plan = inj.plan
+        phase = self.remap_count
+        name = label or f"remap-{phase}"
+        if plan.crash_rank is not None and inj.check_crash(plan.crash_rank, phase):
+            raise PeerFailedError(
+                f"simulated rank {plan.crash_rank} crashed during "
+                f"{name} (injected)",
+                rank=plan.crash_rank,
+                phase=name,
+            )
+        rto = 4.0 * self.net.L + 2.0 * self.net.o  # sender timeout, then resend
+        nack = self.net.L + 2.0 * self.net.o  # checksum reject round trip
+        out: List[tuple] = []
+        junk: List[Tuple[float, int]] = []
+        counters: Dict[Tuple[int, int], int] = {}
+        for arrival, src, dst, m in arrivals:
+            seq = counters.get((src, dst), 0)
+            counters[(src, dst)] = seq + 1
+            t = arrival
+            attempt = 0
+            verdict = inj.decide(phase, src, dst, seq, attempt)
+            while verdict.drop or verdict.corrupt:
+                if attempt + 1 >= self.MAX_SEND_ATTEMPTS:
+                    if verdict.corrupt:
+                        raise CorruptPayloadError(
+                            f"message {src}->{dst} in {name} corrupt "
+                            f"on all {attempt + 1} attempts",
+                            rank=src,
+                            phase=name,
+                            attempts=attempt + 1,
+                        )
+                    raise PeerFailedError(
+                        f"message {src}->{dst} in {name} lost on all "
+                        f"{attempt + 1} attempts",
+                        rank=dst,
+                        phase=name,
+                    )
+                if verdict.corrupt:
+                    junk.append((t, dst))  # the bad copy lands, is rejected
+                    penalty = nack
+                else:
+                    penalty = rto
+                nbytes = max(m.payload.nbytes, 1)
+                resend = self.net.o + (
+                    (nbytes - 1) * self.net.G if mode == "long" else 0.0
+                )
+                proc = self.procs[src]
+                proc.advance("retransmit", resend)
+                proc.messages_sent += 1
+                proc.elements_sent += m.num_elements
+                inj.note_retry(m.num_elements)
+                t += penalty + resend
+                attempt += 1
+                verdict = inj.decide(phase, src, dst, seq, attempt)
+            if verdict.delay:
+                t += plan.delay_us
+            if verdict.duplicate:
+                junk.append((t, dst))
+            out.append((t, src, dst, m))
+        return out, junk
 
     # -- synchronization -------------------------------------------------
 

@@ -37,6 +37,7 @@ def perform_remap(
     mode: str = "long",
     fused: bool = False,
     plans: Optional[Sequence[RemapPlan]] = None,
+    label: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Remap all partitions from layout ``old`` to layout ``new``.
 
@@ -56,6 +57,9 @@ def perform_remap(
     plans:
         Precomputed plans (one per rank); when given, the ``address``
         computation is assumed already charged by the caller.
+    label:
+        Phase name for fault-injection error reports (defaults to the
+        machine's remap counter); see :class:`repro.faults.FaultInjector`.
 
     Returns the new partitions in ``new``'s local-address order.
     """
@@ -93,7 +97,7 @@ def perform_remap(
         buf[plan.keep_dst] = part[plan.keep_src]
         new_parts.append(buf)
 
-    delivered = machine.exchange(messages, mode=mode)
+    delivered = machine.exchange(messages, mode=mode, label=label)
 
     for r in range(P):
         plan = plans[r]

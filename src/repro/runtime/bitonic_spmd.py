@@ -17,11 +17,14 @@ threads backend where real races would surface.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.errors import CommunicationError
+
+if TYPE_CHECKING:  # pragma: no cover — avoid a runtime->faults import cycle
+    from repro.faults.checkpoint import CheckpointStore
 from repro.layouts.schedule import smart_schedule
 from repro.layouts.smart import smart_params
 from repro.localsort.radix import radix_sort
@@ -38,16 +41,27 @@ def spmd_bitonic_sort(
     local_keys: np.ndarray,
     key_bits: int = 32,
     radix_bits: int = 8,
+    checkpoint: Optional["CheckpointStore"] = None,
 ) -> np.ndarray:
     """Sort the distributed array whose rank-``r`` partition is
     ``local_keys``, returning this rank's partition of the globally sorted
     (blocked) result.
 
     Every rank must hold the same power-of-two number of keys.
+
+    With a :class:`~repro.faults.checkpoint.CheckpointStore` the rank
+    snapshots its shard after the initial local sort (stage 0) and after
+    every remap phase (stage *i*); if the store already holds snapshots —
+    this run is a restart after a crash — all ranks agree on the newest
+    stage everyone completed and resume from it instead of re-sorting.
+    Fault-aware communicators (:class:`~repro.faults.transport.ReliableComm`)
+    are phase-labelled via their ``set_phase`` hook so errors and injected
+    faults can name the sort phase they hit.
     """
     data = np.asarray(local_keys).copy()
     P, r = comm.size, comm.rank
     n = data.size
+    set_phase = getattr(comm, "set_phase", None)
 
     # Agree on the problem shape (and catch ragged partitions early).
     sizes = comm.allgather(n)
@@ -62,12 +76,38 @@ def spmd_bitonic_sort(
     schedule = smart_schedule(N, P)  # same on every rank: pure algebra
     lgn = ilog2(n)
 
-    # First lg n stages: one local sort, alternating direction (Lemma 6).
-    data = radix_sort(data, ascending=(r % 2 == 0),
-                      key_bits=key_bits, radix_bits=radix_bits)
+    # Restart support: resume from the newest stage every rank completed
+    # (stage 0 = after the initial local sort, stage i = after phase i).
+    resume = -1
+    if checkpoint is not None:
+        resume = min(comm.allgather(checkpoint.latest_stage(r)))
 
-    layout = schedule.initial_layout
-    for phase in schedule.phases:
+    if set_phase is not None:
+        set_phase("local-sort", 0)
+    if resume >= 0:
+        restored = checkpoint.load(r, resume)
+        if restored is None:
+            raise CommunicationError(
+                f"rank {r}: checkpoint for agreed resume stage {resume} "
+                "is missing (store pruned too aggressively?)"
+            )
+        data = restored
+    else:
+        # First lg n stages: one local sort, alternating direction (Lemma 6).
+        data = radix_sort(data, ascending=(r % 2 == 0),
+                          key_bits=key_bits, radix_bits=radix_bits)
+        if checkpoint is not None:
+            checkpoint.save(r, 0, data)
+
+    layout = (
+        schedule.initial_layout if resume < 1
+        else schedule.phases[resume - 1].layout
+    )
+    for stage, phase in enumerate(schedule.phases, start=1):
+        if stage <= resume:
+            continue  # completed before the crash; restored above
+        if set_phase is not None:
+            set_phase(f"phase-{stage}", stage)
         plan = build_remap_plan(layout, phase.layout, r)
         # Pack: one bucket per destination, gathered by the plan's indices.
         buckets: List[Optional[np.ndarray]] = [None] * P
@@ -93,4 +133,6 @@ def spmd_bitonic_sort(
         # Local computation (Theorems 2/3) — the shared merge kernel.
         params = smart_params(N, P, *phase.columns[0])
         data = SmartBitonicSort._merge_local(data, layout, params, lgn, r)
+        if checkpoint is not None:
+            checkpoint.save(r, stage, data)
     return data

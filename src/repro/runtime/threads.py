@@ -16,11 +16,12 @@ semantics* (races, deadlocks and ordering are real here), not peak speed.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CommunicationError, ConfigurationError
+from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime.api import Comm
 
 __all__ = ["ThreadComm", "run_spmd"]
@@ -71,9 +72,13 @@ class ThreadComm(Comm):
         for q, payload in enumerate(buckets):
             row[q] = payload
         self.barrier()  # all deposits visible
-        received: List[Optional[np.ndarray]] = [
-            self._state.mailbox[p][self.rank] for p in range(self.size)
-        ]
+        received: List[Optional[np.ndarray]] = []
+        for p in range(self.size):
+            received.append(self._state.mailbox[p][self.rank])
+            # Slot [p][rank] is read only by this rank: clear it at pickup
+            # so the world does not pin every transferred array for its
+            # lifetime (writer p touches it again only after the barrier).
+            self._state.mailbox[p][self.rank] = None
         self.barrier()  # all pickups done; mailbox reusable
         return received
 
@@ -82,6 +87,10 @@ class ThreadComm(Comm):
         self.barrier()
         out = list(self._state.gather_slots)
         self.barrier()
+        # Slot [rank] is written only by this rank, and peers read only
+        # between the two barriers above — dropping the reference here is
+        # race-free and keeps the world from retaining the payload.
+        self._state.gather_slots[self.rank] = None
         return out
 
     def bcast(self, value: Any, root: int = 0) -> Any:
@@ -92,6 +101,8 @@ class ThreadComm(Comm):
         self.barrier()
         out = self._state.gather_slots[root]
         self.barrier()
+        if self.rank == root:
+            self._state.gather_slots[root] = None
         return out
 
 
@@ -117,18 +128,27 @@ def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> Li
             state.barrier.abort()
 
     threads = [
-        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+        # daemon=True: a wedged rank must never be able to block
+        # interpreter exit (the watchdog below already reports it).
+        threading.Thread(
+            target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True
+        )
         for r in range(size)
     ]
     for t in threads:
         t.start()
+    # One deadline for the whole world: join each thread with the budget
+    # that remains, so total wall-clock is bounded by ``timeout`` rather
+    # than ``size × timeout``.
+    deadline = time.monotonic() + timeout
     for t in threads:
-        t.join(timeout=timeout)
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
         if t.is_alive():
             state.barrier.abort()
-            raise CommunicationError(
-                f"SPMD rank {t.name} did not finish within {timeout}s "
-                "(deadlock or runaway work)"
+            raise SpmdTimeoutError(
+                f"SPMD rank {t.name} did not finish within the world's "
+                f"{timeout}s budget (deadlock or runaway work)",
+                phase="run_spmd",
             )
     if state.failures:
         raise state.failures[0]

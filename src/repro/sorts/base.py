@@ -70,17 +70,20 @@ class ParallelSort(ABC):
         self.spec = spec
 
     def run(self, keys: np.ndarray, P: int, verify: bool = False,
-            trace: bool = False) -> SortResult:
+            trace: bool = False, injector=None) -> SortResult:
         """Sort ``keys`` on ``P`` simulated processors.
 
         The initial distribution is blocked (untimed, as in the paper's
         measurements, which start from distributed data); the result is
         gathered from the final blocked partitions.  With ``trace=True``
         the result carries per-processor timelines for Gantt rendering.
+        ``injector`` (a :class:`repro.faults.FaultInjector`) arms the
+        machine's fault plane: injected faults are survived by simulated
+        retransmission and show up in the makespan and V/M metrics.
         """
         keys = np.asarray(keys)
         require_sizes(keys.size, P)
-        machine = Machine(P, self.spec, trace=trace)
+        machine = Machine(P, self.spec, trace=trace, injector=injector)
         parts = machine.partition(keys)
         parts = self._run_parts(machine, parts)
         out = np.concatenate(parts)

@@ -36,6 +36,7 @@ CATEGORY_GLYPHS: Dict[str, str] = {
     "pack": "p",
     "unpack": "u",
     "transfer": "t",
+    "retransmit": "r",
     "wait": ".",
 }
 

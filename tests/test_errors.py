@@ -12,10 +12,13 @@ import pytest
 from repro.errors import (
     CommunicationError,
     ConfigurationError,
+    CorruptPayloadError,
     LayoutError,
+    PeerFailedError,
     ReproError,
     ScheduleError,
     SizeError,
+    SpmdTimeoutError,
     VerificationError,
 )
 
@@ -23,7 +26,8 @@ from repro.errors import (
 class TestHierarchy:
     @pytest.mark.parametrize("exc", [
         ConfigurationError, SizeError, LayoutError, ScheduleError,
-        CommunicationError, VerificationError,
+        CommunicationError, PeerFailedError, SpmdTimeoutError,
+        CorruptPayloadError, VerificationError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -39,6 +43,39 @@ class TestHierarchy:
 
     def test_verification_is_assertion_error(self):
         assert issubclass(VerificationError, AssertionError)
+
+    def test_full_hierarchy_shape(self):
+        """The documented tree, asserted edge by edge."""
+        tree = {
+            ConfigurationError: ReproError,
+            SizeError: ConfigurationError,
+            LayoutError: ConfigurationError,
+            ScheduleError: ConfigurationError,
+            CommunicationError: ReproError,
+            PeerFailedError: CommunicationError,
+            SpmdTimeoutError: CommunicationError,
+            CorruptPayloadError: CommunicationError,
+            VerificationError: ReproError,
+        }
+        for child, parent in tree.items():
+            assert issubclass(child, parent), (child, parent)
+        # Dual-inheritance contracts for generic handlers.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(CommunicationError, RuntimeError)
+        assert issubclass(SpmdTimeoutError, TimeoutError)
+        assert issubclass(VerificationError, AssertionError)
+        # The transport errors are *not* configuration mistakes.
+        for exc in (PeerFailedError, SpmdTimeoutError, CorruptPayloadError):
+            assert not issubclass(exc, ValueError)
+
+    def test_transport_errors_carry_diagnostics(self):
+        pf = PeerFailedError("dead", rank=3, phase="phase-2",
+                             retries=["round 0"])
+        assert (pf.rank, pf.phase, pf.retries) == (3, "phase-2", ["round 0"])
+        to = SpmdTimeoutError("late", rank=1, phase="run_spmd")
+        assert (to.rank, to.phase, to.retries) == (1, "run_spmd", [])
+        cp = CorruptPayloadError("mangled", rank=2, phase="phase-1", attempts=5)
+        assert (cp.rank, cp.phase, cp.attempts) == (2, "phase-1", 5)
 
 
 class TestOneHandlerCatchesEverything:

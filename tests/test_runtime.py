@@ -1,11 +1,15 @@
 """Tests for the SPMD runtime: primitives under real concurrency, and the
 message-passing implementation of Algorithm 1."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
-from repro.errors import CommunicationError, ConfigurationError
+from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.runtime.threads import ThreadComm, _SharedState
 from repro.sorts import SmartBitonicSort
 from repro.utils.rng import make_keys
 
@@ -82,6 +86,80 @@ class TestPrimitives:
 
     def test_single_rank(self):
         assert run_spmd(1, lambda c: c.allgather("x")) == [["x"]]
+
+
+class TestFailurePaths:
+    """The runtime's error paths: broken barriers, bad arguments, leaks and
+    the world-level timeout contract."""
+
+    def test_broken_barrier_is_communication_error(self):
+        state = _SharedState(2)
+        comm = ThreadComm(0, state)
+        state.barrier.abort()
+        with pytest.raises(CommunicationError) as err:
+            comm.barrier()
+        assert isinstance(err.value.__cause__, threading.BrokenBarrierError)
+
+    def test_bcast_negative_root(self):
+        with pytest.raises(CommunicationError, match="root"):
+            run_spmd(2, lambda c: c.bcast(1, root=-1))
+
+    def test_bcast_root_at_size(self):
+        with pytest.raises(CommunicationError, match="root"):
+            run_spmd(2, lambda c: c.bcast(1, root=2))
+
+    def test_alltoallv_too_many_buckets(self):
+        with pytest.raises(CommunicationError, match="buckets"):
+            run_spmd(2, lambda c: c.alltoallv([None] * 3))
+
+    def test_rank_outside_world_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreadComm(2, _SharedState(2))
+
+    def test_mailbox_cleared_after_alltoallv(self):
+        """Collectives must not pin transferred arrays for the world's
+        lifetime: every mailbox slot is None once the collective returns."""
+
+        def prog(c):
+            c.alltoallv([np.arange(4) for _ in range(c.size)])
+            c.barrier()  # let every rank finish its pickup
+            return all(
+                c._state.mailbox[p][q] is None
+                for p in range(c.size)
+                for q in range(c.size)
+            )
+
+        assert run_spmd(3, prog) == [True, True, True]
+
+    def test_gather_slots_cleared_after_allgather_and_bcast(self):
+        def prog(c):
+            c.allgather(np.arange(8))
+            own_clear = c._state.gather_slots[c.rank] is None
+            c.bcast(np.arange(8), root=1)
+            c.barrier()  # root clears its slot after the pickup barrier
+            root_clear = c._state.gather_slots[1] is None
+            return own_clear and root_clear
+
+        assert run_spmd(3, prog) == [True, True, True]
+
+    def test_workers_are_daemon_threads(self):
+        flags = run_spmd(3, lambda c: threading.current_thread().daemon)
+        assert flags == [True, True, True]
+
+    def test_timeout_is_one_world_deadline(self):
+        """The join budget is shared by all ranks — a wedged world times
+        out after ~timeout seconds, not size × timeout."""
+
+        def wedge(c):
+            if c.rank > 0:
+                time.sleep(30)  # daemon threads: reaped at interpreter exit
+
+        start = time.monotonic()
+        with pytest.raises(SpmdTimeoutError) as err:
+            run_spmd(4, wedge, timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert elapsed < 4 * 0.5  # strictly better than per-rank budgets
+        assert err.value.phase == "run_spmd"
 
 
 class TestSpmdBitonicSort:
