@@ -1,0 +1,71 @@
+"""Benchmarks of the SPMD runtime backends (wall-clock, pytest-benchmark).
+
+The threads and procs backends run the identical
+:func:`~repro.runtime.spmd_bitonic_sort` program; these benches time them
+against each other and against the collectives they are built on.  On a
+single-core host the procs backend chiefly measures its launch and
+shared-memory overhead; its speedup claims apply to >= 4 usable cores
+(see docs/PERFORMANCE.md).  ``repro-bitonic bench`` is the reporting
+counterpart that persists a trajectory JSON.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.utils.rng import make_keys
+
+N_SORT = 1 << 16
+P = 4
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return make_keys(N_SORT, seed=7)
+
+
+def _sort_world(keys, backend):
+    n = keys.size // P
+
+    def prog(c):
+        return spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+
+    return np.concatenate(run_spmd(P, prog, backend=backend))
+
+
+@pytest.mark.parametrize("backend", ["threads", "procs"])
+def test_spmd_sort_backend(benchmark, keys, backend):
+    out = benchmark.pedantic(
+        _sort_world, args=(keys, backend), rounds=3, iterations=1, warmup_rounds=1
+    )
+    np.testing.assert_array_equal(out, np.sort(keys))
+
+
+@pytest.mark.parametrize("backend", ["threads", "procs"])
+def test_alltoallv_collective(benchmark, backend):
+    """The raw collective: every rank scatters 64K keys to every peer."""
+    bucket = np.arange(1 << 16, dtype=np.uint32)
+
+    def world():
+        def prog(c):
+            got = c.alltoallv([bucket for _ in range(c.size)])
+            return sum(int(x[0]) for x in got)
+
+        return run_spmd(P, prog, backend=backend)
+
+    out = benchmark.pedantic(world, rounds=3, iterations=1, warmup_rounds=1)
+    assert out == [0] * P
+
+
+@pytest.mark.parametrize("backend", ["threads", "procs"])
+def test_world_launch_overhead(benchmark, backend):
+    """Spin up a world that does nothing: the backend's fixed cost."""
+    out = benchmark.pedantic(
+        run_spmd,
+        args=(P, lambda c: c.rank),
+        kwargs={"backend": backend},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert out == list(range(P))

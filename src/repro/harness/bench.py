@@ -1,0 +1,295 @@
+"""The benchmark trajectory harness.
+
+Every performance PR needs a baseline to beat and a record that it beat
+it.  :func:`run_bench` measures, on the *host* clock (not the simulated
+one):
+
+* **end-to-end** — the real SPMD bitonic sort
+  (:func:`~repro.runtime.spmd_bitonic_sort`) across runtime backends and
+  problem sizes, cross-checking that every backend produces byte-identical
+  output;
+* **kernel hot paths** — the local radix sort and the batched bitonic
+  merge, each timed against its *legacy* implementation (kept here,
+  verbatim, for honest A/B comparison), plus cold-vs-cached remap-plan
+  construction.
+
+The result is a machine-readable JSON document (``BENCH_pr<k>.json`` at
+the repo root by convention) with enough host metadata (CPU count,
+platform, library versions) to interpret the numbers later: a speedup
+measured on a single-core container is not the speedup of the README.
+``repro-bitonic bench`` is the CLI face; ``--quick`` shrinks sizes and
+repetitions for CI smoke use.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.layouts.schedule import smart_schedule
+from repro.localsort.bitonic_merge_sort import batched_bitonic_merge
+from repro.localsort.radix import num_passes, radix_sort
+from repro.remap.cache import RemapPlanCache
+from repro.remap.plan import build_remap_plan
+from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.utils.rng import make_keys
+
+__all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro-bitonic-bench/1"
+
+
+# -- legacy kernels, kept verbatim for A/B ---------------------------------
+
+
+def _legacy_radix_sort(keys, *, ascending=True, key_bits=32, radix_bits=8):
+    """The pre-optimization radix sort: stable ``argsort`` per digit."""
+    out = keys.copy()
+    digit_mask = (1 << radix_bits) - 1
+    for p in range(num_passes(key_bits, radix_bits)):
+        shift = p * radix_bits
+        digit = (out >> shift) & out.dtype.type(digit_mask)
+        out = out[np.argsort(digit, kind="stable")]
+    if not ascending:
+        out = out[::-1].copy()
+    return out
+
+
+def _legacy_batched_merge(m, ascending, axis=1):
+    """The pre-optimization batched merge: transposes (full copies) around
+    the butterfly for ``axis=0``."""
+    work = m.T.copy() if axis == 0 else m.copy()
+    lanes, length = work.shape
+    asc = np.broadcast_to(np.asarray(ascending, dtype=bool), (lanes,))
+    asc_col = asc[:, None]
+    size = length
+    while size > 1:
+        half = size // 2
+        blocks = work.reshape(lanes, length // size, size)
+        lo = blocks[:, :, :half]
+        hi = blocks[:, :, half:]
+        small = np.minimum(lo, hi)
+        big = np.maximum(lo, hi)
+        asc_blk = asc_col[:, :, None]
+        lo[...] = np.where(asc_blk, small, big)
+        hi[...] = np.where(asc_blk, big, small)
+        size = half
+    return work.T.copy() if axis == 0 else work
+
+
+# -- timing ----------------------------------------------------------------
+
+
+def _time(fn: Callable[[], Any], reps: int) -> Dict[str, float]:
+    """Best-of and mean wall-clock seconds over ``reps`` calls (after one
+    untimed warmup, which also absorbs lazy allocations and caches)."""
+    fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "reps": reps,
+    }
+
+
+def _bench_end_to_end(
+    sizes: Sequence[int],
+    procs: int,
+    backends: Sequence[str],
+    reps: int,
+    timeout: float,
+) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    for N in sizes:
+        keys = make_keys(N, seed=N % 104729)
+        n = N // procs
+
+        def sort_on(backend: str) -> np.ndarray:
+            def prog(c):
+                return spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+
+            return np.concatenate(
+                run_spmd(procs, prog, backend=backend, timeout=timeout)
+            )
+
+        reference: Optional[bytes] = None
+        for backend in backends:
+            output = sort_on(backend)
+            if reference is None:
+                reference = output.tobytes()
+                if reference != np.sort(keys).tobytes():
+                    raise ConfigurationError(
+                        f"bench: backend {backend!r} mis-sorted {N} keys"
+                    )
+            elif output.tobytes() != reference:
+                raise ConfigurationError(
+                    f"bench: backend {backend!r} output differs from "
+                    f"{backends[0]!r} on {N} keys x {procs} ranks"
+                )
+            timing = _time(lambda: sort_on(backend), reps)
+            records.append(
+                {"backend": backend, "keys": N, "procs": procs, **timing}
+            )
+    return records
+
+
+def _bench_kernels(sizes: Sequence[int], reps: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"radix": [], "merge": [], "plan": []}
+    for N in sizes:
+        keys = make_keys(N, seed=N % 104729)
+        legacy = _time(lambda: _legacy_radix_sort(keys), reps)
+        current = _time(lambda: radix_sort(keys), reps)
+        np.testing.assert_array_equal(radix_sort(keys), _legacy_radix_sort(keys))
+        out["radix"].append(
+            {
+                "keys": N,
+                "legacy_argsort": legacy,
+                "counting_scatter": current,
+                "speedup": legacy["best_s"] / current["best_s"],
+            }
+        )
+        # Column-lane merge on a square-ish power-of-two matrix: the shape
+        # the crossing remap's second computation phase produces.
+        length = 1 << (max(N, 4).bit_length() // 2)
+        lanes = max(N // length, 1)
+        mat = np.sort(
+            make_keys(lanes * length, seed=N % 7919).reshape(length, lanes), axis=0
+        )[::-1]  # descending columns are (trivially) bitonic
+        np.testing.assert_array_equal(
+            batched_bitonic_merge(mat, True, axis=0),
+            _legacy_batched_merge(mat, True, axis=0),
+        )
+        legacy = _time(lambda: _legacy_batched_merge(mat, True, axis=0), reps)
+        current = _time(lambda: batched_bitonic_merge(mat, True, axis=0), reps)
+        out["merge"].append(
+            {
+                "shape": [length, lanes],
+                "axis": 0,
+                "legacy_two_copies": legacy,
+                "single_copy": current,
+                "speedup": legacy["best_s"] / current["best_s"],
+            }
+        )
+        # Plan construction: a fresh build per phase/rank vs a warm cache.
+        P = min(32, max(2, N >> 12))
+        schedule = smart_schedule(N, P)
+        pairs = []
+        layout = schedule.initial_layout
+        for phase in schedule.phases:
+            pairs.append((layout, phase.layout))
+            layout = phase.layout
+
+        def build_all() -> None:
+            for old, new in pairs:
+                for r in range(P):
+                    build_remap_plan(old, new, r)
+
+        cache = RemapPlanCache()
+
+        def cached_all() -> None:
+            for old, new in pairs:
+                for r in range(P):
+                    cache.get(old, new, r)
+
+        cold = _time(build_all, reps)
+        warm = _time(cached_all, reps)
+        out["plan"].append(
+            {
+                "keys": N,
+                "procs": P,
+                "phases": len(pairs),
+                "rebuild_every_phase": cold,
+                "plan_cache_warm": warm,
+                "speedup": cold["best_s"] / warm["best_s"],
+            }
+        )
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    procs: int = 8,
+    backends: Sequence[str] = ("threads", "procs"),
+    reps: Optional[int] = None,
+    timeout: float = 300.0,
+) -> Dict[str, Any]:
+    """Run the benchmark trajectory and return the JSON-ready payload.
+
+    ``quick`` shrinks the defaults to CI-smoke scale.  The cross-backend
+    byte-identity check always runs; a mismatch raises
+    :class:`~repro.errors.ConfigurationError` rather than recording
+    timings for a wrong sort.
+    """
+    if sizes is None:
+        sizes = [1 << 14, 1 << 16] if quick else [1 << 16, 1 << 18, 1 << 20]
+    if reps is None:
+        reps = 1 if quick else 3
+    procs = max(1, procs if not quick else min(procs, 4))
+    cpu_count = _usable_cpus()
+    end_to_end = _bench_end_to_end(sizes, procs, backends, reps, timeout)
+    kernels = _bench_kernels(sizes, reps)
+    speedups: Dict[str, Dict[str, float]] = {}
+    if "threads" in backends:
+        threads_best = {
+            r["keys"]: r["best_s"] for r in end_to_end if r["backend"] == "threads"
+        }
+        for backend in backends:
+            if backend == "threads":
+                continue
+            speedups[f"{backend}_over_threads"] = {
+                str(r["keys"]): threads_best[r["keys"]] / r["best_s"]
+                for r in end_to_end
+                if r["backend"] == backend
+            }
+    return {
+        "schema": BENCH_SCHEMA,
+        "host": {
+            "cpu_count": cpu_count,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "note": (
+                "speedup targets for the procs backend assume >= 4 usable "
+                "cores; on fewer cores its numbers chiefly measure overhead"
+            ),
+        },
+        "config": {
+            "quick": quick,
+            "sizes": list(sizes),
+            "procs": procs,
+            "backends": list(backends),
+            "reps": reps,
+        },
+        "end_to_end": end_to_end,
+        "end_to_end_speedup": speedups,
+        "kernels": kernels,
+        "outputs_match": True,  # a mismatch raises before we get here
+    }
+
+
+def _usable_cpus() -> int:
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux
+        import os
+
+        return os.cpu_count() or 1
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")

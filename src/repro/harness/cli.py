@@ -20,6 +20,11 @@ Python:
     network (seeded drop/duplication/corruption/delay, optional rank
     crash) and report the recovery cost; the ``chaos-sweep`` experiment
     is the simulator-side counterpart.
+``repro-bitonic bench [--quick] [--out BENCH.json]``
+    Time the real SPMD sort end-to-end across runtime backends (threads
+    vs processes) and the kernel hot paths against their legacy
+    implementations, verify cross-backend byte-identity, and write the
+    machine-readable benchmark trajectory JSON.
 """
 
 from __future__ import annotations
@@ -188,8 +193,48 @@ def _cmd_chaos(args) -> int:
         max_restarts=args.max_restarts,
         timeout=args.timeout,
         checkpoint=not args.no_checkpoint,
+        backend=args.backend,
     )
     print(report.describe())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.harness.bench import run_bench, write_bench
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    sizes = (
+        [int(s) for s in args.sizes.split(",") if s.strip()]
+        if args.sizes
+        else None
+    )
+    try:
+        payload = run_bench(
+            quick=args.quick,
+            sizes=sizes,
+            procs=args.procs,
+            backends=backends,
+            reps=args.reps,
+            timeout=args.timeout,
+        )
+    except ConfigurationError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
+    write_bench(payload, args.out)
+    host = payload["host"]
+    print(f"benchmark trajectory written to {args.out}")
+    print(f"  host: {host['cpu_count']} usable cores, numpy {host['numpy']}")
+    for rec in payload["end_to_end"]:
+        print(f"  end-to-end {rec['backend']:>7} {rec['keys']:>9,} keys "
+              f"x {rec['procs']} ranks: {rec['best_s'] * 1e3:8.1f} ms best")
+    for name, by_size in payload["end_to_end_speedup"].items():
+        pretty = ", ".join(f"{int(k):,}: {v:.2f}x" for k, v in by_size.items())
+        print(f"  speedup {name}: {pretty}")
+    for kind in ("radix", "merge", "plan"):
+        for rec in payload["kernels"][kind]:
+            print(f"  kernel {kind:>5} {rec.get('keys', rec.get('shape'))}: "
+                  f"{rec['speedup']:.2f}x vs legacy")
     return 0
 
 
@@ -258,7 +303,28 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="disable phase-level checkpoint/restart")
     p_chaos.add_argument("--distribution", default="uniform")
     p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--backend", default="threads",
+                         help="SPMD runtime backend (fault injection needs "
+                              "'threads'; others require a null fault plan)")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark backends and kernels, write trajectory JSON"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-smoke sizes and repetitions")
+    p_bench.add_argument("--out", default="BENCH.json",
+                         help="output JSON path")
+    p_bench.add_argument("--sizes", default=None,
+                         help="comma-separated key counts (default by mode)")
+    p_bench.add_argument("--procs", type=int, default=8)
+    p_bench.add_argument("--backends", default="threads,procs",
+                         help="comma-separated runtime backends to compare")
+    p_bench.add_argument("--reps", type=int, default=None,
+                         help="timed repetitions per measurement")
+    p_bench.add_argument("--timeout", type=float, default=300.0,
+                         help="per-world SPMD timeout in seconds")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
     p_fft.add_argument("--points", type=int, default=1 << 16)
@@ -273,7 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
-             "chaos", "-h", "--help"}
+             "chaos", "bench", "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

@@ -106,24 +106,33 @@ def batched_bitonic_merge(
         raise ConfigurationError(f"expected a 2-D array, got {m.ndim}-D")
     if axis not in (0, 1):
         raise ConfigurationError(f"axis must be 0 or 1, got {axis}")
-    work = m.T.copy() if axis == 0 else m.copy()
-    lanes, length = work.shape
+    # One materialization for either axis: the butterfly runs in place on a
+    # single copy, with the reshape oriented so column lanes need no
+    # transposed second copy.
+    work = m.copy()
+    lanes = work.shape[1 - axis]
+    length = work.shape[axis]
     if length == 0 or not is_power_of_two(length):
         raise ConfigurationError(
             f"lane length must be a positive power of two, got {length}"
         )
     asc = np.broadcast_to(np.asarray(ascending, dtype=bool), (lanes,))
-    asc_col = asc[:, None]
     size = length
     while size > 1:
         half = size // 2
-        blocks = work.reshape(lanes, length // size, size)
-        lo = blocks[:, :, :half]
-        hi = blocks[:, :, half:]
+        if axis == 1:
+            blocks = work.reshape(lanes, length // size, size)
+            lo = blocks[:, :, :half]
+            hi = blocks[:, :, half:]
+            asc_blk = asc[:, None, None]
+        else:
+            blocks = work.reshape(length // size, size, lanes)
+            lo = blocks[:, :half, :]
+            hi = blocks[:, half:, :]
+            asc_blk = asc[None, None, :]
         small = np.minimum(lo, hi)
         big = np.maximum(lo, hi)
-        asc_blk = asc_col[:, :, None]
         lo[...] = np.where(asc_blk, small, big)
         hi[...] = np.where(asc_blk, big, small)
         size = half
-    return work.T.copy() if axis == 0 else work
+    return work

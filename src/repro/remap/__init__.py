@@ -5,13 +5,16 @@ destination into one long message, *transfer* the long messages, and
 *unpack* each received message into its slots on the destination processor.
 :mod:`repro.remap.masks` derives the pack/unpack masks of §3.3.1 from the
 two layouts' bit patterns; :mod:`repro.remap.plan` turns them into concrete
-vectorized gather/scatter plans; :mod:`repro.remap.exchange` executes a
-remap on the simulated machine in long- or short-message mode, with or
-without pack/unpack fused into the local computation (§4.3).
+vectorized gather/scatter plans; :mod:`repro.remap.cache` memoizes those
+plans by layout value so repeated sorts and SPMD phases never rebuild the
+same index algebra; :mod:`repro.remap.exchange` executes a remap on the
+simulated machine in long- or short-message mode, with or without
+pack/unpack fused into the local computation (§4.3).
 """
 
 from repro.remap.masks import changed_local_bits, pack_mask, unpack_mask
 from repro.remap.plan import RemapPlan, build_remap_plan
+from repro.remap.cache import PLAN_CACHE, RemapPlanCache, cached_remap_plan
 from repro.remap.exchange import perform_remap
 
 __all__ = [
@@ -20,5 +23,8 @@ __all__ = [
     "unpack_mask",
     "RemapPlan",
     "build_remap_plan",
+    "RemapPlanCache",
+    "cached_remap_plan",
+    "PLAN_CACHE",
     "perform_remap",
 ]

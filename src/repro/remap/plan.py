@@ -15,6 +15,7 @@ promises (no per-element headers travel with the data).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Tuple
 
 import numpy as np
@@ -57,6 +58,30 @@ class RemapPlan:
     @property
     def num_messages(self) -> int:
         return len(self.send)
+
+    # Derived views, computed once per plan.  ``cached_property`` writes to
+    # ``__dict__`` directly, which a frozen dataclass permits; plans shared
+    # through :mod:`repro.remap.cache` amortize these across every caller.
+
+    @cached_property
+    def send_sorted(self) -> Tuple[Tuple[int, np.ndarray], ...]:
+        """``send.items()`` in ascending destination order — the
+        deterministic emission order every executor wants, sorted once."""
+        return tuple(sorted(self.send.items()))
+
+    @cached_property
+    def recv_sorted(self) -> Tuple[Tuple[int, np.ndarray], ...]:
+        """``recv.items()`` in ascending source order."""
+        return tuple(sorted(self.recv.items()))
+
+    @cached_property
+    def recv_concat(self) -> np.ndarray:
+        """All incoming scatter indices, concatenated in ascending source
+        order — lets an executor place every arrival with one fancy-index
+        assignment once it concatenates the payloads in the same order."""
+        if not self.recv:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([idx for _, idx in self.recv_sorted])
 
 
 def build_remap_plan(

@@ -4,8 +4,14 @@ program, not a simulation.
 Everything else in this package *simulates* the parallel machine (real data
 movement, virtual clocks).  :mod:`repro.runtime` is the complement: an
 mpi4py-style SPMD programming interface (:class:`~repro.runtime.api.Comm`)
-with a portable threads backend (:mod:`repro.runtime.threads` — each rank a
-Python thread; NumPy kernels release the GIL, so ranks genuinely overlap),
+with two interchangeable backends behind :func:`run_spmd` —
+
+* ``backend="threads"`` (:mod:`repro.runtime.threads`): each rank a Python
+  thread; NumPy kernels release the GIL, so ranks genuinely overlap;
+* ``backend="procs"`` (:mod:`repro.runtime.procs`): each rank its own OS
+  process, collectives over shared-memory double buffers; no GIL at all,
+  so every core works —
+
 and a from-scratch SPMD implementation of the smart bitonic sort written
 against that interface alone (:mod:`repro.runtime.bitonic_spmd`).
 
@@ -17,7 +23,9 @@ Porting to MPI is a matter of implementing :class:`Comm` over
 """
 
 from repro.runtime.api import Comm
-from repro.runtime.threads import ThreadComm, run_spmd
+from repro.runtime.driver import BACKENDS, run_spmd
+from repro.runtime.threads import ThreadComm
+from repro.runtime.procs import ProcComm, run_spmd_procs
 from repro.runtime.bitonic_spmd import spmd_bitonic_sort
 from repro.runtime.fft_spmd import (
     gather_natural_order,
@@ -26,9 +34,12 @@ from repro.runtime.fft_spmd import (
 )
 
 __all__ = [
+    "BACKENDS",
     "Comm",
     "ThreadComm",
+    "ProcComm",
     "run_spmd",
+    "run_spmd_procs",
     "spmd_bitonic_sort",
     "spmd_fft",
     "local_bitrev_slice",

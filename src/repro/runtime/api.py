@@ -36,6 +36,11 @@ class Comm(ABC):
     rank: int
     #: Number of ranks.
     size: int
+    #: Whether every rank of this world shares the caller's address space.
+    #: Cross-process backends (:class:`~repro.runtime.procs.ProcComm`)
+    #: override this to ``False``; layers that rely on shared in-process
+    #: state (e.g. the fault-injection transport) must check it.
+    in_process: bool = True
 
     @abstractmethod
     def barrier(self) -> None:

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover — avoid a runtime->faults import cycle
 from repro.layouts.schedule import smart_schedule
 from repro.layouts.smart import smart_params
 from repro.localsort.radix import radix_sort
-from repro.remap.plan import build_remap_plan
+from repro.remap.cache import cached_remap_plan
 from repro.runtime.api import Comm
 from repro.sorts.smart import SmartBitonicSort
 from repro.utils.bits import ilog2
@@ -108,26 +108,34 @@ def spmd_bitonic_sort(
             continue  # completed before the crash; restored above
         if set_phase is not None:
             set_phase(f"phase-{stage}", stage)
-        plan = build_remap_plan(layout, phase.layout, r)
+        plan = cached_remap_plan(layout, phase.layout, r)
         # Pack: one bucket per destination, gathered by the plan's indices.
         buckets: List[Optional[np.ndarray]] = [None] * P
-        for q, idx in plan.send.items():
+        for q, idx in plan.send_sorted:
             buckets[q] = data[idx]
         fresh = np.empty_like(data)
         fresh[plan.keep_dst] = data[plan.keep_src]
         # Transfer.
         received = comm.alltoallv(buckets)
-        # Unpack: scatter each source's payload to its plan positions.
-        for p, payload in enumerate(received):
-            if p == r or payload is None:
-                continue
-            slots = plan.recv.get(p)
-            if slots is None or slots.size != payload.size:
+        # Unpack: payloads concatenated in ascending source order land in
+        # one scatter through the plan's precomputed index vector.
+        payloads: List[np.ndarray] = []
+        for p, slots in plan.recv_sorted:
+            payload = received[p]
+            if payload is None or payload.size != slots.size:
                 raise CommunicationError(
-                    f"rank {r}: unexpected payload of {0 if payload is None else payload.size} "
-                    f"keys from rank {p}"
+                    f"rank {r}: expected {slots.size} keys from rank {p}, "
+                    f"got {0 if payload is None else payload.size}"
                 )
-            fresh[slots] = payload
+            payloads.append(payload)
+        for p, payload in enumerate(received):
+            if p != r and payload is not None and p not in plan.recv:
+                raise CommunicationError(
+                    f"rank {r}: unexpected payload of {payload.size} keys "
+                    f"from rank {p}"
+                )
+        if payloads:
+            fresh[plan.recv_concat] = np.concatenate(payloads)
         data = fresh
         layout = phase.layout
         # Local computation (Theorems 2/3) — the shared merge kernel.

@@ -1,0 +1,63 @@
+"""Backend dispatch for the SPMD runtime.
+
+:func:`run_spmd` is the single entry point for launching an SPMD world.
+The ``backend`` argument picks the substrate:
+
+``"threads"`` (default)
+    One Python thread per rank (:mod:`repro.runtime.threads`).  Portable
+    and cheap to launch; NumPy kernels overlap because they release the
+    GIL, but pure-Python control flow serializes.
+
+``"procs"``
+    One OS process per rank with shared-memory collectives
+    (:mod:`repro.runtime.procs`).  No GIL anywhere: pack/merge kernels
+    use all cores.  Higher launch cost; rank functions should be
+    fork-safe (under ``spawn`` they must also be picklable).
+
+Both backends honour the same contract: ``fn(comm)`` runs on every rank
+against the same :class:`~repro.runtime.api.Comm` interface, results come
+back indexed by rank, the first rank failure is re-raised in the caller,
+and one wall-clock ``timeout`` bounds the whole world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.errors import ConfigurationError
+from repro.runtime.api import Comm
+
+__all__ = ["run_spmd", "BACKENDS"]
+
+#: Names accepted by :func:`run_spmd`'s ``backend`` argument.
+BACKENDS = ("threads", "procs")
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[[Comm], Any],
+    timeout: float = 120.0,
+    backend: str = "threads",
+    **options: Any,
+) -> List[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks of the chosen backend.
+
+    Extra keyword ``options`` are forwarded to the backend launcher
+    (e.g. ``arena_bytes`` for ``"procs"``).  Returns the per-rank results,
+    indexed by rank.
+    """
+    if backend == "threads":
+        if options:
+            raise ConfigurationError(
+                f"threads backend takes no extra options, got {sorted(options)}"
+            )
+        from repro.runtime.threads import run_spmd as run_threads
+
+        return run_threads(size, fn, timeout=timeout)
+    if backend == "procs":
+        from repro.runtime.procs import run_spmd_procs
+
+        return run_spmd_procs(size, fn, timeout=timeout, **options)
+    raise ConfigurationError(
+        f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
+    )

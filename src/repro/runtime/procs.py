@@ -1,0 +1,491 @@
+"""The multi-core process backend of the SPMD runtime.
+
+Each rank runs in its own OS process, so NumPy pack/merge kernels execute
+on separate cores with no GIL in sight.  Collectives move bulk data through
+``multiprocessing.shared_memory`` **double buffers**: every rank owns two
+byte arenas; a collective writes its outgoing buckets into the arena of the
+current parity, publishes ``(nbytes, offset, kind, dtype)`` descriptors in
+a shared control block, crosses one world barrier, and reads peers' buckets
+straight out of their arenas.  Alternating parities means a single barrier
+per collective: arena ``b`` is only rewritten at collective ``i + 2``,
+after barrier ``i + 1`` has proven every reader of collective ``i`` moved
+on.  NumPy payloads travel as raw bytes (one memcpy into the arena, one
+memcpy out — no pickling on the bulk path); other Python values fall back
+to pickle.
+
+Arenas grow on demand (a rank that needs more room creates a new
+generation of its segment and bumps a generation counter that readers
+check on every pickup), so callers never size anything.  The parent
+process is the watchdog: it owns segment cleanup, converts a dead rank
+into a broken barrier for the survivors, and enforces one wall-clock
+deadline for the whole world, exactly like the threads backend.
+
+This backend runs ranks in *separate address spaces*: in-process state
+(checkpoint stores, fault injectors) is copied at fork, not shared — the
+fault-injection transport refuses to arm on top of it for that reason
+(see :class:`repro.faults.transport.ReliableComm`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import secrets
+import threading
+import time
+from contextlib import suppress
+from multiprocessing import shared_memory
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
+from repro.runtime.api import Comm
+
+__all__ = ["ProcComm", "run_spmd_procs"]
+
+#: Bucket encodings in the control block.
+_KIND_NONE = 0
+_KIND_NDARRAY = 1
+_KIND_PICKLE = 2
+
+#: Initial arena capacity per (rank, parity) — grown on demand.
+_DEFAULT_ARENA_BYTES = 1 << 16
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker side effects.
+
+    On Python < 3.13 attaching also *registers* the name with the resource
+    tracker (there is no ``track=False``), and the forked ranks share one
+    tracker process — the duplicate registrations then collapse into
+    spurious KeyError tracebacks at teardown.  Registration must stay
+    symmetric (exactly one ``create`` per name, exactly one ``unlink``),
+    so attaches are made silent.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _encode_dtype(dtype: np.dtype) -> Optional[int]:
+    """Pack a simple dtype's ``.str`` (e.g. ``'<u4'``) into one int64;
+    ``None`` when it does not fit and the bucket must travel pickled."""
+    if dtype.hasobject:
+        return None
+    code = dtype.str.encode("ascii", "replace")
+    if len(code) > 8:
+        return None
+    return int.from_bytes(code.ljust(8, b"\0"), "little")
+
+
+def _decode_dtype(code: int) -> np.dtype:
+    raw = int(code).to_bytes(8, "little").rstrip(b"\0")
+    return np.dtype(raw.decode("ascii"))
+
+
+def _arena_name(base: str, rank: int, parity: int, gen: int) -> str:
+    return f"{base}-{rank}-{parity}-{gen}"
+
+
+class _ControlBlock:
+    """Typed views over the world's shared int64 control segment.
+
+    Layout (all int64)::
+
+        gen[P][2]            arena generation per (rank, parity)
+        cap[P][2]            arena capacity in bytes per (rank, parity)
+        meta[2][P][P][4]     per parity, src, dst: nbytes, offset, kind, dtype
+
+    Call :meth:`release` before closing the underlying segment — the NumPy
+    views export the buffer and would otherwise make ``close()`` raise.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, P: int):
+        self.shm = shm
+        words = np.ndarray((4 * P + 2 * P * P * 4,), dtype=np.int64, buffer=shm.buf)
+        self.gen = words[: 2 * P].reshape(P, 2)
+        self.cap = words[2 * P : 4 * P].reshape(P, 2)
+        self.meta = words[4 * P :].reshape(2, P, P, 4)
+
+    @staticmethod
+    def nbytes(P: int) -> int:
+        return 8 * (4 * P + 2 * P * P * 4)
+
+    def release(self) -> None:
+        self.gen = self.cap = self.meta = None
+
+
+class ProcComm(Comm):
+    """One rank's endpoint of a multi-process SPMD world."""
+
+    #: Ranks live in separate address spaces (see :class:`Comm`).
+    in_process = False
+
+    def __init__(self, rank: int, size: int, base: str, barrier):
+        if not 0 <= rank < size:
+            raise ConfigurationError(f"rank {rank} outside world of {size}")
+        self.rank = rank
+        self.size = size
+        self._base = base
+        self._barrier = barrier
+        self._ctl = _ControlBlock(_attach(f"{base}-ctl"), size)
+        #: Attached segments, (rank, parity) -> (generation, SharedMemory).
+        self._segs = {}
+        self._parity = 0
+        for b in (0, 1):
+            gen = int(self._ctl.gen[rank, b])
+            self._segs[(rank, b)] = (gen, _attach(_arena_name(base, rank, b, gen)))
+
+    # -- primitives ---------------------------------------------------
+
+    def barrier(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise CommunicationError(
+                "SPMD world collapsed: a peer rank failed (see its traceback)"
+            ) from exc
+
+    def alltoallv(
+        self, buckets: Sequence[Optional[np.ndarray]]
+    ) -> List[Optional[np.ndarray]]:
+        if len(buckets) != self.size:
+            raise CommunicationError(
+                f"rank {self.rank}: alltoallv needs {self.size} buckets, "
+                f"got {len(buckets)}"
+            )
+        received = self._exchange(list(buckets))
+        received[self.rank] = buckets[self.rank]  # self-bucket: by reference
+        return received
+
+    def allgather(self, value: Any) -> List[Any]:
+        out = self._exchange([value] * self.size, share_payload=True)
+        out[self.rank] = value
+        return out
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise CommunicationError(f"bcast root {root} outside world")
+        sends: List[Any] = [None] * self.size
+        if self.rank == root:
+            sends = [value] * self.size
+        out = self._exchange(sends, share_payload=True)
+        return value if self.rank == root else out[root]
+
+    # -- the double-buffer exchange ------------------------------------
+
+    def _exchange(self, sends: List[Any], share_payload: bool = False) -> List[Any]:
+        """One collective: deposit ``sends[q]`` for each peer ``q``, cross
+        the barrier, pick up what every peer deposited for this rank.
+
+        ``share_payload=True`` asserts every non-None entry is the same
+        object (allgather/bcast), so it is serialized once and every
+        descriptor points at the same extent of the arena.
+        """
+        me, P = self.rank, self.size
+        b = self._parity
+        self._parity ^= 1
+        ctl = self._ctl
+
+        # Serialize: (kind, buffer, dtype_code) per destination.
+        blobs: List[Tuple[int, Optional[memoryview], int]] = []
+        shared: Optional[Tuple[int, memoryview, int]] = None
+        for q in range(P):
+            payload = sends[q]
+            if q == me or payload is None:
+                blobs.append((_KIND_NONE, None, 0))
+            elif share_payload and shared is not None:
+                blobs.append(shared)
+            else:
+                blob = self._serialize(payload)
+                blobs.append(blob)
+                if share_payload:
+                    shared = blob
+
+        # Lay out the arena; a shared payload occupies one extent.
+        offsets = [0] * P
+        total = 0
+        shared_off: Optional[int] = None
+        for q in range(P):
+            kind, raw, _ = blobs[q]
+            if kind == _KIND_NONE:
+                continue
+            if share_payload and shared_off is not None:
+                offsets[q] = shared_off
+                continue
+            offsets[q] = total
+            if share_payload:
+                shared_off = total
+            total += len(raw)
+
+        arena = self._ensure_capacity(b, total)
+        view = arena.buf
+        written = set()
+        for q in range(P):
+            kind, raw, dtcode = blobs[q]
+            if kind == _KIND_NONE:
+                ctl.meta[b, me, q] = (-1, 0, _KIND_NONE, 0)
+                continue
+            off = offsets[q]
+            if off not in written:
+                view[off : off + len(raw)] = raw
+                written.add(off)
+            ctl.meta[b, me, q] = (len(raw), off, kind, dtcode)
+
+        self.barrier()
+
+        out: List[Any] = [None] * P
+        for p in range(P):
+            if p == me:
+                continue
+            nbytes, off, kind, dtcode = (int(x) for x in ctl.meta[b, p, me])
+            if kind == _KIND_NONE:
+                continue
+            seg = self._peer_arena(p, b)
+            raw = seg.buf[off : off + nbytes]
+            try:
+                if kind == _KIND_NDARRAY:
+                    # Copy out: the sender recycles this arena two
+                    # collectives from now, but the caller may hold the
+                    # array indefinitely.
+                    out[p] = np.frombuffer(raw, dtype=_decode_dtype(dtcode)).copy()
+                else:
+                    out[p] = pickle.loads(raw)
+            finally:
+                raw.release()
+        return out
+
+    def _serialize(self, payload: Any) -> Tuple[int, memoryview, int]:
+        if isinstance(payload, np.ndarray) and payload.ndim == 1:
+            dtcode = _encode_dtype(payload.dtype)
+            if dtcode is not None:
+                data = np.ascontiguousarray(payload)
+                return (_KIND_NDARRAY, data.view(np.uint8).data, dtcode)
+        return (_KIND_PICKLE, memoryview(pickle.dumps(payload)), 0)
+
+    def _ensure_capacity(self, parity: int, nbytes: int) -> shared_memory.SharedMemory:
+        """My arena of this parity, regrown (next power of two) if the
+        collective needs more room than it currently has."""
+        me = self.rank
+        gen, seg = self._segs[(me, parity)]
+        cap = int(self._ctl.cap[me, parity])
+        if nbytes <= cap:
+            return seg
+        new_cap = max(cap, _DEFAULT_ARENA_BYTES)
+        while new_cap < nbytes:
+            new_cap *= 2
+        new_gen = gen + 1
+        fresh = shared_memory.SharedMemory(
+            create=True,
+            name=_arena_name(self._base, me, parity, new_gen),
+            size=new_cap,
+        )
+        # Publish the new generation *before* retiring the old segment so
+        # the driver's teardown sweep always finds the live name.
+        self._ctl.gen[me, parity] = new_gen
+        self._ctl.cap[me, parity] = new_cap
+        seg.close()
+        with suppress(FileNotFoundError):
+            seg.unlink()
+        self._segs[(me, parity)] = (new_gen, fresh)
+        return fresh
+
+    def _peer_arena(self, p: int, parity: int) -> shared_memory.SharedMemory:
+        """Attach (with caching) to peer ``p``'s arena of this parity,
+        re-attaching when the peer grew it to a new generation."""
+        gen = int(self._ctl.gen[p, parity])
+        cached = self._segs.get((p, parity))
+        if cached is not None and cached[0] == gen:
+            return cached[1]
+        if cached is not None:
+            with suppress(Exception):
+                cached[1].close()
+        seg = _attach(_arena_name(self._base, p, parity, gen))
+        self._segs[(p, parity)] = (gen, seg)
+        return seg
+
+    def _close(self) -> None:
+        for _, seg in self._segs.values():
+            with suppress(Exception):
+                seg.close()
+        self._segs.clear()
+        ctl_shm = self._ctl.shm
+        self._ctl.release()
+        self._ctl = None
+        with suppress(Exception):
+            ctl_shm.close()
+
+
+# -- the world driver ----------------------------------------------------
+
+
+def _put(result_q, rank: int, ok: bool, payload: Any) -> None:
+    """Ship ``(rank, ok, payload)`` to the parent, pre-pickled so that a
+    pickling failure surfaces *here* (``mp.Queue`` serializes in a feeder
+    thread, where an error would silently strand the parent)."""
+    try:
+        blob = pickle.dumps((rank, ok, payload))
+    except Exception as exc:  # noqa: BLE001 — degrade to a description
+        blob = pickle.dumps(
+            (
+                rank,
+                False,
+                CommunicationError(
+                    f"rank {rank} produced an unpicklable "
+                    f"{'result' if ok else 'error'} "
+                    f"({type(payload).__name__}): {exc}"
+                ),
+            )
+        )
+    result_q.put(blob)
+
+
+def _worker(rank: int, size: int, base: str, barrier, fn, result_q) -> None:
+    comm = ProcComm(rank, size, base, barrier)
+    try:
+        result = fn(comm)
+    except BaseException as exc:  # noqa: BLE001 — re-raised in the parent
+        barrier.abort()  # unblock peers before reporting
+        _put(result_q, rank, False, exc)
+    else:
+        _put(result_q, rank, True, result)
+    finally:
+        comm._close()
+
+
+def _sweep_segments(ctl_shm: shared_memory.SharedMemory, base: str, size: int) -> None:
+    """Unlink every arena generation the control block knows about (plus
+    one ahead, in case a rank died between creating a generation and
+    publishing it), then the control segment itself."""
+    gens = []
+    ctl = _ControlBlock(ctl_shm, size)
+    for r in range(size):
+        for b in (0, 1):
+            gens.append((r, b, int(ctl.gen[r, b])))
+    ctl.release()
+    for r, b, gen in gens:
+        for g in (gen, gen + 1):
+            with suppress(Exception):
+                stale = shared_memory.SharedMemory(name=_arena_name(base, r, b, g))
+                stale.close()
+                stale.unlink()
+    with suppress(Exception):
+        ctl_shm.close()
+    with suppress(Exception):
+        ctl_shm.unlink()
+
+
+def run_spmd_procs(
+    size: int,
+    fn: Callable[[Comm], Any],
+    timeout: float = 120.0,
+    arena_bytes: int = _DEFAULT_ARENA_BYTES,
+) -> List[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks, one OS process each; return the
+    per-rank results, indexed by rank.
+
+    Mirrors :func:`repro.runtime.threads.run_spmd`: one wall-clock deadline
+    for the whole world, the first rank failure re-raised in the caller,
+    and a broken barrier unblocking the survivors.  ``arena_bytes`` sizes
+    the initial shared-memory arenas (they grow on demand).
+
+    Prefers the ``fork`` start method so ``fn`` may be any closure; under
+    ``spawn`` (platforms without fork) ``fn`` must be picklable.
+    """
+    if size < 1:
+        raise ConfigurationError(f"need at least 1 rank, got {size}")
+    if arena_bytes < 1:
+        raise ConfigurationError(f"arena_bytes must be positive, got {arena_bytes}")
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    base = f"rspmd{os.getpid():x}{secrets.token_hex(4)}"
+    barrier = ctx.Barrier(size)
+    result_q = ctx.Queue()
+
+    ctl_shm = shared_memory.SharedMemory(
+        create=True, name=f"{base}-ctl", size=_ControlBlock.nbytes(size)
+    )
+    try:
+        ctl = _ControlBlock(ctl_shm, size)
+        ctl.gen[:] = 0
+        ctl.cap[:] = arena_bytes
+        ctl.meta[:] = 0
+        ctl.release()
+        for r in range(size):
+            for b in (0, 1):
+                seg = shared_memory.SharedMemory(
+                    create=True, name=_arena_name(base, r, b, 0), size=arena_bytes
+                )
+                seg.close()
+
+        procs = [
+            # daemon=True: a wedged rank must never outlive the caller.
+            ctx.Process(
+                target=_worker,
+                args=(r, size, base, barrier, fn, result_q),
+                name=f"spmd-rank-{r}",
+                daemon=True,
+            )
+            for r in range(size)
+        ]
+        for p in procs:
+            p.start()
+
+        deadline = time.monotonic() + timeout
+        results: List[Any] = [None] * size
+        failures: List[BaseException] = []
+        reported = [False] * size
+        while not all(reported):
+            try:
+                rank, ok, payload = pickle.loads(result_q.get(timeout=0.05))
+            except queue_mod.Empty:
+                if time.monotonic() > deadline:
+                    barrier.abort()
+                    for p in procs:
+                        if p.is_alive():
+                            p.terminate()
+                    raise SpmdTimeoutError(
+                        f"SPMD world did not finish within its {timeout}s "
+                        "budget (deadlock or runaway work)",
+                        phase="run_spmd",
+                    )
+                for r, p in enumerate(procs):
+                    if not reported[r] and not p.is_alive() and p.exitcode:
+                        # Died without reporting (hard kill / segfault):
+                        # break the barrier so the survivors can exit too.
+                        reported[r] = True
+                        failures.append(
+                            CommunicationError(
+                                f"SPMD rank {r} died with exit code "
+                                f"{p.exitcode} before reporting a result"
+                            )
+                        )
+                        barrier.abort()
+                continue
+            reported[rank] = True
+            if ok:
+                results[rank] = payload
+            else:
+                failures.append(payload)
+        for p in procs:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.terminate()
+        if failures:
+            # Prefer the root cause over peers' collapsed-barrier echoes
+            # (stable sort: original arrival order breaks ties).
+            failures.sort(key=lambda e: type(e) is CommunicationError)
+            raise failures[0]
+        return results
+    finally:
+        with suppress(Exception):
+            result_q.close()
+        _sweep_segments(ctl_shm, base, size)
