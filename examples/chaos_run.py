@@ -14,7 +14,7 @@ the checkpoint format.
 Run:  PYTHONPATH=src python examples/chaos_run.py
 """
 
-from repro import FaultPlan, make_keys, run_chaos_sort
+from repro import FaultPlan, make_keys, run_chaos_sort, sort
 from repro.errors import CorruptPayloadError
 from repro.harness import run_experiment
 from repro.harness.report import format_result
@@ -22,6 +22,14 @@ from repro.harness.report import format_result
 P = 4
 keys = make_keys(P * 4096, seed=7)
 
+print("=== 0. the front door: one call, faults armed ======================")
+# `repro.sort` wraps every rank's communicator in the reliable transport
+# when a FaultPlan is passed; the report carries the injection/recovery
+# ledger.  (Crash/restart choreography needs run_chaos_sort, below.)
+front = sort(keys, P, backend="threads", faults=FaultPlan(seed=1, drop=0.05))
+print(front.describe())
+
+print()
 print("=== 1. a 5% drop plan: absorbed by retransmission =================")
 plan = FaultPlan(seed=1, drop=0.05)
 report = run_chaos_sort(keys, P, plan)

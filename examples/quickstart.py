@@ -2,20 +2,16 @@
 """Quickstart: sort one million keys with the smart-layout bitonic sort.
 
 This is the 60-second tour of the library: generate the paper's workload
-(uniform 31-bit keys), run Algorithm 1 on a simulated 32-node Meiko CS-2,
-verify the result end to end, and read off the numbers the paper reports —
-simulated time per key, the communication metrics (remaps R, volume V,
-messages M), and the computation/communication breakdown.
+(uniform 31-bit keys), run Algorithm 1 through the unified front door
+(`repro.sort`) on a simulated 32-node Meiko CS-2, verify the result end
+to end, and read off the numbers the paper reports — simulated time per
+key, the communication metrics (remaps R, volume V, messages M), and the
+computation/communication breakdown.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CyclicBlockedBitonicSort,
-    SmartBitonicSort,
-    counts_for,
-    make_keys,
-)
+from repro import counts_for, make_keys, sort
 
 
 def main() -> None:
@@ -26,8 +22,9 @@ def main() -> None:
     print(f"Sorting {keys.size:,} keys on {P} simulated processors "
           f"({n:,} keys each)\n")
 
-    result = SmartBitonicSort().run(keys, P, verify=True)
-    st = result.stats
+    # One call: algorithm + substrate in, one SortReport out.  The same
+    # front door runs the real SPMD backends (backend="threads"/"procs").
+    st = sort(keys, P).stats
 
     print("Smart bitonic sort (Algorithm 1):")
     print(f"  simulated time        {st.elapsed_us / 1e6:8.4f} s "
@@ -46,7 +43,7 @@ def main() -> None:
     print("  (matches the paper's closed-form R/V/M exactly)\n")
 
     # Compare with the strongest prior approach, cyclic-blocked remapping.
-    baseline = CyclicBlockedBitonicSort().run(keys, P, verify=True).stats
+    baseline = sort(keys, P, algorithm="cyclic-blocked").stats
     print("Cyclic-Blocked baseline [CDMS94]:")
     print(f"  simulated time        {baseline.elapsed_us / 1e6:8.4f} s "
           f"({baseline.us_per_key:.3f} us/key)")

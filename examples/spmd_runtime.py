@@ -3,27 +3,25 @@
 
 Everything else in this library *simulates* the parallel machine; this
 example runs the paper's sort on the in-process SPMD runtime — P concurrent
-threads exchanging NumPy arrays through MPI-style collectives — and
-cross-checks it against both `np.sort` and the simulator implementation.
+threads exchanging NumPy arrays through MPI-style collectives — traced, via
+the unified front door (`repro.sort`), and then drops down to the raw
+`Comm` interface for the FFT to show the layer the front door stands on.
 
-The program below is written against the abstract `Comm` interface, whose
-methods deliberately mirror mpi4py's (`alltoallv`, `allgather`, `bcast`,
-`sendrecv`): porting it to a cluster is a matter of wrapping
+The low-level programs are written against the abstract `Comm` interface,
+whose methods deliberately mirror mpi4py's (`alltoallv`, `allgather`,
+`bcast`, `sendrecv`): porting them to a cluster is a matter of wrapping
 `mpi4py.MPI.COMM_WORLD` in the same five methods.
 
 Run:  python examples/spmd_runtime.py
 """
 
-import time
-
 import numpy as np
 
-from repro import SmartBitonicSort, make_keys
+from repro import make_keys, sort
 from repro.runtime import (
     gather_natural_order,
     local_bitrev_slice,
     run_spmd,
-    spmd_bitonic_sort,
     spmd_fft,
 )
 
@@ -34,28 +32,21 @@ def main() -> None:
 
     print(f"SPMD smart bitonic sort: {P} concurrent ranks x {n // 1024}K keys")
 
-    def sort_program(comm):
-        local = keys[comm.rank * n:(comm.rank + 1) * n]
-        t0 = time.perf_counter()
-        out = spmd_bitonic_sort(comm, local)
-        elapsed = time.perf_counter() - t0
-        # A collective the algorithm itself doesn't need — just to report.
-        times = comm.allgather(elapsed)
-        return out, times
-
-    t0 = time.perf_counter()
-    results = run_spmd(P, sort_program)
-    wall = time.perf_counter() - t0
-    parts = [out for out, _ in results]
-    merged = np.concatenate(parts)
-    assert np.array_equal(merged, np.sort(keys)), "SPMD sort disagrees with np.sort"
-    sim = SmartBitonicSort().run(keys, P).sorted_keys
-    assert np.array_equal(merged, sim), "SPMD sort disagrees with the simulator"
-    per_rank = results[0][1]
-    print(f"  verified against np.sort and the simulator implementation")
-    print(f"  wall {wall * 1e3:.0f} ms total; per-rank busy "
-          f"{min(per_rank) * 1e3:.0f}-{max(per_rank) * 1e3:.0f} ms "
+    # One call: the real threads runtime, phase tracing armed, the output
+    # verified element-exactly against np.sort before the report returns.
+    report = sort(keys, P, backend="threads", trace=True)
+    assert np.array_equal(report.sorted_keys, np.sort(keys))
+    print(f"  verified; wall {report.wall_seconds * 1e3:.0f} ms total "
           f"(threads overlap where NumPy drops the GIL)")
+
+    # The traced run aligns three views of the same phases: measured host
+    # time, the LogGP simulation, and the closed-form prediction.  The
+    # deviation column names the phases where reality and model disagree.
+    print()
+    print(report.phases.describe())
+
+    # The same call with backend="procs" runs one OS process per rank
+    # (shared-memory collectives, no GIL anywhere) — byte-identical output.
 
     print(f"\nSPMD FFT: {P} ranks x {n // 1024}K complex points")
     rng = np.random.default_rng(3)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate for exported Chrome traces.
+
+Usage: PYTHONPATH=src python scripts/check_trace.py TRACE.json [TRACE2.json ...]
+
+Fails (exit 1) if any given trace file:
+
+* has no complete ("ph": "X") span events — an empty trace means the
+  instrumentation silently stopped recording;
+* uses an event category outside the documented vocabulary
+  (`repro.machine.metrics.CATEGORY_DESCRIPTIONS`) or advertises a
+  category list that drifted from it;
+* carries an unexpected schema string (bump `CHROME_TRACE_SCHEMA` and the
+  golden file together, deliberately);
+* lacks the core counters a traced sort must produce
+  (``remaps``, ``messages``, ``bytes_sent``).
+"""
+
+import json
+import sys
+
+from repro.machine.metrics import CATEGORY_DESCRIPTIONS
+from repro.trace import CHROME_TRACE_SCHEMA
+
+REQUIRED_COUNTERS = ("remaps", "messages", "bytes_sent")
+
+
+def check(path: str) -> list:
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    other = doc.get("otherData", {})
+    if other.get("schema") != CHROME_TRACE_SCHEMA:
+        errors.append(
+            f"schema {other.get('schema')!r} != expected {CHROME_TRACE_SCHEMA!r}"
+        )
+    documented = set(CATEGORY_DESCRIPTIONS)
+    advertised = set(other.get("categories", []))
+    if advertised != documented:
+        errors.append(
+            f"category vocabulary drifted: trace advertises {sorted(advertised)}, "
+            f"documented set is {sorted(documented)}"
+        )
+    spans = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    if not spans:
+        errors.append("no span events — the trace is empty")
+    used = {e.get("cat") for e in spans}
+    rogue = used - documented
+    if rogue:
+        errors.append(f"span events use undocumented categories: {sorted(rogue)}")
+    counters = other.get("counters", {})
+    missing = [c for c in REQUIRED_COUNTERS if not counters.get(c)]
+    if missing:
+        errors.append(f"required counters missing or zero: {missing}")
+    return errors
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        errors = check(path)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for err in errors:
+                print(f"  - {err}")
+        else:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+            ranks = doc["otherData"].get("ranks")
+            print(f"OK   {path}: {n} spans across {ranks} ranks")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,21 +10,26 @@ distributed-memory machine standing in for the 64-node Meiko CS-2, the
 Blocked-Merge and Cyclic-Blocked baselines, and long-message parallel radix
 and sample sorts for the cross-algorithm comparison.
 
-Quickstart::
+Quickstart — one front door over every substrate::
 
-    import numpy as np
-    from repro import SmartBitonicSort, make_keys
+    from repro import make_keys, sort
 
     keys = make_keys(1 << 20)                 # 1M uniform 31-bit keys
-    result = SmartBitonicSort().run(keys, P=32, verify=True)
-    print(result.stats.us_per_key, "simulated us/key")
-    print(result.stats.remaps, "remaps;",
-          result.stats.volume_per_proc, "elements sent per processor")
+    report = sort(keys, P=32)                 # LogGP-simulated Meiko CS-2
+    print(report.stats.us_per_key, "simulated us/key")
+
+    report = sort(keys, P=8, backend="threads", trace=True)  # real SPMD
+    print(report.phases.describe())           # measured/simulated/predicted
+
+The class-per-algorithm interface underneath
+(``SmartBitonicSort().run(keys, P)`` etc.) remains available for
+fine-grained control over message modes and machine specs.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.api import SORT_ALGORITHMS, SORT_BACKENDS, SortReport, sort
 from repro.errors import (
     CommunicationError,
     ConfigurationError,
@@ -65,13 +70,26 @@ from repro.sorts import (
 )
 from repro.fft import ParallelFFT
 from repro.records import sort_records
+from repro.runtime import BackendOptions
 from repro.theory import best_algorithm, counts_for, predict
+from repro.trace import PhaseReport, Tracer, build_phase_report, write_chrome_trace
 from repro.utils.rng import make_keys
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the front door
+    "sort",
+    "SortReport",
+    "SORT_ALGORITHMS",
+    "SORT_BACKENDS",
+    "BackendOptions",
+    # tracing & observability
+    "Tracer",
+    "PhaseReport",
+    "build_phase_report",
+    "write_chrome_trace",
     # errors
     "ReproError",
     "ConfigurationError",

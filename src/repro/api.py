@@ -1,0 +1,329 @@
+"""The one front door: ``sort()`` over every substrate, one report back.
+
+The package grew three ways to run the paper's sort — the LogGP-simulated
+machine (:mod:`repro.sorts`), the real SPMD runtimes
+(:mod:`repro.runtime`), and the chaos/fault stack (:mod:`repro.faults`) —
+each with its own entry point and its own result shape.  :func:`sort`
+unifies them behind a single call::
+
+    from repro import sort
+
+    report = sort(keys, P=8)                                # simulated
+    report = sort(keys, P=8, backend="threads", trace=True) # real SPMD, traced
+    report = sort(keys, P=4, backend="threads",
+                  faults=FaultPlan.light(seed=7))           # under faults
+
+and always returns one :class:`SortReport` carrying whatever the chosen
+substrate produced: the sorted keys and wall time always; simulated
+:class:`~repro.machine.metrics.RunStats` from the simulated backend; a
+:class:`~repro.trace.report.PhaseReport` aligning measured, simulated and
+predicted per-phase time when ``trace=True``; fault and recovery counters
+when a :class:`~repro.faults.plan.FaultPlan` was armed.
+
+Capability matrix (a combination outside it raises
+:class:`~repro.errors.ConfigurationError` rather than silently ignoring
+an argument):
+
+===========  ==========================  =====  ======
+backend      algorithms                  trace  faults
+===========  ==========================  =====  ======
+simulated    smart, cyclic-blocked,      yes    yes
+             blocked-merge, radix,
+             sample
+threads      smart                       yes    yes
+procs        smart                       yes    no (injector needs one
+                                                address space)
+===========  ==========================  =====  ======
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.metrics import RunStats
+
+__all__ = ["SortReport", "sort", "SORT_BACKENDS", "SORT_ALGORITHMS"]
+
+#: Substrates :func:`sort` can run on.
+SORT_BACKENDS = ("simulated", "threads", "procs")
+
+#: Algorithm names accepted by :func:`sort` (SPMD backends support only
+#: ``smart`` — the message-passing program implements the smart schedule).
+SORT_ALGORITHMS = ("smart", "cyclic-blocked", "blocked-merge", "radix", "sample")
+
+#: Algorithms with a closed-form predictor (fills the ``predicted`` column
+#: of a traced report).
+_PREDICTABLE = ("smart", "cyclic-blocked", "blocked-merge")
+
+
+@dataclass
+class SortReport:
+    """Everything one :func:`sort` call produced, in one place.
+
+    Always present: the identity of the run (``algorithm``, ``backend``,
+    ``P``, ``n``), the globally sorted ``sorted_keys``, and host
+    ``wall_seconds``.  The rest depends on the substrate: ``stats`` is the
+    simulated machine's metrics (simulated backend only), ``phases`` the
+    three-source per-phase breakdown (``trace=True``), ``fault_stats`` /
+    ``retry_rounds`` / ``resent_elements`` the injected-fault ledger
+    (``faults`` armed).
+    """
+
+    algorithm: str
+    backend: str
+    P: int
+    n: int
+    sorted_keys: np.ndarray
+    wall_seconds: float
+    verified: bool = False
+    stats: Optional[RunStats] = None
+    phases: Optional["PhaseReport"] = None  # noqa: F821 — forward ref
+    #: Per-rank span/counter recorders of a traced SPMD run (rank order);
+    #: feed to :func:`repro.trace.write_chrome_trace` for a timeline file.
+    tracers: Optional[list] = None
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    retry_rounds: int = 0
+    resent_elements: int = 0
+
+    @property
+    def N(self) -> int:
+        """Total number of keys sorted."""
+        return self.P * self.n
+
+    def describe(self) -> str:
+        """Human-readable run summary (plus the phase table when traced)."""
+        lines = [
+            f"{self.algorithm} sort: {self.N:,} keys on {self.P} "
+            f"{'simulated processors' if self.backend == 'simulated' else 'ranks'}"
+            f" [{self.backend}] — {self.wall_seconds:.3f}s wall"
+            + (", verified" if self.verified else "")
+        ]
+        if self.stats is not None:
+            lines.append(
+                f"  simulated {self.stats.elapsed_us:,.0f} µs makespan, "
+                f"{self.stats.remaps} remaps, "
+                f"{self.stats.volume_per_proc:,.0f} elements/proc"
+            )
+        if self.fault_stats:
+            s = self.fault_stats
+            lines.append(
+                f"  faults     drop={s.get('dropped', 0)} "
+                f"dup={s.get('duplicated', 0)} corrupt={s.get('corrupted', 0)} "
+                f"delay={s.get('delayed', 0)}; recovery retry rounds="
+                f"{self.retry_rounds}, resent={self.resent_elements:,} elements"
+            )
+        if self.phases is not None:
+            lines.append(self.phases.describe())
+        return "\n".join(lines)
+
+
+def sort(
+    keys: np.ndarray,
+    P: int,
+    *,
+    algorithm: str = "smart",
+    backend: str = "simulated",
+    trace: bool = False,
+    faults: Optional["FaultPlan"] = None,  # noqa: F821 — forward ref
+    timeout: float = 120.0,
+    verify: bool = True,
+    backend_options: Optional["BackendOptions"] = None,  # noqa: F821
+) -> SortReport:
+    """Sort ``keys`` across ``P`` processors/ranks and report everything.
+
+    Parameters
+    ----------
+    keys:
+        The global input array (power-of-two size divisible by ``P``).
+    P:
+        Number of simulated processors or real ranks.
+    algorithm:
+        One of :data:`SORT_ALGORITHMS`; SPMD backends accept only
+        ``"smart"``.
+    backend:
+        ``"simulated"`` runs on the LogGP-costed machine;
+        ``"threads"`` / ``"procs"`` run the real message-passing sort via
+        :func:`repro.runtime.driver.run_spmd`.
+    trace:
+        Record per-phase time and attach a
+        :class:`~repro.trace.report.PhaseReport` aligning measured (SPMD
+        backends), simulated, and closed-form predicted columns.  Off by
+        default: the untraced hot path allocates no trace objects.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` to inject; survived by the
+        simulator's fault plane (simulated) or
+        :class:`~repro.faults.transport.ReliableComm` (threads).
+    timeout:
+        Wall-clock budget for the SPMD world (ignored when simulated).
+    verify:
+        Check the output element-exactly against ``np.sort`` (on by
+        default — the front door favours safety over benchmark purity).
+    backend_options:
+        :class:`~repro.runtime.driver.BackendOptions` tuning for the SPMD
+        backends.
+    """
+    if backend not in SORT_BACKENDS:
+        raise ConfigurationError(
+            f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
+        )
+    if algorithm not in SORT_ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {list(SORT_ALGORITHMS)}"
+        )
+    keys = np.asarray(keys)
+    if backend == "simulated":
+        if backend_options is not None:
+            raise ConfigurationError(
+                "backend_options tune the SPMD backends; the simulated "
+                "machine takes none"
+            )
+        return _sort_simulated(keys, P, algorithm, trace, faults, verify)
+    if algorithm != "smart":
+        raise ConfigurationError(
+            f"the SPMD runtime implements only the 'smart' algorithm; "
+            f"run {algorithm!r} on backend='simulated'"
+        )
+    return _sort_spmd(
+        keys, P, backend, trace, faults, timeout, verify, backend_options
+    )
+
+
+def _sorter(algorithm: str):
+    from repro.sorts import (
+        BlockedMergeBitonicSort,
+        CyclicBlockedBitonicSort,
+        ParallelRadixSort,
+        ParallelSampleSort,
+        SmartBitonicSort,
+    )
+
+    return {
+        "smart": SmartBitonicSort,
+        "cyclic-blocked": CyclicBlockedBitonicSort,
+        "blocked-merge": BlockedMergeBitonicSort,
+        "radix": ParallelRadixSort,
+        "sample": ParallelSampleSort,
+    }[algorithm]()
+
+
+def _predicted(algorithm: str, N: int, P: int):
+    if algorithm not in _PREDICTABLE:
+        return None
+    from repro.theory.predict import predict
+
+    return predict(algorithm, N, P)
+
+
+def _sort_simulated(keys, P, algorithm, trace, faults, verify) -> SortReport:
+    from repro.faults.plan import FaultInjector
+    from repro.trace.report import build_phase_report
+
+    injector = FaultInjector(faults) if faults is not None else None
+    start = time.perf_counter()
+    result = _sorter(algorithm).run(keys, P, verify=verify, injector=injector)
+    wall = time.perf_counter() - start
+    phases = None
+    if trace:
+        phases = build_phase_report(
+            stats=result.stats,
+            predicted=_predicted(algorithm, keys.size, P),
+        )
+    return SortReport(
+        algorithm=algorithm,
+        backend="simulated",
+        P=P,
+        n=keys.size // P,
+        sorted_keys=result.sorted_keys,
+        wall_seconds=wall,
+        verified=verify,
+        stats=result.stats,
+        phases=phases,
+        fault_stats=injector.stats.as_dict() if injector is not None else {},
+        retry_rounds=injector.stats.retries if injector is not None else 0,
+        resent_elements=(
+            injector.stats.resent_elements if injector is not None else 0
+        ),
+    )
+
+
+def _sort_spmd(
+    keys, P, backend, trace, faults, timeout, verify, backend_options
+) -> SortReport:
+    from repro.faults.plan import FaultInjector
+    from repro.runtime.bitonic_spmd import spmd_bitonic_sort
+    from repro.runtime.driver import run_spmd
+    from repro.sorts.base import verify_sorted
+    from repro.trace.recorder import Tracer
+    from repro.trace.report import build_phase_report
+
+    if keys.size % P:
+        raise ConfigurationError(
+            f"{keys.size} keys do not divide over {P} ranks"
+        )
+    n = keys.size // P
+    injector = None
+    if faults is not None and not faults.is_null:
+        if backend != "threads":
+            raise ConfigurationError(
+                f"fault injection needs the shared address space of the "
+                f"threads backend, not {backend!r} — use backend='threads' "
+                "or drop the fault plan"
+            )
+        injector = FaultInjector(faults)
+
+    def prog(comm):
+        if trace:
+            comm.tracer = Tracer(comm.rank)
+        if injector is not None:
+            from repro.faults.transport import ReliableComm
+
+            comm = ReliableComm(comm, injector)
+        out = spmd_bitonic_sort(comm, keys[comm.rank * n : (comm.rank + 1) * n])
+        return out, comm.tracer
+
+    start = time.perf_counter()
+    parts = run_spmd(
+        P, prog, timeout=timeout, backend=backend, options=backend_options
+    )
+    wall = time.perf_counter() - start
+    out = np.concatenate([p for p, _ in parts])
+    if verify:
+        verify_sorted(keys, out, f"smart-spmd[{backend}]")
+
+    phases = tracers = None
+    if trace:
+        # The aligned three-source table: measured spans from this run,
+        # the LogGP machine's simulation of the same (N, P), and the
+        # closed-form prediction.
+        from repro.sorts import SmartBitonicSort
+
+        tracers = [tr for _, tr in parts]
+        sim = SmartBitonicSort().run(keys, P)
+        phases = build_phase_report(
+            tracers=tracers,
+            stats=sim.stats,
+            predicted=_predicted("smart", keys.size, P),
+            P=P,
+            n=n,
+        )
+    return SortReport(
+        algorithm="smart",
+        backend=backend,
+        P=P,
+        n=n,
+        sorted_keys=out,
+        wall_seconds=wall,
+        verified=verify,
+        phases=phases,
+        tracers=tracers,
+        fault_stats=injector.stats.as_dict() if injector is not None else {},
+        retry_rounds=injector.stats.retries if injector is not None else 0,
+        resent_elements=(
+            injector.stats.resent_elements if injector is not None else 0
+        ),
+    )

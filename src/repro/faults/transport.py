@@ -48,6 +48,7 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultInjector, InjectedCrash, NO_FAULT
 from repro.runtime.api import Comm
+from repro.trace.recorder import trace_span
 
 __all__ = ["ReliableComm"]
 
@@ -117,6 +118,16 @@ class ReliableComm(Comm):
         #: Per-instance recovery counters (also mirrored into the injector).
         self.retry_rounds = 0
         self.resent_elements = 0
+
+    @property
+    def tracer(self):
+        """The wrapped communicator's tracer: spans recorded here and by
+        the backend land in one per-rank timeline."""
+        return self._inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._inner.tracer = value
 
     # -- phase bookkeeping ---------------------------------------------
 
@@ -188,6 +199,7 @@ class ReliableComm(Comm):
         corrupt_from: Dict[int, int] = {}
         history: List[str] = []
 
+        tr = self.tracer
         for round_no in range(self._max_retries + 1):
             rows: List[Optional[List[_Envelope]]] = [None] * P
             for q, (payload, attempt) in list(pending.items()):
@@ -196,6 +208,8 @@ class ReliableComm(Comm):
                 if attempt > 0:
                     inj.note_retry(int(payload.size))
                     self.resent_elements += int(payload.size)
+                    if tr is not None:
+                        tr.add("resent_elements", int(payload.size))
                 if verdict.drop or verdict.delay:
                     continue  # lost (or late): the next round retransmits
                 wire = payload
@@ -204,7 +218,13 @@ class ReliableComm(Comm):
                 env: _Envelope = (seq, _checksum(payload), wire)
                 rows[q] = [env, env] if verdict.duplicate else [env]
 
-            arrivals = self._guarded(self._inner.alltoallv, rows)
+            # Rounds after the first are pure recovery traffic: span them
+            # as ``retransmit`` so phase totals separate first-attempt
+            # transfer cost from fault-recovery cost.
+            with trace_span(
+                tr if round_no > 0 else None, "retransmit", round_no
+            ):
+                arrivals = self._guarded(self._inner.alltoallv, rows)
             for p in range(P):
                 envs = arrivals[p]
                 if p == me or not envs:
@@ -236,6 +256,8 @@ class ReliableComm(Comm):
             ):
                 break
             self.retry_rounds += 1
+            if tr is not None:
+                tr.add("retries")
             history.append(
                 f"round {round_no}: got {sorted(received)}/{sorted(expected)}, "
                 f"unacked -> {sorted(pending)}, corrupt from "

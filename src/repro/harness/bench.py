@@ -11,7 +11,12 @@ one):
 * **kernel hot paths** — the local radix sort and the batched bitonic
   merge, each timed against its *legacy* implementation (kept here,
   verbatim, for honest A/B comparison), plus cold-vs-cached remap-plan
-  construction.
+  construction;
+* **per-phase breakdown** — one extra *traced* (untimed) run per backend
+  and size attaches exclusive per-category µs and the world-summed trace
+  counters to each end-to-end record, so a perf PR can claim it moved a
+  *specific* phase, not just the total.  The timed repetitions themselves
+  run untraced — tracing never touches the numbers.
 
 The result is a machine-readable JSON document (``BENCH_pr<k>.json`` at
 the repo root by convention) with enough host metadata (CPU count,
@@ -37,11 +42,13 @@ from repro.localsort.radix import num_passes, radix_sort
 from repro.remap.cache import RemapPlanCache
 from repro.remap.plan import build_remap_plan
 from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.trace import Tracer, build_phase_report
 from repro.utils.rng import make_keys
 
 __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 
-BENCH_SCHEMA = "repro-bitonic-bench/1"
+#: /2 added the per-record ``phases`` + ``trace_counters`` breakdown.
+BENCH_SCHEMA = "repro-bitonic-bench/2"
 
 
 # -- legacy kernels, kept verbatim for A/B ---------------------------------
@@ -121,6 +128,21 @@ def _bench_end_to_end(
                 run_spmd(procs, prog, backend=backend, timeout=timeout)
             )
 
+        def traced_phases(backend: str) -> Dict[str, Any]:
+            # One separate traced run; the timed reps above stay untraced
+            # so the span bookkeeping can never contaminate the timings.
+            def prog(c):
+                c.tracer = Tracer(c.rank)
+                spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+                return c.tracer
+
+            tracers = run_spmd(procs, prog, backend=backend, timeout=timeout)
+            rep = build_phase_report(tracers=tracers, P=procs, n=n)
+            return {
+                "phases": rep.measured_us or {},
+                "trace_counters": rep.counters,
+            }
+
         reference: Optional[bytes] = None
         for backend in backends:
             output = sort_on(backend)
@@ -137,7 +159,13 @@ def _bench_end_to_end(
                 )
             timing = _time(lambda: sort_on(backend), reps)
             records.append(
-                {"backend": backend, "keys": N, "procs": procs, **timing}
+                {
+                    "backend": backend,
+                    "keys": N,
+                    "procs": procs,
+                    **timing,
+                    **traced_phases(backend),
+                }
             )
     return records
 

@@ -24,7 +24,13 @@ Python:
     Time the real SPMD sort end-to-end across runtime backends (threads
     vs processes) and the kernel hot paths against their legacy
     implementations, verify cross-backend byte-identity, and write the
-    machine-readable benchmark trajectory JSON.
+    machine-readable benchmark trajectory JSON (now with per-phase
+    breakdowns from a traced companion run per backend).
+``repro-bitonic trace --keys 262144 --procs 4 --backend threads``
+    Run the real SPMD sort with the phase tracer armed, print the
+    measured / simulated / predicted per-phase table
+    (:class:`~repro.trace.report.PhaseReport`), and write a Chrome-trace
+    JSON timeline (open in ``chrome://tracing`` or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -199,6 +205,31 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.api import sort
+    from repro.errors import ReproError
+    from repro.trace import write_chrome_trace
+    from repro.utils.rng import make_keys
+
+    keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
+    try:
+        report = sort(
+            keys,
+            args.procs,
+            backend=args.backend,
+            trace=True,
+            timeout=args.timeout,
+        )
+    except ReproError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    write_chrome_trace(args.out, report.tracers)
+    print(f"\nchrome trace written to {args.out} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.errors import ConfigurationError
     from repro.harness.bench import run_bench, write_bench
@@ -226,8 +257,16 @@ def _cmd_bench(args) -> int:
     print(f"benchmark trajectory written to {args.out}")
     print(f"  host: {host['cpu_count']} usable cores, numpy {host['numpy']}")
     for rec in payload["end_to_end"]:
-        print(f"  end-to-end {rec['backend']:>7} {rec['keys']:>9,} keys "
-              f"x {rec['procs']} ranks: {rec['best_s'] * 1e3:8.1f} ms best")
+        line = (f"  end-to-end {rec['backend']:>7} {rec['keys']:>9,} keys "
+                f"x {rec['procs']} ranks: {rec['best_s'] * 1e3:8.1f} ms best")
+        phases = rec.get("phases") or {}
+        total = sum(phases.values())
+        if total > 0:
+            top = sorted(phases.items(), key=lambda kv: -kv[1])[:3]
+            line += "  [" + ", ".join(
+                f"{name} {100.0 * us / total:.0f}%" for name, us in top
+            ) + "]"
+        print(line)
     for name, by_size in payload["end_to_end_speedup"].items():
         pretty = ", ".join(f"{int(k):,}: {v:.2f}x" for k, v in by_size.items())
         print(f"  speedup {name}: {pretty}")
@@ -326,6 +365,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-world SPMD timeout in seconds")
     p_bench.set_defaults(fn=_cmd_bench)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run the SPMD sort traced; print the phase table, write a "
+             "Chrome-trace timeline",
+    )
+    p_trace.add_argument("--keys", type=int, default=1 << 18)
+    p_trace.add_argument("--procs", type=int, default=4)
+    p_trace.add_argument("--backend", default="threads",
+                         choices=("threads", "procs"),
+                         help="SPMD runtime backend to trace")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome-trace JSON output path")
+    p_trace.add_argument("--distribution", default="uniform")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--timeout", type=float, default=120.0)
+    p_trace.set_defaults(fn=_cmd_trace)
+
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
     p_fft.add_argument("--points", type=int, default=1 << 16)
     p_fft.add_argument("--procs", type=int, default=16)
@@ -339,7 +395,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
-             "chaos", "bench", "-h", "--help"}
+             "chaos", "bench", "trace", "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

@@ -31,12 +31,36 @@ from typing import Dict, List
 
 from repro.errors import ConfigurationError
 
-__all__ = ["CATEGORIES", "COMPUTE_CATEGORIES", "COMM_CATEGORIES", "PhaseBreakdown", "RunStats"]
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_DESCRIPTIONS",
+    "COMPUTE_CATEGORIES",
+    "COMM_CATEGORIES",
+    "PhaseBreakdown",
+    "RunStats",
+]
 
 COMPUTE_CATEGORIES = ("local_sort", "merge", "compare_exchange")
 COMM_CATEGORIES = ("address", "pack", "transfer", "retransmit", "unpack")
 OTHER_CATEGORIES = ("wait",)
 CATEGORIES = COMPUTE_CATEGORIES + COMM_CATEGORIES + OTHER_CATEGORIES
+
+#: One-line meaning per category — the *single* vocabulary shared by the
+#: simulator's accounting, the SPMD runtime tracer (:mod:`repro.trace`),
+#: and the docs; ``scripts/check_trace.py`` fails CI if an exported trace
+#: drifts from this set.
+CATEGORY_DESCRIPTIONS = {
+    "local_sort": "radix sort of the first lg n stages",
+    "merge": "merge-based local phases (bitonic merges, p-way merges)",
+    "compare_exchange": "simulated network steps (unoptimized computation)",
+    "address": "destination computation before a remap",
+    "pack": "gathering elements into long-message send buffers",
+    "unpack": "scattering received long messages into the local array",
+    "transfer": "wire time: overheads, gaps, bytes, latency",
+    "retransmit": "recovery traffic under faults (resends, NACKs)",
+    "wait": "idle time at barriers / waiting for arrivals",
+}
+assert set(CATEGORY_DESCRIPTIONS) == set(CATEGORIES)
 
 
 @dataclass

@@ -23,7 +23,7 @@ Porting to MPI is a matter of implementing :class:`Comm` over
 """
 
 from repro.runtime.api import Comm
-from repro.runtime.driver import BACKENDS, run_spmd
+from repro.runtime.driver import BACKENDS, BackendOptions, run_spmd
 from repro.runtime.threads import ThreadComm
 from repro.runtime.procs import ProcComm, run_spmd_procs
 from repro.runtime.bitonic_spmd import spmd_bitonic_sort
@@ -35,6 +35,7 @@ from repro.runtime.fft_spmd import (
 
 __all__ = [
     "BACKENDS",
+    "BackendOptions",
     "Comm",
     "ThreadComm",
     "ProcComm",

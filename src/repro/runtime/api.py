@@ -22,9 +22,12 @@ with shared memory and barriers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover — avoid a runtime->trace import cycle
+    from repro.trace.recorder import Tracer
 
 __all__ = ["Comm"]
 
@@ -41,6 +44,13 @@ class Comm(ABC):
     #: override this to ``False``; layers that rely on shared in-process
     #: state (e.g. the fault-injection transport) must check it.
     in_process: bool = True
+    #: Optional per-rank :class:`~repro.trace.recorder.Tracer`.  When set,
+    #: backends record ``wait`` spans at their barriers and message/byte
+    #: counters per collective, and the SPMD algorithms record their phase
+    #: spans; when ``None`` (the default) every instrumented path takes a
+    #: zero-allocation no-op branch.  Assign it on the rank's communicator
+    #: before the algorithm runs (``comm.tracer = Tracer(comm.rank)``).
+    tracer: Optional["Tracer"] = None
 
     @abstractmethod
     def barrier(self) -> None:
@@ -71,8 +81,18 @@ class Comm(ABC):
     ) -> Optional[np.ndarray]:
         """Send ``send`` to ``dst`` while receiving from ``src``.
 
-        Default implementation over :meth:`alltoallv`; backends may
-        specialize.
+        The exchange pattern must be *matched*: when this rank names
+        ``src``, rank ``src`` must concurrently call :meth:`sendrecv`
+        with its ``dst`` set to this rank (possibly with ``send=None``) —
+        the simultaneous pairwise pattern of blocked-merge and of column
+        sort's shifts.  Sends to self are dropped and receives from self
+        return ``None``, matching the fallback's behaviour.
+
+        This default implementation pays a full ``size``-wide
+        :meth:`alltoallv` for what is a 2-peer exchange; both bundled
+        backends override it with a genuinely pairwise path (the trace
+        counters ``coll.slots`` / ``coll.alltoallv`` make the difference
+        observable).
         """
         buckets: List[Optional[np.ndarray]] = [None] * self.size
         if send is not None and dst != self.rank:

@@ -31,6 +31,7 @@ from repro.localsort.radix import radix_sort
 from repro.remap.cache import cached_remap_plan
 from repro.runtime.api import Comm
 from repro.sorts.smart import SmartBitonicSort
+from repro.trace.recorder import trace_span
 from repro.utils.bits import ilog2
 
 __all__ = ["spmd_bitonic_sort"]
@@ -57,11 +58,20 @@ def spmd_bitonic_sort(
     Fault-aware communicators (:class:`~repro.faults.transport.ReliableComm`)
     are phase-labelled via their ``set_phase`` hook so errors and injected
     faults can name the sort phase they hit.
+
+    When ``comm.tracer`` carries a :class:`~repro.trace.recorder.Tracer`,
+    the sort records its phase spans (``local_sort`` and per-remap
+    ``address`` / ``pack`` / ``transfer`` / ``unpack`` / ``merge``) plus a
+    ``remaps`` counter; the communicator's own ``wait`` spans nest inside.
+    With no tracer the instrumentation is a zero-allocation no-op.
     """
     data = np.asarray(local_keys).copy()
     P, r = comm.size, comm.rank
     n = data.size
     set_phase = getattr(comm, "set_phase", None)
+    # With no tracer armed every trace_span below is one shared no-op
+    # context — the hot path allocates nothing (tests pin this).
+    tracer = getattr(comm, "tracer", None)
 
     # Agree on the problem shape (and catch ragged partitions early).
     sizes = comm.allgather(n)
@@ -71,7 +81,8 @@ def spmd_bitonic_sort(
             "needs the same n everywhere"
         )
     if P == 1:
-        return radix_sort(data, key_bits=key_bits, radix_bits=radix_bits)
+        with trace_span(tracer, "local_sort"):
+            return radix_sort(data, key_bits=key_bits, radix_bits=radix_bits)
     N = n * P
     schedule = smart_schedule(N, P)  # same on every rank: pure algebra
     lgn = ilog2(n)
@@ -94,8 +105,9 @@ def spmd_bitonic_sort(
         data = restored
     else:
         # First lg n stages: one local sort, alternating direction (Lemma 6).
-        data = radix_sort(data, ascending=(r % 2 == 0),
-                          key_bits=key_bits, radix_bits=radix_bits)
+        with trace_span(tracer, "local_sort"):
+            data = radix_sort(data, ascending=(r % 2 == 0),
+                              key_bits=key_bits, radix_bits=radix_bits)
         if checkpoint is not None:
             checkpoint.save(r, 0, data)
 
@@ -108,39 +120,46 @@ def spmd_bitonic_sort(
             continue  # completed before the crash; restored above
         if set_phase is not None:
             set_phase(f"phase-{stage}", stage)
-        plan = cached_remap_plan(layout, phase.layout, r)
+        if tracer is not None:
+            tracer.add("remaps")
+        with trace_span(tracer, "address", stage):
+            plan = cached_remap_plan(layout, phase.layout, r)
         # Pack: one bucket per destination, gathered by the plan's indices.
-        buckets: List[Optional[np.ndarray]] = [None] * P
-        for q, idx in plan.send_sorted:
-            buckets[q] = data[idx]
-        fresh = np.empty_like(data)
-        fresh[plan.keep_dst] = data[plan.keep_src]
+        with trace_span(tracer, "pack", stage):
+            buckets: List[Optional[np.ndarray]] = [None] * P
+            for q, idx in plan.send_sorted:
+                buckets[q] = data[idx]
+            fresh = np.empty_like(data)
+            fresh[plan.keep_dst] = data[plan.keep_src]
         # Transfer.
-        received = comm.alltoallv(buckets)
+        with trace_span(tracer, "transfer", stage):
+            received = comm.alltoallv(buckets)
         # Unpack: payloads concatenated in ascending source order land in
         # one scatter through the plan's precomputed index vector.
-        payloads: List[np.ndarray] = []
-        for p, slots in plan.recv_sorted:
-            payload = received[p]
-            if payload is None or payload.size != slots.size:
-                raise CommunicationError(
-                    f"rank {r}: expected {slots.size} keys from rank {p}, "
-                    f"got {0 if payload is None else payload.size}"
-                )
-            payloads.append(payload)
-        for p, payload in enumerate(received):
-            if p != r and payload is not None and p not in plan.recv:
-                raise CommunicationError(
-                    f"rank {r}: unexpected payload of {payload.size} keys "
-                    f"from rank {p}"
-                )
-        if payloads:
-            fresh[plan.recv_concat] = np.concatenate(payloads)
+        with trace_span(tracer, "unpack", stage):
+            payloads: List[np.ndarray] = []
+            for p, slots in plan.recv_sorted:
+                payload = received[p]
+                if payload is None or payload.size != slots.size:
+                    raise CommunicationError(
+                        f"rank {r}: expected {slots.size} keys from rank {p}, "
+                        f"got {0 if payload is None else payload.size}"
+                    )
+                payloads.append(payload)
+            for p, payload in enumerate(received):
+                if p != r and payload is not None and p not in plan.recv:
+                    raise CommunicationError(
+                        f"rank {r}: unexpected payload of {payload.size} keys "
+                        f"from rank {p}"
+                    )
+            if payloads:
+                fresh[plan.recv_concat] = np.concatenate(payloads)
         data = fresh
         layout = phase.layout
         # Local computation (Theorems 2/3) — the shared merge kernel.
-        params = smart_params(N, P, *phase.columns[0])
-        data = SmartBitonicSort._merge_local(data, layout, params, lgn, r)
+        with trace_span(tracer, "merge", stage):
+            params = smart_params(N, P, *phase.columns[0])
+            data = SmartBitonicSort._merge_local(data, layout, params, lgn, r)
         if checkpoint is not None:
             checkpoint.save(r, stage, data)
     return data

@@ -18,19 +18,50 @@ Both backends honour the same contract: ``fn(comm)`` runs on every rank
 against the same :class:`~repro.runtime.api.Comm` interface, results come
 back indexed by rank, the first rank failure is re-raised in the caller,
 and one wall-clock ``timeout`` bounds the whole world.
+
+Backend tuning lives in one typed :class:`BackendOptions` dataclass
+rather than loose keyword arguments; the old ``**options`` spelling
+(``run_spmd(..., arena_bytes=...)``) still works for one release but
+warns with :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.runtime.api import Comm
 
-__all__ = ["run_spmd", "BACKENDS"]
+__all__ = ["BackendOptions", "run_spmd", "BACKENDS"]
 
 #: Names accepted by :func:`run_spmd`'s ``backend`` argument.
 BACKENDS = ("threads", "procs")
+
+
+@dataclass(frozen=True)
+class BackendOptions:
+    """Typed tuning knobs for the SPMD backends.
+
+    Every field defaults to "backend decides"; fields that only apply to
+    one backend are rejected elsewhere (the threads backend takes no
+    tuning at all, so any set field raises there — same behaviour the old
+    loose-kwargs interface had).
+
+    Attributes
+    ----------
+    arena_bytes:
+        ``procs`` only — initial shared-memory arena capacity per
+        (rank, parity); arenas grow on demand, so this is a preallocation
+        hint, not a limit.
+    """
+
+    arena_bytes: Optional[int] = None
+
+    def set_fields(self) -> List[str]:
+        """Names of the fields explicitly set (non-``None``)."""
+        return [f.name for f in fields(self) if getattr(self, f.name) is not None]
 
 
 def run_spmd(
@@ -38,18 +69,44 @@ def run_spmd(
     fn: Callable[[Comm], Any],
     timeout: float = 120.0,
     backend: str = "threads",
-    **options: Any,
+    options: Optional[BackendOptions] = None,
+    **legacy_options: Any,
 ) -> List[Any]:
     """Run ``fn(comm)`` on ``size`` ranks of the chosen backend.
 
-    Extra keyword ``options`` are forwarded to the backend launcher
-    (e.g. ``arena_bytes`` for ``"procs"``).  Returns the per-rank results,
-    indexed by rank.
+    ``options`` carries backend tuning (:class:`BackendOptions`).  Extra
+    keyword arguments are the deprecated loose spelling of the same
+    fields — they warn, then fold into ``options``.  Returns the per-rank
+    results, indexed by rank.
     """
-    if backend == "threads":
-        if options:
+    if legacy_options:
+        known = {f.name for f in fields(BackendOptions)}
+        unknown = sorted(set(legacy_options) - known)
+        if unknown:
             raise ConfigurationError(
-                f"threads backend takes no extra options, got {sorted(options)}"
+                f"unknown run_spmd option(s) {unknown}; "
+                f"BackendOptions accepts {sorted(known)}"
+            )
+        warnings.warn(
+            "passing backend options to run_spmd as loose keyword arguments "
+            f"({sorted(legacy_options)}) is deprecated; pass "
+            "options=BackendOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if options is not None:
+            raise ConfigurationError(
+                "pass backend options either as BackendOptions or as legacy "
+                "keywords, not both"
+            )
+        options = BackendOptions(**legacy_options)
+    options = options or BackendOptions()
+
+    if backend == "threads":
+        set_fields = options.set_fields()
+        if set_fields:
+            raise ConfigurationError(
+                f"threads backend takes no extra options, got {set_fields}"
             )
         from repro.runtime.threads import run_spmd as run_threads
 
@@ -57,7 +114,10 @@ def run_spmd(
     if backend == "procs":
         from repro.runtime.procs import run_spmd_procs
 
-        return run_spmd_procs(size, fn, timeout=timeout, **options)
+        kwargs = {}
+        if options.arena_bytes is not None:
+            kwargs["arena_bytes"] = options.arena_bytes
+        return run_spmd_procs(size, fn, timeout=timeout, **kwargs)
     raise ConfigurationError(
         f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
     )

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime.api import Comm
+from repro.trace.recorder import trace_span
 
 __all__ = ["ProcComm", "run_spmd_procs"]
 
@@ -147,12 +148,13 @@ class ProcComm(Comm):
     # -- primitives ---------------------------------------------------
 
     def barrier(self) -> None:
-        try:
-            self._barrier.wait()
-        except threading.BrokenBarrierError as exc:
-            raise CommunicationError(
-                "SPMD world collapsed: a peer rank failed (see its traceback)"
-            ) from exc
+        with trace_span(self.tracer, "wait", "barrier"):
+            try:
+                self._barrier.wait()
+            except threading.BrokenBarrierError as exc:
+                raise CommunicationError(
+                    "SPMD world collapsed: a peer rank failed (see its traceback)"
+                ) from exc
 
     def alltoallv(
         self, buckets: Sequence[Optional[np.ndarray]]
@@ -162,11 +164,18 @@ class ProcComm(Comm):
                 f"rank {self.rank}: alltoallv needs {self.size} buckets, "
                 f"got {len(buckets)}"
             )
+        if self.tracer is not None:
+            # One descriptor slot per destination: the size-wide cost the
+            # pairwise sendrecv specialization avoids (it writes one).
+            self.tracer.add("coll.alltoallv")
+            self.tracer.add("coll.slots", self.size)
         received = self._exchange(list(buckets))
         received[self.rank] = buckets[self.rank]  # self-bucket: by reference
         return received
 
     def allgather(self, value: Any) -> List[Any]:
+        if self.tracer is not None:
+            self.tracer.add("coll.allgather")
         out = self._exchange([value] * self.size, share_payload=True)
         out[self.rank] = value
         return out
@@ -174,11 +183,67 @@ class ProcComm(Comm):
     def bcast(self, value: Any, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommunicationError(f"bcast root {root} outside world")
+        if self.tracer is not None:
+            self.tracer.add("coll.bcast")
         sends: List[Any] = [None] * self.size
         if self.rank == root:
             sends = [value] * self.size
         out = self._exchange(sends, share_payload=True)
         return value if self.rank == root else out[root]
+
+    def sendrecv(
+        self, send: Optional[np.ndarray], dst: int, src: int
+    ) -> Optional[np.ndarray]:
+        """Pairwise exchange: one descriptor written, one read.
+
+        The arena parity protocol still needs every rank to cross the
+        collective barrier together (so ``sendrecv`` remains a matched,
+        world-wide step here), but each rank serializes at most one
+        payload and touches exactly one descriptor slot each way, instead
+        of the fallback's ``size``-wide serialize/scan loops.
+        """
+        if not (0 <= dst < self.size and 0 <= src < self.size):
+            raise CommunicationError(
+                f"rank {self.rank}: sendrecv peers ({dst}, {src}) outside "
+                f"world of {self.size}"
+            )
+        me = self.rank
+        tr = self.tracer
+        with trace_span(tr, "transfer", "sendrecv"):
+            if tr is not None:
+                tr.add("coll.sendrecv")
+                tr.add("coll.slots")
+            b = self._parity
+            self._parity ^= 1
+            ctl = self._ctl
+            # Clear my descriptor row (vectorized) so a mismatched pattern
+            # reads NONE, never a stale descriptor from two collectives ago.
+            ctl.meta[b, me] = (-1, 0, _KIND_NONE, 0)
+            if dst != me and send is not None:
+                kind, raw, dtcode = self._serialize(send)
+                nbytes = len(raw)
+                if tr is not None:
+                    tr.add("messages")
+                    tr.add("bytes_sent", nbytes)
+                arena = self._ensure_capacity(b, nbytes)
+                arena.buf[:nbytes] = raw
+                ctl.meta[b, me, dst] = (nbytes, 0, kind, dtcode)
+            self.barrier()
+            if src == me:
+                return None
+            nbytes, off, kind, dtcode = (int(x) for x in ctl.meta[b, src, me])
+            if kind == _KIND_NONE:
+                return None
+            seg = self._peer_arena(src, b)
+            raw = seg.buf[off : off + nbytes]
+            try:
+                if kind == _KIND_NDARRAY:
+                    # Copy out: the sender recycles this arena two
+                    # collectives from now (same rule as _exchange).
+                    return np.frombuffer(raw, dtype=_decode_dtype(dtcode)).copy()
+                return pickle.loads(raw)
+            finally:
+                raw.release()
 
     # -- the double-buffer exchange ------------------------------------
 
@@ -191,6 +256,7 @@ class ProcComm(Comm):
         descriptor points at the same extent of the arena.
         """
         me, P = self.rank, self.size
+        tr = self.tracer
         b = self._parity
         self._parity ^= 1
         ctl = self._ctl
@@ -238,6 +304,10 @@ class ProcComm(Comm):
             if off not in written:
                 view[off : off + len(raw)] = raw
                 written.add(off)
+                if tr is not None:
+                    tr.add("bytes_sent", len(raw))
+            if tr is not None:
+                tr.add("messages")
             ctl.meta[b, me, q] = (len(raw), off, kind, dtcode)
 
         self.barrier()

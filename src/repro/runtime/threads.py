@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence
+from queue import Empty, SimpleQueue
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime.api import Comm
+from repro.trace.recorder import trace_span
 
 __all__ = ["ThreadComm", "run_spmd"]
 
@@ -38,6 +40,18 @@ class _SharedState:
         self.gather_slots: List[Any] = [None] * size
         self.failures: List[BaseException] = []
         self.failure_lock = threading.Lock()
+        # Pairwise sendrecv channels, created on first use: (src, dst) ->
+        # FIFO queue.  Unlike the mailbox they need no barrier — a pair
+        # exchanging data does not synchronize the rest of the world.
+        self.channels: Dict[Tuple[int, int], SimpleQueue] = {}
+        self.channel_lock = threading.Lock()
+
+    def channel(self, src: int, dst: int) -> SimpleQueue:
+        ch = self.channels.get((src, dst))
+        if ch is None:
+            with self.channel_lock:
+                ch = self.channels.setdefault((src, dst), SimpleQueue())
+        return ch
 
 
 class ThreadComm(Comm):
@@ -53,12 +67,13 @@ class ThreadComm(Comm):
     # -- primitives ---------------------------------------------------
 
     def barrier(self) -> None:
-        try:
-            self._state.barrier.wait()
-        except threading.BrokenBarrierError as exc:
-            raise CommunicationError(
-                "SPMD world collapsed: a peer rank failed (see its traceback)"
-            ) from exc
+        with trace_span(self.tracer, "wait", "barrier"):
+            try:
+                self._state.barrier.wait()
+            except threading.BrokenBarrierError as exc:
+                raise CommunicationError(
+                    "SPMD world collapsed: a peer rank failed (see its traceback)"
+                ) from exc
 
     def alltoallv(
         self, buckets: Sequence[Optional[np.ndarray]]
@@ -68,6 +83,14 @@ class ThreadComm(Comm):
                 f"rank {self.rank}: alltoallv needs {self.size} buckets, "
                 f"got {len(buckets)}"
             )
+        tr = self.tracer
+        if tr is not None:
+            tr.add("coll.alltoallv")
+            tr.add("coll.slots", self.size)
+            for q, payload in enumerate(buckets):
+                if q != self.rank and payload is not None:
+                    tr.add("messages")
+                    tr.add("bytes_sent", int(np.asarray(payload).nbytes))
         row = self._state.mailbox[self.rank]
         for q, payload in enumerate(buckets):
             row[q] = payload
@@ -83,6 +106,8 @@ class ThreadComm(Comm):
         return received
 
     def allgather(self, value: Any) -> List[Any]:
+        if self.tracer is not None:
+            self.tracer.add("coll.allgather")
         self._state.gather_slots[self.rank] = value
         self.barrier()
         out = list(self._state.gather_slots)
@@ -96,6 +121,8 @@ class ThreadComm(Comm):
     def bcast(self, value: Any, root: int = 0) -> Any:
         if not 0 <= root < self.size:
             raise CommunicationError(f"bcast root {root} outside world")
+        if self.tracer is not None:
+            self.tracer.add("coll.bcast")
         if self.rank == root:
             self._state.gather_slots[root] = value
         self.barrier()
@@ -104,6 +131,47 @@ class ThreadComm(Comm):
         if self.rank == root:
             self._state.gather_slots[root] = None
         return out
+
+    def sendrecv(
+        self, send: Optional[np.ndarray], dst: int, src: int
+    ) -> Optional[np.ndarray]:
+        """Genuinely pairwise exchange over per-pair FIFO channels.
+
+        Unlike the :class:`~repro.runtime.api.Comm` fallback this never
+        crosses the world barrier or scans ``size`` mailbox slots: the
+        pair (and only the pair) synchronizes, so disjoint pairs exchange
+        concurrently without waiting on each other.
+        """
+        if not (0 <= dst < self.size and 0 <= src < self.size):
+            raise CommunicationError(
+                f"rank {self.rank}: sendrecv peers ({dst}, {src}) outside "
+                f"world of {self.size}"
+            )
+        tr = self.tracer
+        with trace_span(tr, "transfer", "sendrecv"):
+            if tr is not None:
+                tr.add("coll.sendrecv")
+                tr.add("coll.slots")
+            if dst != self.rank:
+                # Always deposit (None included) so the matched receiver
+                # never blocks on a nothing-to-send exchange.
+                if tr is not None and send is not None:
+                    tr.add("messages")
+                    tr.add("bytes_sent", int(np.asarray(send).nbytes))
+                self._state.channel(self.rank, dst).put(send)
+            if src == self.rank:
+                return None
+            channel = self._state.channel(src, self.rank)
+            with trace_span(tr, "wait", "sendrecv-recv"):
+                while True:
+                    try:
+                        return channel.get(timeout=0.05)
+                    except Empty:
+                        if self._state.barrier.broken:
+                            raise CommunicationError(
+                                "SPMD world collapsed: a peer rank failed "
+                                "while this rank waited in sendrecv"
+                            ) from None
 
 
 def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> List[Any]:

@@ -1,0 +1,116 @@
+"""Trace exporters: Chrome-trace (``chrome://tracing``) and plain JSON.
+
+The Chrome trace event format is the de-facto interchange for span
+timelines — the JSON produced here loads directly in ``chrome://tracing``
+(or Perfetto's legacy importer): one *process* per world, one *thread*
+row per rank, one complete (``"ph": "X"``) event per recorded span, with
+the span's category as the event category (so the UI colours phases
+consistently).
+
+The schema is pinned by a golden-file test
+(``tests/test_trace.py::TestChromeExport``) and checked in CI by
+``scripts/check_trace.py`` — the phase-category vocabulary drifting from
+:data:`repro.machine.metrics.CATEGORIES` is a build failure, not a silent
+rename.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.machine.metrics import CATEGORIES
+from repro.trace.recorder import Tracer
+from repro.trace.report import merged_counters
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "trace_to_dict",
+]
+
+#: Bumped whenever the exported structure changes shape.
+CHROME_TRACE_SCHEMA = "repro-bitonic-trace/1"
+
+
+def to_chrome_trace(tracers: Sequence[Tracer]) -> Dict:
+    """Render the world's tracers as one Chrome-trace JSON object.
+
+    Timestamps are microseconds relative to the earliest span start in the
+    world (Chrome's viewer expects µs); ranks map to thread lanes of one
+    process.  Counters ride along under ``otherData`` together with the
+    documented category vocabulary.
+    """
+    starts = [
+        span[2] for tr in tracers for span in tr.spans if span[3] >= span[2]
+    ]
+    origin = min(starts) if starts else 0.0
+    events: List[Dict] = []
+    for tr in tracers:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tr.rank,
+                "args": {"name": f"rank {tr.rank}"},
+            }
+        )
+        for category, name, start, end, _parent in tr.spans:
+            if end < start:
+                continue  # never closed
+            events.append(
+                {
+                    "name": category if name is None else str(name),
+                    "cat": category,
+                    "ph": "X",
+                    "ts": round((start - origin) * 1e6, 3),
+                    "dur": round((end - start) * 1e6, 3),
+                    "pid": 0,
+                    "tid": tr.rank,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_TRACE_SCHEMA,
+            "categories": list(CATEGORIES),
+            "ranks": len(tracers),
+            "counters": merged_counters(tracers),
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracers: Sequence[Tracer]) -> None:
+    """Write :func:`to_chrome_trace` output as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracers), fh, indent=2)
+        fh.write("\n")
+
+
+def trace_to_dict(tracers: Iterable[Tracer]) -> Dict:
+    """Raw per-rank spans and counters as one JSON-ready dict (the
+    machine-readable sibling of the Chrome export, for offline analysis)."""
+    return {
+        "schema": CHROME_TRACE_SCHEMA,
+        "categories": list(CATEGORIES),
+        "ranks": [
+            {
+                "rank": tr.rank,
+                "spans": [
+                    {
+                        "category": cat,
+                        "name": None if name is None else str(name),
+                        "start_s": start,
+                        "end_s": end,
+                        "parent": parent,
+                    }
+                    for cat, name, start, end, parent in tr.spans
+                ],
+                "counters": dict(tr.counters),
+            }
+            for tr in tracers
+        ],
+    }
