@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
-"""CI gate for exported Chrome traces.
+"""CI gate for exported Chrome traces and benchmark trajectories.
 
-Usage: PYTHONPATH=src python scripts/check_trace.py TRACE.json [TRACE2.json ...]
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace.py TRACE.json [TRACE2.json ...]
+    PYTHONPATH=src python scripts/check_trace.py --bench BENCH.json TRACE.json ...
 
 Fails (exit 1) if any given trace file:
 
@@ -13,9 +16,24 @@ Fails (exit 1) if any given trace file:
 * carries an unexpected schema string (bump `CHROME_TRACE_SCHEMA` and the
   golden file together, deliberately);
 * lacks the core counters a traced sort must produce
-  (``remaps``, ``messages``, ``bytes_sent``).
+  (``remaps``, ``messages``, ``bytes_sent``);
+* ran the default (fused) sort but shows no ``coll.fused`` collectives,
+  or fused collectives that all fell back off the zero-copy path
+  (``coll.fused_direct`` == 0) — the compatibility fallback must never
+  engage silently on the bundled backends (pass ``--allow-unfused`` for
+  traces of deliberately unfused runs);
+* records group-scoped collectives with an inconsistent member tally
+  (``coll.group_alltoallv`` > 0 but ``coll.group_size`` == 0, or a mean
+  group size outside ``2 .. ranks``).
+
+With ``--bench BENCH.json`` it additionally gates the quick benchmark
+trajectory: for every backend, the fused+group variant must not be more
+than 25% slower than the unfused world-wide baseline
+(``*_fused_over_unfused`` >= 0.75) — a silently-engaged fallback or a
+fusion regression shows up here even when outputs stay correct.
 """
 
+import argparse
 import json
 import sys
 
@@ -24,8 +42,14 @@ from repro.trace import CHROME_TRACE_SCHEMA
 
 REQUIRED_COUNTERS = ("remaps", "messages", "bytes_sent")
 
+#: Minimum acceptable fused-over-unfused speedup in the bench gate: the
+#: fused path may not be more than 25% slower than the baseline it
+#: replaced (guards against the compatibility fallback engaging
+#: silently while outputs stay byte-identical).
+BENCH_MIN_FUSED_SPEEDUP = 0.75
 
-def check(path: str) -> list:
+
+def check(path: str, allow_unfused: bool = False) -> list:
     errors = []
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -52,16 +76,83 @@ def check(path: str) -> list:
     missing = [c for c in REQUIRED_COUNTERS if not counters.get(c)]
     if missing:
         errors.append(f"required counters missing or zero: {missing}")
+    fused = counters.get("coll.fused", 0)
+    if not allow_unfused:
+        if not fused:
+            errors.append(
+                "no coll.fused collectives — the default sort fuses every "
+                "remap (pass --allow-unfused for deliberately unfused runs)"
+            )
+        elif not counters.get("coll.fused_direct"):
+            errors.append(
+                "every fused collective fell back off the zero-copy path "
+                "(coll.fused_direct == 0) — silent compatibility fallback"
+            )
+    group_calls = counters.get("coll.group_alltoallv", 0)
+    group_size = counters.get("coll.group_size", 0)
+    if group_calls and not group_size:
+        errors.append(
+            "coll.group_alltoallv recorded without coll.group_size members"
+        )
+    if group_calls:
+        ranks = other.get("ranks") or 0
+        mean = group_size / group_calls
+        if not 2 <= mean <= max(ranks, 2):
+            errors.append(
+                f"mean group size {mean:.2f} outside 2 .. {ranks} — "
+                "Lemma-4 group derivation looks wrong"
+            )
+    return errors
+
+
+def check_bench(path: str) -> list:
+    """Gate a benchmark trajectory JSON (schema repro-bitonic-bench/3+)."""
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema", "")
+    if not schema.startswith("repro-bitonic-bench/"):
+        return [f"not a bench trajectory (schema {schema!r})"]
+    speedups = doc.get("end_to_end_speedup", {})
+    fused_tables = {
+        name: table
+        for name, table in speedups.items()
+        if name.endswith("_fused_over_unfused")
+    }
+    if not fused_tables:
+        errors.append(
+            "no *_fused_over_unfused speedup tables — bench predates the "
+            "fused/group variants (need schema repro-bitonic-bench/3)"
+        )
+    for name, table in fused_tables.items():
+        for size, ratio in table.items():
+            if ratio < BENCH_MIN_FUSED_SPEEDUP:
+                errors.append(
+                    f"{name}[{size}] = {ratio:.3f}x: fused+group more than "
+                    f"{(1 - BENCH_MIN_FUSED_SPEEDUP):.0%} slower than the "
+                    "unfused baseline (silent fallback or fusion regression)"
+                )
     return errors
 
 
 def main(argv) -> int:
-    if not argv:
-        print(__doc__, file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        description="validate Chrome traces (and optionally a bench trajectory)"
+    )
+    parser.add_argument("traces", nargs="*", help="Chrome-trace JSON files")
+    parser.add_argument("--bench", default=None,
+                        help="benchmark trajectory JSON to gate on the "
+                             "fused-over-unfused speedup floor")
+    parser.add_argument("--allow-unfused", action="store_true",
+                        help="skip the fused-collective requirement (for "
+                             "traces of deliberately unfused runs)")
+    args = parser.parse_args(argv)
+    if not args.traces and not args.bench:
+        parser.print_help(sys.stderr)
         return 2
     failed = False
-    for path in argv:
-        errors = check(path)
+    for path in args.traces:
+        errors = check(path, allow_unfused=args.allow_unfused)
         if errors:
             failed = True
             print(f"FAIL {path}")
@@ -73,6 +164,16 @@ def main(argv) -> int:
             n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
             ranks = doc["otherData"].get("ranks")
             print(f"OK   {path}: {n} spans across {ranks} ranks")
+    if args.bench:
+        errors = check_bench(args.bench)
+        if errors:
+            failed = True
+            print(f"FAIL {args.bench}")
+            for err in errors:
+                print(f"  - {err}")
+        else:
+            print(f"OK   {args.bench}: fused+group within "
+                  f"{BENCH_MIN_FUSED_SPEEDUP}x floor of the unfused baseline")
     return 1 if failed else 0
 
 

@@ -165,7 +165,9 @@ def sort(
         default — the front door favours safety over benchmark purity).
     backend_options:
         :class:`~repro.runtime.driver.BackendOptions` tuning for the SPMD
-        backends.
+        backends.  Its ``fused`` / ``grouped`` fields (both on by
+        default) toggle the fused zero-copy remap collective and the
+        Lemma-4 group-scoped exchanges of the SPMD sort.
     """
     if backend not in SORT_BACKENDS:
         raise ConfigurationError(
@@ -276,6 +278,10 @@ def _sort_spmd(
             )
         injector = FaultInjector(faults)
 
+    # Algorithm toggles ride in BackendOptions; None means "on".
+    fused = backend_options is None or backend_options.fused is not False
+    grouped = backend_options is None or backend_options.grouped is not False
+
     def prog(comm):
         if trace:
             comm.tracer = Tracer(comm.rank)
@@ -283,7 +289,12 @@ def _sort_spmd(
             from repro.faults.transport import ReliableComm
 
             comm = ReliableComm(comm, injector)
-        out = spmd_bitonic_sort(comm, keys[comm.rank * n : (comm.rank + 1) * n])
+        out = spmd_bitonic_sort(
+            comm,
+            keys[comm.rank * n : (comm.rank + 1) * n],
+            fused=fused,
+            grouped=grouped,
+        )
         return out, comm.tracer
 
     start = time.perf_counter()

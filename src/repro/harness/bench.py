@@ -5,9 +5,10 @@ it.  :func:`run_bench` measures, on the *host* clock (not the simulated
 one):
 
 * **end-to-end** — the real SPMD bitonic sort
-  (:func:`~repro.runtime.spmd_bitonic_sort`) across runtime backends and
-  problem sizes, cross-checking that every backend produces byte-identical
-  output;
+  (:func:`~repro.runtime.spmd_bitonic_sort`) across runtime backends,
+  problem sizes, and communication variants (fused + group-scoped
+  collectives vs the unfused world-wide baseline), cross-checking that
+  every backend × variant produces byte-identical output;
 * **kernel hot paths** — the local radix sort and the batched bitonic
   merge, each timed against its *legacy* implementation (kept here,
   verbatim, for honest A/B comparison), plus cold-vs-cached remap-plan
@@ -47,8 +48,18 @@ from repro.utils.rng import make_keys
 
 __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 
-#: /2 added the per-record ``phases`` + ``trace_counters`` breakdown.
-BENCH_SCHEMA = "repro-bitonic-bench/2"
+#: /2 added the per-record ``phases`` + ``trace_counters`` breakdown;
+#: /3 added the per-record communication ``variant`` (``fused`` /
+#: ``grouped`` flags) and the ``fused_over_unfused`` speedup table.
+BENCH_SCHEMA = "repro-bitonic-bench/3"
+
+#: The communication variants every backend is benchmarked under:
+#: the default fused + group-scoped path against the unfused world-wide
+#: baseline it replaced.
+BENCH_VARIANTS = (
+    ("fused+group", True, True),
+    ("unfused+world", False, False),
+)
 
 
 # -- legacy kernels, kept verbatim for A/B ---------------------------------
@@ -120,20 +131,26 @@ def _bench_end_to_end(
         keys = make_keys(N, seed=N % 104729)
         n = N // procs
 
-        def sort_on(backend: str) -> np.ndarray:
+        def sort_on(backend: str, fused: bool, grouped: bool) -> np.ndarray:
             def prog(c):
-                return spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+                return spmd_bitonic_sort(
+                    c, keys[c.rank * n : (c.rank + 1) * n],
+                    fused=fused, grouped=grouped,
+                )
 
             return np.concatenate(
                 run_spmd(procs, prog, backend=backend, timeout=timeout)
             )
 
-        def traced_phases(backend: str) -> Dict[str, Any]:
+        def traced_phases(backend: str, fused: bool, grouped: bool) -> Dict[str, Any]:
             # One separate traced run; the timed reps above stay untraced
             # so the span bookkeeping can never contaminate the timings.
             def prog(c):
                 c.tracer = Tracer(c.rank)
-                spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+                spmd_bitonic_sort(
+                    c, keys[c.rank * n : (c.rank + 1) * n],
+                    fused=fused, grouped=grouped,
+                )
                 return c.tracer
 
             tracers = run_spmd(procs, prog, backend=backend, timeout=timeout)
@@ -145,28 +162,34 @@ def _bench_end_to_end(
 
         reference: Optional[bytes] = None
         for backend in backends:
-            output = sort_on(backend)
-            if reference is None:
-                reference = output.tobytes()
-                if reference != np.sort(keys).tobytes():
+            for variant, fused, grouped in BENCH_VARIANTS:
+                output = sort_on(backend, fused, grouped)
+                if reference is None:
+                    reference = output.tobytes()
+                    if reference != np.sort(keys).tobytes():
+                        raise ConfigurationError(
+                            f"bench: backend {backend!r} [{variant}] "
+                            f"mis-sorted {N} keys"
+                        )
+                elif output.tobytes() != reference:
                     raise ConfigurationError(
-                        f"bench: backend {backend!r} mis-sorted {N} keys"
+                        f"bench: backend {backend!r} [{variant}] output "
+                        f"differs from the reference on {N} keys x "
+                        f"{procs} ranks"
                     )
-            elif output.tobytes() != reference:
-                raise ConfigurationError(
-                    f"bench: backend {backend!r} output differs from "
-                    f"{backends[0]!r} on {N} keys x {procs} ranks"
+                timing = _time(lambda: sort_on(backend, fused, grouped), reps)
+                records.append(
+                    {
+                        "backend": backend,
+                        "variant": variant,
+                        "fused": fused,
+                        "grouped": grouped,
+                        "keys": N,
+                        "procs": procs,
+                        **timing,
+                        **traced_phases(backend, fused, grouped),
+                    }
                 )
-            timing = _time(lambda: sort_on(backend), reps)
-            records.append(
-                {
-                    "backend": backend,
-                    "keys": N,
-                    "procs": procs,
-                    **timing,
-                    **traced_phases(backend),
-                }
-            )
     return records
 
 
@@ -267,9 +290,12 @@ def run_bench(
     end_to_end = _bench_end_to_end(sizes, procs, backends, reps, timeout)
     kernels = _bench_kernels(sizes, reps)
     speedups: Dict[str, Dict[str, float]] = {}
+    default_variant = BENCH_VARIANTS[0][0]
     if "threads" in backends:
         threads_best = {
-            r["keys"]: r["best_s"] for r in end_to_end if r["backend"] == "threads"
+            r["keys"]: r["best_s"]
+            for r in end_to_end
+            if r["backend"] == "threads" and r["variant"] == default_variant
         }
         for backend in backends:
             if backend == "threads":
@@ -277,8 +303,21 @@ def run_bench(
             speedups[f"{backend}_over_threads"] = {
                 str(r["keys"]): threads_best[r["keys"]] / r["best_s"]
                 for r in end_to_end
-                if r["backend"] == backend
+                if r["backend"] == backend and r["variant"] == default_variant
             }
+    # The A/B this PR exists for: fused+group against the unfused
+    # world-wide baseline, per backend and size.
+    for backend in backends:
+        unfused_best = {
+            r["keys"]: r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == "unfused+world"
+        }
+        speedups[f"{backend}_fused_over_unfused"] = {
+            str(r["keys"]): unfused_best[r["keys"]] / r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == default_variant
+        }
     return {
         "schema": BENCH_SCHEMA,
         "host": {

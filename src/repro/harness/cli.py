@@ -212,6 +212,14 @@ def _cmd_trace(args) -> int:
     from repro.utils.rng import make_keys
 
     keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
+    options = None
+    if args.no_fused or args.no_group:
+        from repro.runtime import BackendOptions
+
+        options = BackendOptions(
+            fused=False if args.no_fused else None,
+            grouped=False if args.no_group else None,
+        )
     try:
         report = sort(
             keys,
@@ -219,6 +227,7 @@ def _cmd_trace(args) -> int:
             backend=args.backend,
             trace=True,
             timeout=args.timeout,
+            backend_options=options,
         )
     except ReproError as exc:
         print(f"trace failed: {exc}", file=sys.stderr)
@@ -257,7 +266,9 @@ def _cmd_bench(args) -> int:
     print(f"benchmark trajectory written to {args.out}")
     print(f"  host: {host['cpu_count']} usable cores, numpy {host['numpy']}")
     for rec in payload["end_to_end"]:
-        line = (f"  end-to-end {rec['backend']:>7} {rec['keys']:>9,} keys "
+        line = (f"  end-to-end {rec['backend']:>7} "
+                f"[{rec.get('variant', 'default'):>13}] "
+                f"{rec['keys']:>9,} keys "
                 f"x {rec['procs']} ranks: {rec['best_s'] * 1e3:8.1f} ms best")
         phases = rec.get("phases") or {}
         total = sum(phases.values())
@@ -380,6 +391,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--distribution", default="uniform")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--timeout", type=float, default=120.0)
+    p_trace.add_argument("--no-fused", action="store_true",
+                         help="disable the fused pack/transfer/unpack "
+                              "collective (run the classic 3-phase remap)")
+    p_trace.add_argument("--no-group", action="store_true",
+                         help="disable Lemma-4 group-scoped exchanges "
+                              "(every remap synchronizes the whole world)")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")

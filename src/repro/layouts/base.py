@@ -182,6 +182,19 @@ class BitFieldLayout:
             raise LayoutError(f"absolute bit {abs_bit} out of range [0, {self.lgN})")
         return self._local_of_abs.get(abs_bit)
 
+    def proc_bit_of_abs_bit(self, abs_bit: int) -> Optional[int]:
+        """The processor-number bit position backing absolute bit
+        ``abs_bit``, or ``None`` if that bit is part of the local address.
+
+        The dual of :meth:`local_bit_of_abs_bit`; together they let the
+        remap-group algebra (:mod:`repro.remap.groups`) read off, for any
+        rank, which destination processor numbers are reachable across a
+        remap without enumerating a single element.
+        """
+        if not 0 <= abs_bit < self.lgN:
+            raise LayoutError(f"absolute bit {abs_bit} out of range [0, {self.lgN})")
+        return self._proc_of_abs.get(abs_bit)
+
     def step_is_local(self, step: int) -> bool:
         """Whether network step ``step`` (comparing absolute bit ``step-1``)
         executes without communication under this layout."""

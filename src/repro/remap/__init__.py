@@ -9,10 +9,18 @@ vectorized gather/scatter plans; :mod:`repro.remap.cache` memoizes those
 plans by layout value so repeated sorts and SPMD phases never rebuild the
 same index algebra; :mod:`repro.remap.exchange` executes a remap on the
 simulated machine in long- or short-message mode, with or without
-pack/unpack fused into the local computation (§4.3).
+pack/unpack fused into the local computation (§4.3);
+:mod:`repro.remap.groups` derives the Lemma-4 communication groups that
+let the executable backends scope each exchange to ``2**N_BitsChanged``
+ranks instead of the world.
 """
 
 from repro.remap.masks import changed_local_bits, pack_mask, unpack_mask
+from repro.remap.groups import (
+    destination_procs,
+    remap_group,
+    remap_group_partition,
+)
 from repro.remap.plan import RemapPlan, build_remap_plan
 from repro.remap.cache import PLAN_CACHE, RemapPlanCache, cached_remap_plan
 from repro.remap.exchange import perform_remap
@@ -21,6 +29,9 @@ __all__ = [
     "changed_local_bits",
     "pack_mask",
     "unpack_mask",
+    "destination_procs",
+    "remap_group",
+    "remap_group_partition",
     "RemapPlan",
     "build_remap_plan",
     "RemapPlanCache",

@@ -71,6 +71,7 @@ class RemapPlanCache:
         plan = build_remap_plan(old, new, rank)
         # Materialize the derived views once, while the plan is cold.
         plan.send_sorted, plan.recv_concat  # noqa: B018 — priming caches
+        plan.send_concat_src, plan.send_extents  # noqa: B018 — fused views
         with self._lock:
             self._plans[key] = plan
             while len(self._plans) > self._max:

@@ -75,6 +75,30 @@ class RemapPlan:
         return tuple(sorted(self.recv.items()))
 
     @cached_property
+    def send_concat_src(self) -> np.ndarray:
+        """All outgoing gather indices, concatenated in ascending
+        destination order — one fancy-gather through this vector packs
+        every departing element in a single pass, which is what lets a
+        zero-copy transport write them straight into its send window
+        (the executable face of the §4.3 fused pack)."""
+        if not self.send:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([idx for _, idx in self.send_sorted])
+
+    @cached_property
+    def send_extents(self) -> Tuple[Tuple[int, int, int], ...]:
+        """``(destination, element offset, element count)`` per outgoing
+        message, aligned with :attr:`send_concat_src`: the slice
+        ``send_concat_src[offset : offset + count]`` gathers the message
+        bound for ``destination``."""
+        out = []
+        offset = 0
+        for q, idx in self.send_sorted:
+            out.append((q, offset, int(idx.size)))
+            offset += int(idx.size)
+        return tuple(out)
+
+    @cached_property
     def recv_concat(self) -> np.ndarray:
         """All incoming scatter indices, concatenated in ascending source
         order — lets an executor place every arrival with one fancy-index

@@ -29,6 +29,7 @@ from repro.layouts.schedule import smart_schedule
 from repro.layouts.smart import smart_params
 from repro.localsort.radix import radix_sort
 from repro.remap.cache import cached_remap_plan
+from repro.remap.groups import remap_group
 from repro.runtime.api import Comm
 from repro.sorts.smart import SmartBitonicSort
 from repro.trace.recorder import trace_span
@@ -43,6 +44,8 @@ def spmd_bitonic_sort(
     key_bits: int = 32,
     radix_bits: int = 8,
     checkpoint: Optional["CheckpointStore"] = None,
+    fused: bool = True,
+    grouped: bool = True,
 ) -> np.ndarray:
     """Sort the distributed array whose rank-``r`` partition is
     ``local_keys``, returning this rank's partition of the globally sorted
@@ -59,11 +62,25 @@ def spmd_bitonic_sort(
     are phase-labelled via their ``set_phase`` hook so errors and injected
     faults can name the sort phase they hit.
 
+    ``fused`` (the default) routes each remap through
+    :meth:`~repro.runtime.api.Comm.alltoallv_fused` — pack, transfer and
+    unpack collapse into one collective whose fast path gathers straight
+    into the transport and scatters straight into the destination buffer
+    (the executable §4.3 fusion); the ``pack`` span shrinks to the fused
+    surcharge (moving the kept elements) and the ``unpack`` span
+    disappears.  ``grouped`` (the default) scopes every remap exchange to
+    its Lemma-4 communication group of ``2**N_BitsChanged`` ranks, so
+    synchronization fan-in no longer spans the world.  Both flags degrade
+    gracefully: communicators without a native fast path (e.g. the
+    fault-injection transport) run the same semantics via their composed
+    defaults.
+
     When ``comm.tracer`` carries a :class:`~repro.trace.recorder.Tracer`,
     the sort records its phase spans (``local_sort`` and per-remap
-    ``address`` / ``pack`` / ``transfer`` / ``unpack`` / ``merge``) plus a
-    ``remaps`` counter; the communicator's own ``wait`` spans nest inside.
-    With no tracer the instrumentation is a zero-allocation no-op.
+    ``address`` / ``pack`` / ``transfer`` [/ ``unpack`` when unfused] /
+    ``merge``) plus a ``remaps`` counter; the communicator's own ``wait``
+    spans nest inside.  With no tracer the instrumentation is a
+    zero-allocation no-op.
     """
     data = np.asarray(local_keys).copy()
     P, r = comm.size, comm.rank
@@ -124,36 +141,54 @@ def spmd_bitonic_sort(
             tracer.add("remaps")
         with trace_span(tracer, "address", stage):
             plan = cached_remap_plan(layout, phase.layout, r)
-        # Pack: one bucket per destination, gathered by the plan's indices.
-        with trace_span(tracer, "pack", stage):
-            buckets: List[Optional[np.ndarray]] = [None] * P
-            for q, idx in plan.send_sorted:
-                buckets[q] = data[idx]
-            fresh = np.empty_like(data)
-            fresh[plan.keep_dst] = data[plan.keep_src]
-        # Transfer.
-        with trace_span(tracer, "transfer", stage):
-            received = comm.alltoallv(buckets)
-        # Unpack: payloads concatenated in ascending source order land in
-        # one scatter through the plan's precomputed index vector.
-        with trace_span(tracer, "unpack", stage):
-            payloads: List[np.ndarray] = []
-            for p, slots in plan.recv_sorted:
-                payload = received[p]
-                if payload is None or payload.size != slots.size:
-                    raise CommunicationError(
-                        f"rank {r}: expected {slots.size} keys from rank {p}, "
-                        f"got {0 if payload is None else payload.size}"
-                    )
-                payloads.append(payload)
-            for p, payload in enumerate(received):
-                if p != r and payload is not None and p not in plan.recv:
-                    raise CommunicationError(
-                        f"rank {r}: unexpected payload of {payload.size} keys "
-                        f"from rank {p}"
-                    )
-            if payloads:
-                fresh[plan.recv_concat] = np.concatenate(payloads)
+            # Lemma 4: this remap only exchanges within a group of
+            # 2**N_BitsChanged ranks — pure bit algebra, no coordination.
+            group = remap_group(layout, phase.layout, r) if grouped else None
+        if fused:
+            # Fused pack/transfer/unpack (§4.3): the surviving pack work
+            # is moving the kept elements; the collective gathers the
+            # departing ones straight from ``data`` and scatters arrivals
+            # straight into ``fresh`` — no buckets, no concatenate.
+            with trace_span(tracer, "pack", stage):
+                fresh = np.empty_like(data)
+                fresh[plan.keep_dst] = data[plan.keep_src]
+            with trace_span(tracer, "transfer", stage):
+                comm.alltoallv_fused(data, plan, fresh, group=group)
+        else:
+            # Pack: one bucket per destination, by the plan's indices.
+            with trace_span(tracer, "pack", stage):
+                buckets: List[Optional[np.ndarray]] = [None] * P
+                for q, idx in plan.send_sorted:
+                    buckets[q] = data[idx]
+                fresh = np.empty_like(data)
+                fresh[plan.keep_dst] = data[plan.keep_src]
+            # Transfer.
+            with trace_span(tracer, "transfer", stage):
+                if group is not None and len(group) < P:
+                    received = comm.group_alltoallv(buckets, group)
+                else:
+                    received = comm.alltoallv(buckets)
+            # Unpack: payloads concatenated in ascending source order land
+            # in one scatter through the plan's precomputed index vector.
+            with trace_span(tracer, "unpack", stage):
+                payloads: List[np.ndarray] = []
+                for p, slots in plan.recv_sorted:
+                    payload = received[p]
+                    if payload is None or payload.size != slots.size:
+                        raise CommunicationError(
+                            f"rank {r}: expected {slots.size} keys from "
+                            f"rank {p}, "
+                            f"got {0 if payload is None else payload.size}"
+                        )
+                    payloads.append(payload)
+                for p, payload in enumerate(received):
+                    if p != r and payload is not None and p not in plan.recv:
+                        raise CommunicationError(
+                            f"rank {r}: unexpected payload of "
+                            f"{payload.size} keys from rank {p}"
+                        )
+                if payloads:
+                    fresh[plan.recv_concat] = np.concatenate(payloads)
         data = fresh
         layout = phase.layout
         # Local computation (Theorems 2/3) — the shared merge kernel.

@@ -40,14 +40,22 @@ __all__ = ["BackendOptions", "run_spmd", "BACKENDS"]
 BACKENDS = ("threads", "procs")
 
 
+#: Fields consumed by the sort layer (:func:`repro.api.sort` /
+#: :func:`repro.runtime.bitonic_spmd.spmd_bitonic_sort`), not by the
+#: world launcher — valid on every backend.
+_ALGO_FIELDS = ("fused", "grouped")
+
+
 @dataclass(frozen=True)
 class BackendOptions:
     """Typed tuning knobs for the SPMD backends.
 
-    Every field defaults to "backend decides"; fields that only apply to
-    one backend are rejected elsewhere (the threads backend takes no
-    tuning at all, so any set field raises there — same behaviour the old
-    loose-kwargs interface had).
+    Every field defaults to "backend decides"; *launch* fields that only
+    apply to one backend are rejected elsewhere (the threads backend
+    takes no launch tuning at all, so any set launch field raises there —
+    same behaviour the old loose-kwargs interface had).  The *algorithm*
+    fields (``fused``, ``grouped``) tune the sort running on top and are
+    accepted on every SPMD backend.
 
     Attributes
     ----------
@@ -55,13 +63,29 @@ class BackendOptions:
         ``procs`` only — initial shared-memory arena capacity per
         (rank, parity); arenas grow on demand, so this is a preallocation
         hint, not a limit.
+    fused:
+        Route each remap through the fused pack/transfer/unpack
+        collective (:meth:`repro.runtime.api.Comm.alltoallv_fused`) —
+        zero-copy on the backends' raw-ndarray fast paths, compatibility
+        fallback elsewhere.  Default (``None``) means **on**.
+    grouped:
+        Scope each remap exchange to its Lemma-4 communication group of
+        ``2**N_BitsChanged`` ranks instead of the world.  Default
+        (``None``) means **on**.
     """
 
     arena_bytes: Optional[int] = None
+    fused: Optional[bool] = None
+    grouped: Optional[bool] = None
 
     def set_fields(self) -> List[str]:
         """Names of the fields explicitly set (non-``None``)."""
         return [f.name for f in fields(self) if getattr(self, f.name) is not None]
+
+    def set_launch_fields(self) -> List[str]:
+        """Set fields the world launcher itself consumes (algorithm
+        fields excluded)."""
+        return [f for f in self.set_fields() if f not in _ALGO_FIELDS]
 
 
 def run_spmd(
@@ -103,7 +127,7 @@ def run_spmd(
     options = options or BackendOptions()
 
     if backend == "threads":
-        set_fields = options.set_fields()
+        set_fields = options.set_launch_fields()
         if set_fields:
             raise ConfigurationError(
                 f"threads backend takes no extra options, got {set_fields}"

@@ -20,6 +20,23 @@ process is the watchdog: it owns segment cleanup, converts a dead rank
 into a broken barrier for the survivors, and enforces one wall-clock
 deadline for the whole world, exactly like the threads backend.
 
+**Group-scoped collectives** (Lemma 4) synchronize through per-rank
+``post``/``done`` sequence counters in the control block instead of the
+world barrier: a group member publishes its descriptors, advances its
+``post`` counter, and waits only for its group peers' counters — wait
+fan-in and descriptor slot work drop from ``O(P)`` to ``O(len(group))``,
+and disjoint groups cross their exchanges concurrently.  Because group
+members no longer synchronize with the rest of the world, the
+single-barrier parity argument is generalized: every collective is
+numbered, every rank advances ``done[rank]`` when its reads finish, and a
+rank re-uses an arena parity only after the readers it served two
+collectives ago have advanced past that collective (checked wait-free in
+the all-world-barrier steady state).  The counter handshake assumes
+program-order store visibility across ranks (true on x86's TSO model and
+in practice wherever CPython's shared-memory users run); all collectives
+on a world must be called by every rank in the same order, which the
+world-barrier protocol already required.
+
 This backend runs ranks in *separate address spaces*: in-process state
 (checkpoint stores, fault injectors) is copied at fork, not shared — the
 fault-injection transport refuses to arm on top of it for that reason
@@ -35,8 +52,10 @@ import queue as queue_mod
 import secrets
 import threading
 import time
+from collections import deque
 from contextlib import suppress
 from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _sentinel_wait
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +73,18 @@ _KIND_PICKLE = 2
 
 #: Initial arena capacity per (rank, parity) — grown on demand.
 _DEFAULT_ARENA_BYTES = 1 << 16
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+#: Fewer cores than typical worlds — the group-sync spin loops must
+#: yield immediately instead of burning the core their peer needs.
+_OVERSUBSCRIBED = _usable_cpus() < 4
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -103,6 +134,10 @@ class _ControlBlock:
 
         gen[P][2]            arena generation per (rank, parity)
         cap[P][2]            arena capacity in bytes per (rank, parity)
+        post[P]              last collective whose descriptors rank posted
+                             via the group handshake (group sync)
+        done[P]              last collective rank fully completed, reads
+                             included (arena-reuse guard)
         meta[2][P][P][4]     per parity, src, dst: nbytes, offset, kind, dtype
 
     Call :meth:`release` before closing the underlying segment — the NumPy
@@ -111,17 +146,19 @@ class _ControlBlock:
 
     def __init__(self, shm: shared_memory.SharedMemory, P: int):
         self.shm = shm
-        words = np.ndarray((4 * P + 2 * P * P * 4,), dtype=np.int64, buffer=shm.buf)
+        words = np.ndarray((6 * P + 2 * P * P * 4,), dtype=np.int64, buffer=shm.buf)
         self.gen = words[: 2 * P].reshape(P, 2)
         self.cap = words[2 * P : 4 * P].reshape(P, 2)
-        self.meta = words[4 * P :].reshape(2, P, P, 4)
+        self.post = words[4 * P : 5 * P]
+        self.done = words[5 * P : 6 * P]
+        self.meta = words[6 * P :].reshape(2, P, P, 4)
 
     @staticmethod
     def nbytes(P: int) -> int:
-        return 8 * (4 * P + 2 * P * P * 4)
+        return 8 * (6 * P + 2 * P * P * 4)
 
     def release(self) -> None:
-        self.gen = self.cap = self.meta = None
+        self.gen = self.cap = self.post = self.done = self.meta = None
 
 
 class ProcComm(Comm):
@@ -141,20 +178,82 @@ class ProcComm(Comm):
         #: Attached segments, (rank, parity) -> (generation, SharedMemory).
         self._segs = {}
         self._parity = 0
+        #: Collectives entered by this rank (the world executes the same
+        #: sequence, so the index is globally meaningful).
+        self._coll = 0
+        #: Highest collective index every rank is known to have completed
+        #: (learned at world-barrier crossings; lets the arena-reuse guard
+        #: skip its counter scan in the all-world steady state).
+        self._world_seq = 0
+        #: Reader sets of the last two collectives — who may still hold
+        #: views into this rank's arenas.
+        self._rhist: deque = deque(maxlen=2)
         for b in (0, 1):
             gen = int(self._ctl.gen[rank, b])
             self._segs[(rank, b)] = (gen, _attach(_arena_name(base, rank, b, gen)))
 
     # -- primitives ---------------------------------------------------
 
+    def _wait_world(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise CommunicationError(
+                "SPMD world collapsed: a peer rank failed (see its traceback)"
+            ) from exc
+
     def barrier(self) -> None:
         with trace_span(self.tracer, "wait", "barrier"):
-            try:
-                self._barrier.wait()
-            except threading.BrokenBarrierError as exc:
-                raise CommunicationError(
-                    "SPMD world collapsed: a peer rank failed (see its traceback)"
-                ) from exc
+            self._wait_world()
+        # Everyone crossed with the same collective count (collectives are
+        # world-ordered), so everything so far is globally complete.
+        self._world_seq = max(self._world_seq, self._coll)
+
+    # -- the collective sequence protocol ------------------------------
+
+    def _spin(self, cells: np.ndarray, who, target: int, what: str) -> None:
+        """Wait until ``cells[p] >= target`` for every ``p`` in ``who``,
+        yielding the CPU between checks; a broken world barrier (peer
+        failure, parent watchdog) aborts the wait."""
+        busy = 0 if _OVERSUBSCRIBED else 256
+        for p in who:
+            if p == self.rank:
+                continue
+            tries = 0
+            while int(cells[p]) < target:
+                if self._barrier.broken:
+                    raise CommunicationError(
+                        f"SPMD world collapsed: a peer rank failed while "
+                        f"this rank waited for rank {p} ({what})"
+                    )
+                tries += 1
+                # Busy for a moment (group peers are usually in step),
+                # then yield the core, then back off to 50 µs sleeps.
+                # On a host with fewer cores than ranks, busy-spinning
+                # only delays the peer being waited for — yield at once.
+                if tries > busy:
+                    time.sleep(0 if tries <= busy + 64 else 5e-5)
+
+    def _begin_collective(self) -> int:
+        """Number this collective and enforce arena re-use safety: the
+        readers served two collectives ago (same parity) must have
+        finished before this rank rewrites that arena.  Free whenever a
+        world barrier has been crossed since — only sequences that mix in
+        group-scoped collectives ever wait here."""
+        self._coll += 1
+        k = self._coll
+        if k >= 3 and self._world_seq < k - 2 and len(self._rhist) == 2:
+            readers = self._rhist[0]
+            if readers:
+                with trace_span(self.tracer, "wait", "arena-reuse"):
+                    self._spin(self._ctl.done, readers, k - 2, "arena re-use")
+        return k
+
+    def _end_collective(self, k: int, readers) -> None:
+        """Publish completion of collective ``k`` (reads included) and
+        remember who may hold views into the arena it filled."""
+        self._ctl.done[self.rank] = k
+        self._rhist.append(tuple(readers))
 
     def alltoallv(
         self, buckets: Sequence[Optional[np.ndarray]]
@@ -213,13 +312,15 @@ class ProcComm(Comm):
             if tr is not None:
                 tr.add("coll.sendrecv")
                 tr.add("coll.slots")
+            k = self._begin_collective()
             b = self._parity
             self._parity ^= 1
             ctl = self._ctl
             # Clear my descriptor row (vectorized) so a mismatched pattern
             # reads NONE, never a stale descriptor from two collectives ago.
             ctl.meta[b, me] = (-1, 0, _KIND_NONE, 0)
-            if dst != me and send is not None:
+            wrote = dst != me and send is not None
+            if wrote:
                 kind, raw, dtcode = self._serialize(send)
                 nbytes = len(raw)
                 if tr is not None:
@@ -228,59 +329,78 @@ class ProcComm(Comm):
                 arena = self._ensure_capacity(b, nbytes)
                 arena.buf[:nbytes] = raw
                 ctl.meta[b, me, dst] = (nbytes, 0, kind, dtcode)
-            self.barrier()
-            if src == me:
-                return None
-            nbytes, off, kind, dtcode = (int(x) for x in ctl.meta[b, src, me])
-            if kind == _KIND_NONE:
-                return None
-            seg = self._peer_arena(src, b)
-            raw = seg.buf[off : off + nbytes]
+            with trace_span(tr, "wait", "barrier"):
+                self._wait_world()
+            self._world_seq = max(self._world_seq, k - 1)
             try:
-                if kind == _KIND_NDARRAY:
-                    # Copy out: the sender recycles this arena two
-                    # collectives from now (same rule as _exchange).
-                    return np.frombuffer(raw, dtype=_decode_dtype(dtcode)).copy()
-                return pickle.loads(raw)
+                if src == me:
+                    return None
+                nbytes, off, kind, dtcode = (int(x) for x in ctl.meta[b, src, me])
+                if kind == _KIND_NONE:
+                    return None
+                seg = self._peer_arena(src, b)
+                raw = seg.buf[off : off + nbytes]
+                try:
+                    if kind == _KIND_NDARRAY:
+                        # Copy out: the sender recycles this arena two
+                        # collectives from now (same rule as _exchange).
+                        return np.frombuffer(
+                            raw, dtype=_decode_dtype(dtcode)
+                        ).copy()
+                    return pickle.loads(raw)
+                finally:
+                    raw.release()
             finally:
-                raw.release()
+                self._end_collective(k, (dst,) if wrote else ())
 
     # -- the double-buffer exchange ------------------------------------
 
-    def _exchange(self, sends: List[Any], share_payload: bool = False) -> List[Any]:
-        """One collective: deposit ``sends[q]`` for each peer ``q``, cross
-        the barrier, pick up what every peer deposited for this rank.
+    def _exchange(
+        self,
+        sends: List[Any],
+        share_payload: bool = False,
+        group: Optional[Tuple[int, ...]] = None,
+    ) -> List[Any]:
+        """One collective: deposit ``sends[q]`` for each peer ``q``,
+        synchronize, pick up what every peer deposited for this rank.
 
         ``share_payload=True`` asserts every non-None entry is the same
         object (allgather/bcast), so it is serialized once and every
         descriptor points at the same extent of the arena.
+
+        ``group`` scopes the collective (Lemma 4): only the group's
+        descriptor slots are written and scanned, and synchronization is
+        the post-counter handshake among the group's members instead of
+        the world barrier.  ``None`` is the world-wide collective.
         """
         me, P = self.rank, self.size
+        targets = range(P) if group is None else group
         tr = self.tracer
+        k = self._begin_collective()
         b = self._parity
         self._parity ^= 1
         ctl = self._ctl
 
         # Serialize: (kind, buffer, dtype_code) per destination.
-        blobs: List[Tuple[int, Optional[memoryview], int]] = []
+        blobs: dict = {}
         shared: Optional[Tuple[int, memoryview, int]] = None
-        for q in range(P):
+        for q in targets:
             payload = sends[q]
             if q == me or payload is None:
-                blobs.append((_KIND_NONE, None, 0))
+                blobs[q] = (_KIND_NONE, None, 0)
             elif share_payload and shared is not None:
-                blobs.append(shared)
+                blobs[q] = shared
             else:
                 blob = self._serialize(payload)
-                blobs.append(blob)
+                blobs[q] = blob
                 if share_payload:
                     shared = blob
 
         # Lay out the arena; a shared payload occupies one extent.
-        offsets = [0] * P
+        offsets: dict = {}
         total = 0
         shared_off: Optional[int] = None
-        for q in range(P):
+        for q in targets:
             kind, raw, _ = blobs[q]
             if kind == _KIND_NONE:
                 continue
@@ -295,7 +415,7 @@ class ProcComm(Comm):
         arena = self._ensure_capacity(b, total)
         view = arena.buf
         written = set()
-        for q in range(P):
+        for q in targets:
             kind, raw, dtcode = blobs[q]
             if kind == _KIND_NONE:
                 ctl.meta[b, me, q] = (-1, 0, _KIND_NONE, 0)
@@ -310,10 +430,19 @@ class ProcComm(Comm):
                 tr.add("messages")
             ctl.meta[b, me, q] = (len(raw), off, kind, dtcode)
 
-        self.barrier()
+        if group is None:
+            with trace_span(tr, "wait", "barrier"):
+                self._wait_world()
+            # Crossing collective ``k``'s barrier proves every rank
+            # entered ``k``, i.e. completed ``k - 1``.
+            self._world_seq = max(self._world_seq, k - 1)
+        else:
+            ctl.post[me] = k
+            with trace_span(tr, "wait", "group-post"):
+                self._spin(ctl.post, group, k, "group descriptor post")
 
         out: List[Any] = [None] * P
-        for p in range(P):
+        for p in targets:
             if p == me:
                 continue
             nbytes, off, kind, dtcode = (int(x) for x in ctl.meta[b, p, me])
@@ -323,15 +452,168 @@ class ProcComm(Comm):
             raw = seg.buf[off : off + nbytes]
             try:
                 if kind == _KIND_NDARRAY:
-                    # Copy out: the sender recycles this arena two
-                    # collectives from now, but the caller may hold the
-                    # array indefinitely.
+                    # Copy out — required, not habit: the sender recycles
+                    # this arena two collectives from now, while the
+                    # ``alltoallv``/``allgather`` contract hands the caller
+                    # an array it may hold indefinitely (the SPMD sort's
+                    # restart path does).  A view would silently change
+                    # under the holder at the sender's collective ``k+2``;
+                    # ``tests/test_group_fused.py`` pins both halves of
+                    # this argument.  The fused path
+                    # (:meth:`alltoallv_fused`) avoids the copy instead of
+                    # unsafely skipping it: it scatters straight from the
+                    # peer window into the caller's buffer while the
+                    # parity window is provably open.
                     out[p] = np.frombuffer(raw, dtype=_decode_dtype(dtcode)).copy()
                 else:
                     out[p] = pickle.loads(raw)
             finally:
                 raw.release()
+        self._end_collective(k, tuple(range(P)) if group is None else group)
         return out
+
+    def group_alltoallv(
+        self,
+        buckets: Sequence[Optional[np.ndarray]],
+        group: Sequence[int],
+    ) -> List[Optional[np.ndarray]]:
+        """Group-scoped ``alltoallv``: descriptor writes/scans and the
+        synchronization handshake touch only the group's ``len(group)``
+        slots and ranks instead of all ``P`` (Lemma 4)."""
+        g = self._check_group(buckets, group)
+        tr = self.tracer
+        if tr is not None:
+            tr.add("coll.group_alltoallv")
+            tr.add("coll.group_size", len(g))
+            tr.add("coll.slots", len(g))
+        received = self._exchange(list(buckets), group=g)
+        received[self.rank] = buckets[self.rank]  # self-bucket: by reference
+        return received
+
+    def alltoallv_fused(
+        self,
+        data: np.ndarray,
+        plan,
+        out: np.ndarray,
+        group: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Zero-copy fused pack/transfer/unpack over the shared arenas.
+
+        Pack is one ``np.take`` straight from ``data`` into this rank's
+        send window — no per-destination bucket arrays, no pickling.
+        Unpack scatters each arrival straight out of the peer's receive
+        window into ``out``'s final slots — no ``frombuffer().copy()``, no
+        concatenate.  Every transferred element is copied exactly twice
+        end to end (in, out of shared memory), the hardware minimum for a
+        cross-address-space move; the window views never outlive the
+        collective, which is what the arena parity protocol licenses.
+
+        Falls back to the composed default (bucket arrays over
+        :meth:`group_alltoallv`) for payloads the raw-ndarray descriptor
+        encoding cannot carry.
+        """
+        data = np.asarray(data)
+        dtcode = _encode_dtype(data.dtype) if data.ndim == 1 else None
+        if (
+            dtcode is None
+            or out.ndim != 1
+            or out.dtype != data.dtype
+            or not data.flags.c_contiguous
+        ):
+            return super().alltoallv_fused(data, plan, out, group=group)
+        me, P = self.rank, self.size
+        g = tuple(group) if group is not None else tuple(range(P))
+        tr = self.tracer
+        if tr is not None:
+            tr.add("coll.fused")
+            tr.add("coll.fused_direct")
+            if group is not None and len(g) < P:
+                tr.add("coll.group_alltoallv")
+                tr.add("coll.group_size", len(g))
+            tr.add("coll.slots", len(g))
+        members = set(g)
+        k = self._begin_collective()
+        b = self._parity
+        self._parity ^= 1
+        ctl = self._ctl
+        itemsize = data.dtype.itemsize
+
+        # Fused pack: one gather pass, straight into the send window.
+        gather = plan.send_concat_src
+        arena = self._ensure_capacity(b, gather.size * itemsize)
+        if gather.size:
+            window = np.ndarray((gather.size,), dtype=data.dtype, buffer=arena.buf)
+            np.take(data, gather, out=window)
+            del window
+        for q in g:
+            ctl.meta[b, me, q] = (-1, 0, _KIND_NONE, 0)
+        for q, off, count in plan.send_extents:
+            if q not in members or q == me:
+                raise CommunicationError(
+                    f"rank {me}: fused plan sends to rank {q}, outside its "
+                    f"communication group {g}"
+                )
+            if tr is not None:
+                tr.add("messages")
+                tr.add("bytes_sent", count * itemsize)
+            ctl.meta[b, me, q] = (
+                count * itemsize,
+                off * itemsize,
+                _KIND_NDARRAY,
+                dtcode,
+            )
+
+        if len(g) == P:
+            with trace_span(tr, "wait", "barrier"):
+                self._wait_world()
+            self._world_seq = max(self._world_seq, k - 1)
+        else:
+            ctl.post[me] = k
+            with trace_span(tr, "wait", "group-post"):
+                self._spin(ctl.post, g, k, "group descriptor post")
+
+        # Fused unpack: scatter straight from each peer's receive window
+        # into the final slots of ``out``.
+        expected = dict(plan.recv_sorted)
+        for p in g:
+            if p == me:
+                continue
+            nbytes, off, kind, code = (int(x) for x in ctl.meta[b, p, me])
+            slots = expected.pop(p, None)
+            if kind == _KIND_NONE:
+                if slots is not None:
+                    raise CommunicationError(
+                        f"rank {me}: expected {slots.size} keys from rank "
+                        f"{p}, got none"
+                    )
+                continue
+            if slots is None:
+                raise CommunicationError(
+                    f"rank {me}: unexpected payload of {nbytes} bytes from "
+                    f"rank {p}"
+                )
+            if (
+                kind != _KIND_NDARRAY
+                or code != dtcode
+                or nbytes != slots.size * itemsize
+            ):
+                raise CommunicationError(
+                    f"rank {me}: rank {p} sent a mismatched fused payload "
+                    f"({nbytes} bytes, kind {kind}) where {slots.size} "
+                    f"elements of {data.dtype} were expected"
+                )
+            seg = self._peer_arena(p, b)
+            window = np.ndarray(
+                (slots.size,), dtype=data.dtype, buffer=seg.buf, offset=off
+            )
+            out[slots] = window
+            del window
+        if expected:
+            raise CommunicationError(
+                f"rank {me}: no payload arrived from rank(s) "
+                f"{sorted(expected)}"
+            )
+        self._end_collective(k, g)
 
     def _serialize(self, payload: Any) -> Tuple[int, memoryview, int]:
         if isinstance(payload, np.ndarray) and payload.ndim == 1:
@@ -487,6 +769,8 @@ def run_spmd_procs(
         ctl = _ControlBlock(ctl_shm, size)
         ctl.gen[:] = 0
         ctl.cap[:] = arena_bytes
+        ctl.post[:] = 0
+        ctl.done[:] = 0
         ctl.meta[:] = 0
         ctl.release()
         for r in range(size):
@@ -513,38 +797,75 @@ def run_spmd_procs(
         results: List[Any] = [None] * size
         failures: List[BaseException] = []
         reported = [False] * size
+        # The parent blocks on the queue's read pipe *and* every
+        # unreported rank's process sentinel, bounded by the world
+        # deadline — it wakes exactly when there is something to do (a
+        # result arrived or a rank died), never on a polling interval.
+        # The previous 50 ms timed ``get`` span 20 times a second for the
+        # whole run just to notice dead ranks.
+        reader = getattr(result_q, "_reader", None)
         while not all(reported):
-            try:
-                rank, ok, payload = pickle.loads(result_q.get(timeout=0.05))
-            except queue_mod.Empty:
-                if time.monotonic() > deadline:
-                    barrier.abort()
-                    for p in procs:
-                        if p.is_alive():
-                            p.terminate()
-                    raise SpmdTimeoutError(
-                        f"SPMD world did not finish within its {timeout}s "
-                        "budget (deadlock or runaway work)",
-                        phase="run_spmd",
-                    )
-                for r, p in enumerate(procs):
-                    if not reported[r] and not p.is_alive() and p.exitcode:
-                        # Died without reporting (hard kill / segfault):
-                        # break the barrier so the survivors can exit too.
-                        reported[r] = True
-                        failures.append(
-                            CommunicationError(
-                                f"SPMD rank {r} died with exit code "
-                                f"{p.exitcode} before reporting a result"
-                            )
+            progressed = False
+            while True:  # drain everything already in the pipe
+                try:
+                    rank, ok, payload = pickle.loads(result_q.get_nowait())
+                except queue_mod.Empty:
+                    break
+                progressed = True
+                reported[rank] = True
+                if ok:
+                    results[rank] = payload
+                else:
+                    failures.append(payload)
+            if all(reported):
+                break
+            for r, p in enumerate(procs):
+                if not reported[r] and not p.is_alive() and p.exitcode:
+                    # Died without reporting (hard kill / segfault):
+                    # break the barrier so the survivors can exit too.
+                    progressed = True
+                    reported[r] = True
+                    failures.append(
+                        CommunicationError(
+                            f"SPMD rank {r} died with exit code "
+                            f"{p.exitcode} before reporting a result"
                         )
-                        barrier.abort()
+                    )
+                    barrier.abort()
+            if progressed:
                 continue
-            reported[rank] = True
-            if ok:
-                results[rank] = payload
-            else:
-                failures.append(payload)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                barrier.abort()
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+                raise SpmdTimeoutError(
+                    f"SPMD world did not finish within its {timeout}s "
+                    "budget (deadlock or runaway work)",
+                    phase="run_spmd",
+                )
+            if reader is not None:
+                # Sentinels only of live unreported ranks: a clean-exit
+                # rank's result is already in (or about to enter) the
+                # pipe, and its closed sentinel must not turn this wait
+                # into a hot spin while the feeder flushes.
+                sentinels = [
+                    p.sentinel
+                    for r, p in enumerate(procs)
+                    if not reported[r] and p.is_alive()
+                ]
+                _sentinel_wait([reader] + sentinels, timeout=remaining)
+            else:  # pragma: no cover — Queue without a read pipe handle
+                with suppress(queue_mod.Empty):
+                    rank, ok, payload = pickle.loads(
+                        result_q.get(timeout=min(remaining, 0.25))
+                    )
+                    reported[rank] = True
+                    if ok:
+                        results[rank] = payload
+                    else:
+                        failures.append(payload)
         for p in procs:
             p.join(timeout=max(0.0, deadline - time.monotonic()))
             if p.is_alive():

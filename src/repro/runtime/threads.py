@@ -29,6 +29,21 @@ from repro.trace.recorder import trace_span
 __all__ = ["ThreadComm", "run_spmd"]
 
 
+def _payload_nbytes(payload: Any) -> int:
+    """Byte size of a collective payload for the trace counters.
+
+    Payloads are usually ndarrays, but wrappers (the fault transport's
+    framed messages) send lists/tuples mixing arrays and metadata — a
+    blind ``np.asarray`` on those is a ragged-array error.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(p) for p in payload)
+    arr = np.asarray(payload)
+    return int(arr.nbytes) if arr.dtype != object else 0
+
+
 class _SharedState:
     """State shared by the ``P`` ThreadComm instances of one world."""
 
@@ -45,6 +60,13 @@ class _SharedState:
         # exchanging data does not synchronize the rest of the world.
         self.channels: Dict[Tuple[int, int], SimpleQueue] = {}
         self.channel_lock = threading.Lock()
+        # Sub-world barriers for group-scoped collectives (Lemma 4),
+        # created on first use per distinct member tuple.  A group barrier
+        # only synchronizes the group's members, so disjoint groups cross
+        # their exchanges concurrently instead of waiting world-wide.
+        self.group_barriers: Dict[Tuple[int, ...], threading.Barrier] = {}
+        self.group_lock = threading.Lock()
+        self.aborted = False
 
     def channel(self, src: int, dst: int) -> SimpleQueue:
         ch = self.channels.get((src, dst))
@@ -52,6 +74,29 @@ class _SharedState:
             with self.channel_lock:
                 ch = self.channels.setdefault((src, dst), SimpleQueue())
         return ch
+
+    def group_barrier_for(self, group: Tuple[int, ...]) -> threading.Barrier:
+        bar = self.group_barriers.get(group)
+        if bar is None:
+            with self.group_lock:
+                if self.aborted:
+                    # A peer already failed; joining a fresh barrier would
+                    # hang forever waiting for the dead.
+                    raise threading.BrokenBarrierError
+                bar = self.group_barriers.setdefault(
+                    group, threading.Barrier(len(group))
+                )
+        return bar
+
+    def abort_all(self) -> None:
+        """Break the world barrier *and* every group barrier, so no rank
+        can block on a synchronization the failed peer will never join."""
+        with self.group_lock:
+            self.aborted = True
+            barriers = list(self.group_barriers.values())
+        self.barrier.abort()
+        for bar in barriers:
+            bar.abort()
 
 
 class ThreadComm(Comm):
@@ -90,7 +135,7 @@ class ThreadComm(Comm):
             for q, payload in enumerate(buckets):
                 if q != self.rank and payload is not None:
                     tr.add("messages")
-                    tr.add("bytes_sent", int(np.asarray(payload).nbytes))
+                    tr.add("bytes_sent", _payload_nbytes(payload))
         row = self._state.mailbox[self.rank]
         for q, payload in enumerate(buckets):
             row[q] = payload
@@ -104,6 +149,120 @@ class ThreadComm(Comm):
             self._state.mailbox[p][self.rank] = None
         self.barrier()  # all pickups done; mailbox reusable
         return received
+
+    def _group_barrier(self, group: Tuple[int, ...]) -> None:
+        with trace_span(self.tracer, "wait", "group-barrier"):
+            try:
+                self._state.group_barrier_for(group).wait()
+            except threading.BrokenBarrierError as exc:
+                raise CommunicationError(
+                    "SPMD world collapsed: a peer rank failed (see its "
+                    "traceback)"
+                ) from exc
+
+    def group_alltoallv(
+        self,
+        buckets: Sequence[Optional[np.ndarray]],
+        group: Sequence[int],
+    ) -> List[Optional[np.ndarray]]:
+        """Group-scoped ``alltoallv``: only the group's mailbox slots are
+        deposited/scanned and only the group's members synchronize, so
+        per-stage slot work and barrier fan-in drop from ``O(P)`` to
+        ``O(len(group))`` — the executable face of Lemma 4."""
+        g = self._check_group(buckets, group)
+        tr = self.tracer
+        if tr is not None:
+            tr.add("coll.group_alltoallv")
+            tr.add("coll.group_size", len(g))
+            tr.add("coll.slots", len(g))
+            for q in g:
+                payload = buckets[q]
+                if q != self.rank and payload is not None:
+                    tr.add("messages")
+                    tr.add("bytes_sent", _payload_nbytes(payload))
+        row = self._state.mailbox[self.rank]
+        for q in g:
+            row[q] = buckets[q]
+        self._group_barrier(g)  # group deposits visible
+        received: List[Optional[np.ndarray]] = [None] * self.size
+        for p in g:
+            received[p] = self._state.mailbox[p][self.rank]
+            self._state.mailbox[p][self.rank] = None
+        self._group_barrier(g)  # group pickups done; slots reusable
+        return received
+
+    def alltoallv_fused(
+        self,
+        data: np.ndarray,
+        plan,
+        out: np.ndarray,
+        group: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Zero-copy fused pack/transfer/unpack.
+
+        The sender deposits *references* — ``(data, gather indices)`` per
+        destination — and each receiver gathers straight from the peer's
+        source array into its own fresh partition (``out[slots] =
+        peer_data[idx]``): every transferred element is written exactly
+        once into its final slot, with no per-destination bucket arrays
+        and no concatenate pass (the executable analogue of ``fused=True``
+        in :func:`repro.remap.exchange.perform_remap`).  Senders must not
+        mutate ``data`` until the collective returns — the SPMD sort
+        builds its new partition in a fresh buffer, so it never does.
+        """
+        me, P = self.rank, self.size
+        g = tuple(group) if group is not None else tuple(range(P))
+        tr = self.tracer
+        if tr is not None:
+            tr.add("coll.fused")
+            tr.add("coll.fused_direct")
+            if group is not None and len(g) < P:
+                tr.add("coll.group_alltoallv")
+                tr.add("coll.group_size", len(g))
+            tr.add("coll.slots", len(g))
+            for q, idx in plan.send_sorted:
+                tr.add("messages")
+                tr.add("bytes_sent", int(idx.size * data.dtype.itemsize))
+        row = self._state.mailbox[me]
+        for q in g:
+            row[q] = None
+        for q, idx in plan.send_sorted:
+            if q not in g or q == me:
+                raise CommunicationError(
+                    f"rank {me}: fused plan sends to rank {q}, outside its "
+                    f"communication group {g}"
+                )
+            row[q] = (data, idx)
+        self._group_barrier(g)  # deposits visible
+        expected = dict(plan.recv_sorted)
+        for p in g:
+            if p == me:
+                continue
+            entry = self._state.mailbox[p][me]
+            self._state.mailbox[p][me] = None
+            slots = expected.pop(p, None)
+            if entry is None:
+                if slots is not None:
+                    raise CommunicationError(
+                        f"rank {me}: expected {slots.size} keys from rank "
+                        f"{p}, got none"
+                    )
+                continue
+            src_data, src_idx = entry
+            if slots is None or src_idx.size != slots.size:
+                raise CommunicationError(
+                    f"rank {me}: rank {p} sent {src_idx.size} keys, "
+                    f"expected {0 if slots is None else slots.size}"
+                )
+            # The fused write: gather from the peer's partition, scatter
+            # into the final slots, one pass, no intermediate buffer.
+            out[slots] = src_data[src_idx]
+        self._group_barrier(g)  # pickups done; slots and data reusable
+        if expected:
+            raise CommunicationError(
+                f"rank {me}: no payload arrived from rank(s) "
+                f"{sorted(expected)}"
+            )
 
     def allgather(self, value: Any) -> List[Any]:
         if self.tracer is not None:
@@ -157,7 +316,7 @@ class ThreadComm(Comm):
                 # never blocks on a nothing-to-send exchange.
                 if tr is not None and send is not None:
                     tr.add("messages")
-                    tr.add("bytes_sent", int(np.asarray(send).nbytes))
+                    tr.add("bytes_sent", _payload_nbytes(send))
                 self._state.channel(self.rank, dst).put(send)
             if src == self.rank:
                 return None
@@ -193,7 +352,7 @@ def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> Li
         except BaseException as exc:  # noqa: BLE001 — re-raised in caller
             with state.failure_lock:
                 state.failures.append(exc)
-            state.barrier.abort()
+            state.abort_all()
 
     threads = [
         # daemon=True: a wedged rank must never be able to block
@@ -212,7 +371,7 @@ def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> Li
     for t in threads:
         t.join(timeout=max(0.0, deadline - time.monotonic()))
         if t.is_alive():
-            state.barrier.abort()
+            state.abort_all()
             raise SpmdTimeoutError(
                 f"SPMD rank {t.name} did not finish within the world's "
                 f"{timeout}s budget (deadlock or runaway work)",

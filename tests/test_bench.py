@@ -106,4 +106,9 @@ class TestBenchCli:
         assert rc == 0
         data = json.loads(out.read_text())
         assert {r["backend"] for r in data["end_to_end"]} == {"threads"}
-        assert data["end_to_end_speedup"] == {}
+        # No cross-backend ratio without procs; the fused-vs-unfused A/B
+        # is still measured on the one backend that ran.
+        speedups = data["end_to_end_speedup"]
+        assert "procs_over_threads" not in speedups
+        assert set(speedups) == {"threads_fused_over_unfused"}
+        assert set(speedups["threads_fused_over_unfused"]) == {"1024"}

@@ -175,12 +175,16 @@ class TestPhaseReport:
 class TestRuntimeInstrumentation:
     @pytest.mark.parametrize("backend", ["threads", "procs"])
     def test_spmd_sort_records_phases_and_counters(self, backend):
+        """Unfused/world mode records the classic five-phase breakdown."""
         P, n = 4, 256
         keys = make_keys(P * n, seed=5)
 
         def prog(c):
             c.tracer = Tracer(c.rank)
-            out = spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+            out = spmd_bitonic_sort(
+                c, keys[c.rank * n : (c.rank + 1) * n],
+                fused=False, grouped=False,
+            )
             return out, c.tracer
 
         results = run_spmd(P, prog, backend=backend)
@@ -197,6 +201,32 @@ class TestRuntimeInstrumentation:
             assert tr.counters["coll.alltoallv"] == tr.counters["remaps"]
             assert tr.counters["coll.slots"] == P * tr.counters["coll.alltoallv"]
             assert tr.counters["bytes_sent"] > 0
+
+    @pytest.mark.parametrize("backend", ["threads", "procs"])
+    def test_fused_sort_has_no_unpack_spans(self, backend):
+        """The fused default collapses pack/transfer/unpack into one
+        collective: the unpack span disappears and every remap records a
+        fused collective (zero-copy on both bundled backends)."""
+        P, n = 4, 256
+        keys = make_keys(P * n, seed=5)
+
+        def prog(c):
+            c.tracer = Tracer(c.rank)
+            out = spmd_bitonic_sort(c, keys[c.rank * n : (c.rank + 1) * n])
+            return out, c.tracer
+
+        results = run_spmd(P, prog, backend=backend)
+        np.testing.assert_array_equal(
+            np.concatenate([o for o, _ in results]), np.sort(keys)
+        )
+        for _, tr in results:
+            totals = tr.totals()
+            assert "unpack" not in totals
+            for cat in ("local_sort", "address", "pack", "transfer", "merge"):
+                assert cat in totals
+            assert tr.counters["coll.fused"] == tr.counters["remaps"]
+            assert tr.counters["coll.fused_direct"] == tr.counters["remaps"]
+            assert tr.counters.get("coll.alltoallv", 0) == 0
 
     @settings(max_examples=5, deadline=None)
     @given(seed=st.integers(0, 2**16), P=st.sampled_from([2, 4]))
