@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Calibrate the service planner's host profile.
+
+Usage::
+
+    PYTHONPATH=src python scripts/calibrate_loggp.py [--out PROFILE.json]
+        [--keys 262144] [--rounds 64] [--quick]
+
+Measures, on the machine actually running the sorts:
+
+* **per-element compute rates** — the NumPy kernels the SPMD sort spends
+  its time in (radix pass, two-way merge, pack/unpack gathers, the fused
+  permutation-composed pack, address computation);
+* **per-backend LogGP parameters** — a 2-rank pingpong per backend fits
+  the per-message overhead ``o`` (y-intercept) and per-byte gap ``G``
+  (slope); ``L`` and ``g`` are set to ``o`` (on shared memory the wire
+  latency and the gap are not separable from the overhead at this
+  granularity, and the closed forms price long messages by ``o`` + ``G``
+  anyway);
+* **serving fixed costs** — world spawn per rank, warm job
+  dispatch/collect overhead, and shard-shipping bandwidth through the
+  procs job pipe.
+
+The result is persisted as JSON (schema ``repro-bitonic-profile/1``) and
+loaded with :meth:`repro.service.HostProfile.load`; hand it to the CLI
+via ``repro-bitonic serve --profile PROFILE.json`` or to a
+:class:`repro.service.Planner` directly.  See docs/SERVING.md.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.localsort.merges import merge_sorted
+from repro.localsort.radix import num_passes, radix_sort
+from repro.runtime.driver import spawn_world
+from repro.service.jobs import echo_nbytes_job, noop_job, pingpong_job
+from repro.service.profile import BackendCosts, HostProfile, _usable_cpus
+
+
+def _best_of(fn, reps=5):
+    """Best-of-``reps`` wall seconds for one call of ``fn`` (the minimum
+    is the least-disturbed measurement on a noisy shared host)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate_compute(n, reps):
+    """Per-element µs of the sort's NumPy kernels at working-set ``n``."""
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2**31, n, dtype=np.uint32)
+    half_a = np.sort(keys[: n // 2])
+    half_b = np.sort(keys[n // 2 :])
+    perm = rng.permutation(n)
+    idx32 = perm.astype(np.int32)
+
+    passes = num_passes(32, 8)
+    radix_s = _best_of(lambda: radix_sort(keys), reps)
+    merge_s = _best_of(lambda: merge_sorted(half_a, half_b), reps)
+    pack_s = _best_of(lambda: keys[idx32], reps)  # gather into send order
+    unpack_s = _best_of(lambda: keys.copy(), reps)  # contiguous placement
+    # The fused path composes the sort permutation with the gather index
+    # once, then does a single gather — its marginal per-element cost is
+    # one int gather plus one key gather.
+    fused_s = _best_of(lambda: keys[perm[idx32]], reps) / 2.0
+    addr_s = _best_of(lambda: (perm >> 3) & 0x7, reps)
+
+    return {
+        "radix_pass_us": radix_s / passes / n * 1e6,
+        "merge_us": merge_s / n * 1e6,
+        "pack_us": pack_s / n * 1e6,
+        "unpack_us": unpack_s / n * 1e6,
+        "fused_pack_us": fused_s / n * 1e6,
+        "address_us": addr_s / n * 1e6,
+    }
+
+
+def calibrate_backend(backend, rounds, reps):
+    """LogGP o/G plus the serving fixed costs for one SPMD backend."""
+    # Spawn cost: a fresh 2-rank world, timed end to end (per rank).
+    t0 = time.perf_counter()
+    world = spawn_world(2, backend=backend)
+    world.run(noop_job)  # the first job completes the warm-up
+    spawn_s = (time.perf_counter() - t0) / 2
+
+    # Warm job overhead: dispatch + collect of a no-op on the warm world.
+    job_s = _best_of(lambda: world.run(noop_job), reps)
+
+    # Pingpong: seconds per round at two payload sizes; the slope is G
+    # (per byte), the intercept 2o (one send + one recv overhead each
+    # way).  Runs inside the world so both backends use their real
+    # sendrecv path.  The world has exactly 2 ranks — required, the
+    # procs sendrecv is a matched world-wide step.
+    small, large = 1 << 10, 1 << 18
+    t_small = min(world.run(pingpong_job, rank_args=[(small, rounds)] * 2))
+    t_large = min(world.run(pingpong_job, rank_args=[(large, rounds)] * 2))
+    G_us = max((t_large - t_small) / (large - small) * 1e6, 1e-7)
+    o_us = max((t_small * 1e6 - small * G_us) / 2.0, 1.0)
+
+    # Shard shipping: payload bytes/second through the job pipe (procs
+    # pickles the shards across; threads passes references, so the
+    # measured time is pure dispatch and the bandwidth is effectively
+    # infinite — keep it finite to stay JSON-serializable).
+    payload = np.zeros(1 << 20, dtype=np.uint32)
+    ship_s = max(_best_of(lambda: world.run(
+        echo_nbytes_job, rank_args=[(payload,)] * 2), reps) - job_s, 1e-9)
+    ship_bps = payload.nbytes * 2 / ship_s  # both ranks receive a copy
+    world.close()
+
+    return BackendCosts(
+        L=round(o_us, 3),
+        o=round(o_us, 3),
+        g=round(o_us, 3),
+        G=round(G_us, 7),
+        spawn_per_rank_s=round(spawn_s, 6),
+        job_overhead_s=round(job_s, 6),
+        ship_bytes_per_s=round(min(ship_bps, 1e12), 0),
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure this host's LogGP + compute profile for the "
+                    "sort service planner."
+    )
+    parser.add_argument("--out", default="loggp_profile.json",
+                        help="output profile JSON path")
+    parser.add_argument("--keys", type=int, default=1 << 18,
+                        help="working-set size for the compute kernels")
+    parser.add_argument("--rounds", type=int, default=64,
+                        help="pingpong rounds per payload size")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="best-of repetitions per measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="small working set, few rounds (CI smoke)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.keys, args.rounds, args.reps = 1 << 14, 8, 2
+
+    print(f"calibrating compute kernels at n={args.keys:,} ...")
+    compute = calibrate_compute(args.keys, args.reps)
+    for name, us in compute.items():
+        print(f"  {name:<16} {us:9.5f} us/element")
+
+    backends = {}
+    for backend in ("threads", "procs"):
+        print(f"calibrating {backend} backend ...")
+        costs = calibrate_backend(backend, args.rounds, args.reps)
+        backends[backend] = costs
+        print(f"  o={costs.o} us  G={costs.G} us/B  "
+              f"spawn={costs.spawn_per_rank_s * 1e3:.2f} ms/rank  "
+              f"job={costs.job_overhead_s * 1e3:.2f} ms  "
+              f"ship={costs.ship_bytes_per_s / 1e9:.2f} GB/s")
+
+    profile = HostProfile(
+        cpus=_usable_cpus(),
+        backends=backends,
+        source="calibrated",
+        **compute,
+    )
+    profile.save(args.out)
+    print(f"profile written to {args.out} ({profile.cpus} usable cores)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,7 +124,7 @@ class SortReport:
 
 def sort(
     keys: np.ndarray,
-    P: int,
+    P: Optional[int] = None,
     *,
     algorithm: str = "smart",
     backend: str = "simulated",
@@ -133,6 +133,7 @@ def sort(
     timeout: float = 120.0,
     verify: bool = True,
     backend_options: Optional["BackendOptions"] = None,  # noqa: F821
+    service: Optional["SortService"] = None,  # noqa: F821 — forward ref
 ) -> SortReport:
     """Sort ``keys`` across ``P`` processors/ranks and report everything.
 
@@ -141,7 +142,8 @@ def sort(
     keys:
         The global input array (power-of-two size divisible by ``P``).
     P:
-        Number of simulated processors or real ranks.
+        Number of simulated processors or real ranks.  Optional when a
+        ``service`` routes the call — its planner then chooses ``P``.
     algorithm:
         One of :data:`SORT_ALGORITHMS`; SPMD backends accept only
         ``"smart"``.
@@ -168,7 +170,25 @@ def sort(
         backends.  Its ``fused`` / ``grouped`` fields (both on by
         default) toggle the fused zero-copy remap collective and the
         Lemma-4 group-scoped exchanges of the SPMD sort.
+    service:
+        A running :class:`~repro.service.SortService`.  When given, the
+        call routes through the service's warm world pool instead of
+        spawning a one-shot world: the explicitly-passed ``P`` /
+        SPMD ``backend`` / ``backend_options`` flags become forced
+        planner overrides, anything left unsaid (including
+        ``backend="simulated"``, which the service never runs) is the
+        planner's choice.
     """
+    if service is not None:
+        return _sort_service(
+            keys, P, algorithm, backend, trace, faults, verify,
+            backend_options, service,
+        )
+    if P is None:
+        raise ConfigurationError(
+            "P is required unless a service= routes the request "
+            "(only the service's planner can choose P)"
+        )
     if backend not in SORT_BACKENDS:
         raise ConfigurationError(
             f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
@@ -219,6 +239,72 @@ def _predicted(algorithm: str, N: int, P: int):
     from repro.theory.predict import predict
 
     return predict(algorithm, N, P)
+
+
+def _sort_service(
+    keys, P, algorithm, backend, trace, faults, verify, backend_options,
+    service,
+) -> SortReport:
+    """Bridge the front door onto a running SortService.
+
+    Explicit arguments become forced planner overrides; defaults mean
+    "planner chooses" (``backend="simulated"`` is the front door's own
+    default, so it reads as unconstrained here — the service runs only
+    SPMD backends).
+    """
+    from repro.sorts.base import verify_sorted
+
+    if algorithm != "smart":
+        raise ConfigurationError(
+            f"the sort service runs only the 'smart' algorithm; "
+            f"run {algorithm!r} on backend='simulated' without a service"
+        )
+    forced_backend = None if backend == "simulated" else backend
+    if forced_backend is not None and forced_backend not in SORT_BACKENDS:
+        raise ConfigurationError(
+            f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
+        )
+    fused = backend_options.fused if backend_options is not None else None
+    grouped = backend_options.grouped if backend_options is not None else None
+    outcome = service.sort(
+        keys,
+        backend=forced_backend,
+        P=P,
+        fused=fused,
+        grouped=grouped,
+        faults=faults,
+        trace=trace,
+    )
+    d = outcome.decision
+    if verify:
+        verify_sorted(keys, outcome.sorted_keys, f"service[{d.backend}x{d.P}]")
+    phases = None
+    if trace and outcome.tracers:
+        from repro.sorts import SmartBitonicSort
+        from repro.trace.report import build_phase_report
+
+        # The last tracer is the service lane (queue wait); the phase
+        # table aligns the rank tracers against simulation + theory.
+        sim = SmartBitonicSort().run(keys, d.P)
+        phases = build_phase_report(
+            tracers=outcome.tracers[: d.P],
+            stats=sim.stats,
+            predicted=_predicted("smart", keys.size, d.P),
+            P=d.P,
+            n=keys.size // d.P,
+        )
+    return SortReport(
+        algorithm="smart",
+        backend=d.backend,
+        P=d.P,
+        n=keys.size // d.P,
+        sorted_keys=outcome.sorted_keys,
+        wall_seconds=outcome.wall_s,
+        verified=verify,
+        phases=phases,
+        tracers=outcome.tracers,
+        fault_stats=outcome.fault_stats,
+    )
 
 
 def _sort_simulated(keys, P, algorithm, trace, faults, verify) -> SortReport:

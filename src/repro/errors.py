@@ -15,6 +15,9 @@ The full hierarchy::
     │   ├── PeerFailedError           — a specific rank died or went silent
     │   ├── SpmdTimeoutError          (also TimeoutError) — a deadline expired
     │   └── CorruptPayloadError       — a checksum rejected a payload
+    ├── ServiceError                  (also RuntimeError)
+    │   ├── AdmissionError            — request rejected/shed at the door
+    │   └── ServiceClosedError        — submitted to a closed service
     └── VerificationError             (also AssertionError)
 
 The three :class:`CommunicationError` subclasses are raised by the
@@ -142,6 +145,40 @@ class CorruptPayloadError(CommunicationError):
         self.rank = rank
         self.phase = phase
         self.attempts = attempts
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A failure of the serving layer (:mod:`repro.service`) itself, as
+    opposed to a failure of the sort a request carried (those re-raise
+    the underlying :class:`CommunicationError` / job exception)."""
+
+
+class AdmissionError(ServiceError):
+    """Admission control turned a request away at the door.
+
+    Raised by :meth:`repro.service.SortService.submit` when the bounded
+    queue is full (``reason="queue-full"``) or the estimated completion
+    time exceeds the request's deadline (``reason="deadline"``).  The
+    request was *not* enqueued; the caller may retry later, shrink the
+    request, or relax the deadline.
+
+    Attributes
+    ----------
+    reason:
+        ``"queue-full"`` or ``"deadline"``.
+    est_seconds:
+        Planner-estimated completion time (queue wait included) at the
+        moment of rejection; 0.0 for queue-full rejections.
+    """
+
+    def __init__(self, message: str, reason: str = "", est_seconds: float = 0.0):
+        super().__init__(message)
+        self.reason = reason
+        self.est_seconds = est_seconds
+
+
+class ServiceClosedError(ServiceError):
+    """The service was closed before (or while) the request could run."""
 
 
 class VerificationError(ReproError, AssertionError):

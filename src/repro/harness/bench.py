@@ -17,7 +17,12 @@ one):
   and size attaches exclusive per-category µs and the world-summed trace
   counters to each end-to-end record, so a perf PR can claim it moved a
   *specific* phase, not just the total.  The timed repetitions themselves
-  run untraced — tracing never touches the numbers.
+  run untraced — tracing never touches the numbers;
+* **service warm vs cold** — the same request through a running
+  :class:`~repro.service.SortService` (warm world pool, candidate-P
+  sweep) against the cold spawn-per-call front door, with a planner
+  audit: does the LogGP planner's chosen ``P`` match the best measured
+  one per ``(backend, N)`` point?
 
 The result is a machine-readable JSON document (``BENCH_pr<k>.json`` at
 the repo root by convention) with enough host metadata (CPU count,
@@ -50,8 +55,15 @@ __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 
 #: /2 added the per-record ``phases`` + ``trace_counters`` breakdown;
 #: /3 added the per-record communication ``variant`` (``fused`` /
-#: ``grouped`` flags) and the ``fused_over_unfused`` speedup table.
-BENCH_SCHEMA = "repro-bitonic-bench/3"
+#: ``grouped`` flags) and the ``fused_over_unfused`` speedup table;
+#: /4 added the ``service`` section: warm-pool vs cold-spawn latency per
+#: backend and size (with a candidate-P sweep), the ``warm_over_cold``
+#: speedup table, and the planner-vs-measured ``planner_matches`` tally.
+BENCH_SCHEMA = "repro-bitonic-bench/4"
+
+#: World sizes the service section sweeps when measuring warm latency
+#: (and the planner's candidate set for the match tally).
+SERVICE_CANDIDATE_P = (1, 2, 4)
 
 #: The communication variants every backend is benchmarked under:
 #: the default fused + group-scoped path against the unfused world-wide
@@ -266,6 +278,86 @@ def _bench_kernels(sizes: Sequence[int], reps: int) -> Dict[str, Any]:
     return out
 
 
+def _bench_service(
+    sizes: Sequence[int],
+    procs: int,
+    backends: Sequence[str],
+    reps: int,
+    timeout: float,
+) -> Dict[str, Any]:
+    """Warm world pool vs cold spawn-per-call, plus the planner audit.
+
+    For every ``(backend, N)`` point: the *cold* column times the front
+    door :func:`repro.api.sort` (one fresh world per call, the pre-service
+    behaviour), the *warm* columns time the same request through a
+    running :class:`~repro.service.SortService` at every candidate world
+    size — byte-identity against ``np.sort`` checked on every shape.
+    The planner (default profile, same candidate set) is then audited:
+    does its chosen ``P`` match the best *measured* warm config?
+    """
+    from repro.api import sort as api_sort
+    from repro.service import Planner, SortService
+
+    planner = Planner(candidate_P=SERVICE_CANDIDATE_P)
+    records: List[Dict[str, Any]] = []
+    warm_over_cold: Dict[str, Dict[str, float]] = {}
+    matches = 0
+    points = 0
+    for backend in backends:
+        warm_over_cold[backend] = {}
+        with SortService(planner, timeout=timeout) as svc:
+            for N in sizes:
+                keys = make_keys(N, seed=N % 104729)
+                expect = np.sort(keys).tobytes()
+                cold = _time(
+                    lambda: api_sort(
+                        keys, procs, backend=backend,
+                        verify=False, timeout=timeout,
+                    ),
+                    reps,
+                )
+                warm_by_P: Dict[str, Dict[str, float]] = {}
+                for P in SERVICE_CANDIDATE_P:
+                    if N % P:
+                        continue
+                    out = svc.sort(keys, backend=backend, P=P)  # warms the world
+                    if out.sorted_keys.tobytes() != expect:
+                        raise ConfigurationError(
+                            f"bench: warm service [{backend} x {P}] "
+                            f"mis-sorted {N} keys"
+                        )
+                    warm_by_P[str(P)] = _time(
+                        lambda: svc.sort(keys, backend=backend, P=P), reps
+                    )
+                best_P = int(
+                    min(warm_by_P, key=lambda p: warm_by_P[p]["best_s"])
+                )
+                planner_P = planner.plan(N, backend=backend).P
+                points += 1
+                matches += planner_P == best_P
+                warm_best = warm_by_P[str(planner_P)]["best_s"]
+                warm_over_cold[backend][str(N)] = cold["best_s"] / warm_best
+                records.append(
+                    {
+                        "backend": backend,
+                        "keys": N,
+                        "cold_procs": procs,
+                        "cold": cold,
+                        "warm_by_P": warm_by_P,
+                        "best_measured_P": best_P,
+                        "planner_P": planner_P,
+                        "planner_match": planner_P == best_P,
+                    }
+                )
+    return {
+        "candidate_P": list(SERVICE_CANDIDATE_P),
+        "records": records,
+        "warm_over_cold": warm_over_cold,
+        "planner_matches": matches,
+        "planner_points": points,
+    }
+
+
 def run_bench(
     quick: bool = False,
     sizes: Optional[Sequence[int]] = None,
@@ -289,6 +381,7 @@ def run_bench(
     cpu_count = _usable_cpus()
     end_to_end = _bench_end_to_end(sizes, procs, backends, reps, timeout)
     kernels = _bench_kernels(sizes, reps)
+    service = _bench_service(sizes, procs, backends, reps, timeout)
     speedups: Dict[str, Dict[str, float]] = {}
     default_variant = BENCH_VARIANTS[0][0]
     if "threads" in backends:
@@ -340,6 +433,7 @@ def run_bench(
         "end_to_end": end_to_end,
         "end_to_end_speedup": speedups,
         "kernels": kernels,
+        "service": service,
         "outputs_match": True,  # a mismatch raises before we get here
     }
 

@@ -26,6 +26,14 @@ Python:
     implementations, verify cross-backend byte-identity, and write the
     machine-readable benchmark trajectory JSON (now with per-phase
     breakdowns from a traced companion run per backend).
+``repro-bitonic serve --requests 200 --worlds 2``
+    Soak the persistent sort service: push a mixed-shape request stream
+    through a warm world pool, verify every output, export sampled
+    per-request Chrome traces, and fail on any leaked child process or
+    shared-memory segment (the CI ``service-soak`` job).
+``repro-bitonic submit --keys 65536 [--backend procs --procs 4]``
+    Run one request through the sort service and print the planner's
+    decision table alongside the measured latency.
 ``repro-bitonic trace --keys 262144 --procs 4 --backend threads``
     Run the real SPMD sort with the phase tracer armed, print the
     measured / simulated / predicted per-phase table
@@ -285,6 +293,196 @@ def _cmd_bench(args) -> int:
         for rec in payload["kernels"][kind]:
             print(f"  kernel {kind:>5} {rec.get('keys', rec.get('shape'))}: "
                   f"{rec['speedup']:.2f}x vs legacy")
+    service = payload.get("service", {})
+    for backend, by_size in service.get("warm_over_cold", {}).items():
+        pretty = ", ".join(f"{int(k):,}: {v:.2f}x" for k, v in by_size.items())
+        print(f"  service warm-over-cold {backend}: {pretty}")
+    if service.get("planner_points"):
+        print(f"  planner matched best measured config on "
+              f"{service['planner_matches']}/{service['planner_points']} "
+              f"(backend, size) points")
+    return 0
+
+
+def _service_planner(profile_path):
+    """A Planner for the CLI service commands: calibrated profile when
+    one is given (or the default path exists), bench history when any
+    ``BENCH_pr*.json`` is nearby."""
+    from repro.service import BenchHistory, HostProfile, Planner
+
+    profile = None
+    if profile_path:
+        profile = HostProfile.load(profile_path)
+    return Planner(profile=profile, history=BenchHistory.load())
+
+
+def _shm_segments() -> set:
+    """Names of live SPMD shared-memory segments (procs arenas)."""
+    import glob as _glob
+    import os as _os
+
+    if not _os.path.isdir("/dev/shm"):  # pragma: no cover — non-Linux
+        return set()
+    return {
+        _os.path.basename(p) for p in _glob.glob("/dev/shm/rspmd*")
+    }
+
+
+def _cmd_serve(args) -> int:
+    """The service soak driver (the CI ``service-soak`` job runs this):
+    push a mixed-shape request stream through a small warm pool, verify
+    every output, export sampled per-request traces, and fail loudly on
+    any leaked process or shared-memory segment."""
+    import multiprocessing
+    import os
+
+    from repro.errors import AdmissionError, ReproError
+    from repro.service import SortService, WorldPool
+    from repro.utils.rng import make_keys
+
+    try:
+        planner = _service_planner(args.profile)
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    shm_before = _shm_segments()
+    # The mixed request shapes: every (size, backend, P) combination the
+    # soak cycles through.  P >= 2 shapes exercise real communication;
+    # the P chosen freely by the planner exercises the planner.
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    shapes = []
+    for size in sizes:
+        for backend in backends:
+            shapes.append((size, backend, 2))
+            shapes.append((size, backend, 4))
+            shapes.append((size, backend, None))  # planner's choice of P
+    failures = 0
+    traced = 0
+    rng_seed = 0
+    pool = WorldPool(max_idle_per_key=args.worlds)
+    svc = SortService(
+        planner,
+        pool,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        timeout=args.timeout,
+    )
+    if args.traces_dir:
+        os.makedirs(args.traces_dir, exist_ok=True)
+    inflight = []  # sliding window of (ticket, keys, trace_path)
+    try:
+        for i in range(args.requests):
+            size, backend, P = shapes[i % len(shapes)]
+            keys = make_keys(size, seed=rng_seed)
+            rng_seed += 1
+            trace_path = None
+            if (
+                args.traces_dir
+                and args.trace_every
+                and i % args.trace_every == 0
+                and (P or 0) >= 2
+            ):
+                trace_path = os.path.join(
+                    args.traces_dir, f"request_{i:04d}.json"
+                )
+            while True:
+                try:
+                    t = svc.submit(
+                        keys, backend=backend, P=P,
+                        trace=trace_path is not None,
+                    )
+                    break
+                except AdmissionError:
+                    # Queue full: drain the oldest inflight request and
+                    # resubmit — the soak applies backpressure instead
+                    # of shedding its own load.
+                    if not inflight:
+                        raise
+                    failures += _drain(inflight.pop(0), args)
+            inflight.append((t, keys, trace_path))
+            if len(inflight) >= args.queue_depth:
+                failures += _drain(inflight.pop(0), args)
+        while inflight:
+            failures += _drain(inflight.pop(0), args)
+        traced = sum(
+            1 for name in os.listdir(args.traces_dir)
+            if name.startswith("request_")
+        ) if args.traces_dir else 0
+    finally:
+        svc.close()
+    report = svc.report()
+    print(report.describe())
+    if traced:
+        print(f"  {traced} per-request traces in {args.traces_dir}/")
+    # Leak gates: every world closed means every child reaped and every
+    # arena unlinked.
+    children = multiprocessing.active_children()
+    shm_leaked = _shm_segments() - shm_before
+    if children:
+        print(f"LEAK: {len(children)} child processes still alive: "
+              f"{[p.name for p in children]}", file=sys.stderr)
+    if shm_leaked:
+        print(f"LEAK: {len(shm_leaked)} shared-memory segments left in "
+              f"/dev/shm: {sorted(shm_leaked)[:8]}", file=sys.stderr)
+    if failures or children or shm_leaked or report.failed:
+        print(f"soak FAILED: {failures} bad outputs, {report.failed} "
+              f"failed requests, {len(children)} leaked processes, "
+              f"{len(shm_leaked)} leaked segments", file=sys.stderr)
+        return 1
+    print(f"soak ok: {report.served} requests served, zero leaks")
+    return 0
+
+
+def _drain(entry, args) -> int:
+    """Await one soak request; verify its output; write its trace.
+    Returns 1 on a bad output, 0 otherwise."""
+    import numpy as np
+
+    from repro.trace import write_chrome_trace
+
+    ticket, keys, trace_path = entry
+    try:
+        outcome = ticket.result(args.timeout)
+    except Exception as exc:  # noqa: BLE001 — count and continue the soak
+        print(f"request {ticket.request_id} failed: {exc}", file=sys.stderr)
+        return 1
+    if not np.array_equal(outcome.sorted_keys, np.sort(keys)):
+        print(f"request {ticket.request_id}: WRONG OUTPUT", file=sys.stderr)
+        return 1
+    if trace_path and outcome.tracers:
+        write_chrome_trace(trace_path, outcome.tracers)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """One request through a fresh service: plan, run, explain."""
+    from repro.errors import ReproError
+    from repro.service import SortService
+    from repro.trace import write_chrome_trace
+    from repro.utils.rng import make_keys
+
+    keys = make_keys(args.keys, distribution=args.distribution,
+                     seed=args.seed)
+    try:
+        planner = _service_planner(args.profile)
+        with SortService(planner, verify=True, timeout=args.timeout) as svc:
+            outcome = svc.sort(
+                keys,
+                backend=args.backend,
+                P=args.procs,
+                trace=args.trace is not None,
+            )
+    except ReproError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(outcome.decision.explain())
+    print(f"sorted {keys.size:,} keys in {outcome.wall_s * 1e3:.1f} ms "
+          f"({outcome.queue_wait_s * 1e3:.2f} ms queued, "
+          f"{outcome.run_s * 1e3:.1f} ms running), verified")
+    if args.trace and outcome.tracers:
+        write_chrome_trace(args.trace, outcome.tracers)
+        print(f"per-request trace written to {args.trace}")
     return 0
 
 
@@ -399,6 +597,50 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(every remap synchronizes the whole world)")
     p_trace.set_defaults(fn=_cmd_trace)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="soak the persistent sort service: a mixed-shape request "
+             "stream through a warm world pool, with leak gates",
+    )
+    p_serve.add_argument("--requests", type=int, default=200,
+                         help="total requests to push through the service")
+    p_serve.add_argument("--worlds", type=int, default=2,
+                         help="idle worlds retained per (backend, P) shape")
+    p_serve.add_argument("--sizes", default="4096,16384",
+                         help="comma-separated request key counts")
+    p_serve.add_argument("--backends", default="threads,procs",
+                         help="comma-separated SPMD backends to cycle")
+    p_serve.add_argument("--queue-depth", type=int, default=16)
+    p_serve.add_argument("--batch-max", type=int, default=8)
+    p_serve.add_argument("--timeout", type=float, default=120.0)
+    p_serve.add_argument("--trace-every", type=int, default=25,
+                         help="trace every Nth request (0 disables)")
+    p_serve.add_argument("--traces-dir", default=None,
+                         help="directory for sampled per-request "
+                              "Chrome traces")
+    p_serve.add_argument("--profile", default=None,
+                         help="calibrated host profile JSON "
+                              "(scripts/calibrate_loggp.py)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="run one request through the sort service"
+    )
+    p_submit.add_argument("--keys", type=int, default=1 << 16)
+    p_submit.add_argument("--procs", type=int, default=None,
+                          help="force the world size (default: planner)")
+    p_submit.add_argument("--backend", default=None,
+                          choices=("threads", "procs"),
+                          help="force the backend (default: planner)")
+    p_submit.add_argument("--trace", default=None,
+                          help="write the per-request Chrome trace here")
+    p_submit.add_argument("--profile", default=None,
+                          help="calibrated host profile JSON")
+    p_submit.add_argument("--distribution", default="uniform")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--timeout", type=float, default=120.0)
+    p_submit.set_defaults(fn=_cmd_submit)
+
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
     p_fft.add_argument("--points", type=int, default=1 << 16)
     p_fft.add_argument("--procs", type=int, default=16)
@@ -412,7 +654,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
-             "chaos", "bench", "trace", "-h", "--help"}
+             "chaos", "bench", "trace", "serve", "submit", "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

@@ -23,9 +23,10 @@ Porting to MPI is a matter of implementing :class:`Comm` over
 """
 
 from repro.runtime.api import Comm
-from repro.runtime.driver import BACKENDS, BackendOptions, run_spmd
-from repro.runtime.threads import ThreadComm
-from repro.runtime.procs import ProcComm, run_spmd_procs
+from repro.runtime.driver import BACKENDS, BackendOptions, run_spmd, spawn_world
+from repro.runtime.world import World
+from repro.runtime.threads import ThreadComm, ThreadWorld
+from repro.runtime.procs import ProcComm, ProcWorld, run_spmd_procs
 from repro.runtime.bitonic_spmd import spmd_bitonic_sort
 from repro.runtime.fft_spmd import (
     gather_natural_order,
@@ -38,9 +39,13 @@ __all__ = [
     "BackendOptions",
     "Comm",
     "ThreadComm",
+    "ThreadWorld",
     "ProcComm",
+    "ProcWorld",
+    "World",
     "run_spmd",
     "run_spmd_procs",
+    "spawn_world",
     "spmd_bitonic_sort",
     "spmd_fft",
     "local_bitrev_slice",

@@ -33,8 +33,9 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.runtime.api import Comm
+from repro.runtime.world import World
 
-__all__ = ["BackendOptions", "run_spmd", "BACKENDS"]
+__all__ = ["BackendOptions", "run_spmd", "spawn_world", "BACKENDS"]
 
 #: Names accepted by :func:`run_spmd`'s ``backend`` argument.
 BACKENDS = ("threads", "procs")
@@ -142,6 +143,47 @@ def run_spmd(
         if options.arena_bytes is not None:
             kwargs["arena_bytes"] = options.arena_bytes
         return run_spmd_procs(size, fn, timeout=timeout, **kwargs)
+    raise ConfigurationError(
+        f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
+    )
+
+
+def spawn_world(
+    size: int,
+    backend: str = "threads",
+    options: Optional[BackendOptions] = None,
+) -> World:
+    """Build a persistent SPMD world of ``size`` ranks without running
+    anything on it yet.
+
+    The returned :class:`~repro.runtime.world.World` accepts repeated
+    jobs via ``world.run(fn, rank_args=...)`` — rank processes/threads,
+    barriers and shared-memory arenas are reused across jobs, which is
+    what makes warm serving cheap (:mod:`repro.service`).  Close it (or
+    use it as a context manager) when done; never-closed procs worlds are
+    swept at interpreter exit.
+
+    ``options`` carries the same launch tuning :func:`run_spmd` accepts
+    (``arena_bytes`` on procs); the algorithm fields (``fused``,
+    ``grouped``) are per-job concerns and are ignored here.
+    """
+    options = options or BackendOptions()
+    if backend == "threads":
+        set_fields = options.set_launch_fields()
+        if set_fields:
+            raise ConfigurationError(
+                f"threads backend takes no extra options, got {set_fields}"
+            )
+        from repro.runtime.threads import ThreadWorld
+
+        return ThreadWorld(size)
+    if backend == "procs":
+        from repro.runtime.procs import ProcWorld
+
+        kwargs = {}
+        if options.arena_bytes is not None:
+            kwargs["arena_bytes"] = options.arena_bytes
+        return ProcWorld(size, **kwargs)
     raise ConfigurationError(
         f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
     )

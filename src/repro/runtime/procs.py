@@ -45,6 +45,7 @@ fault-injection transport refuses to arm on top of it for that reason
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
@@ -56,15 +57,16 @@ from collections import deque
 from contextlib import suppress
 from multiprocessing import shared_memory
 from multiprocessing.connection import wait as _sentinel_wait
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime.api import Comm
+from repro.runtime.world import World
 from repro.trace.recorder import trace_span
 
-__all__ = ["ProcComm", "run_spmd_procs"]
+__all__ = ["ProcComm", "ProcWorld", "run_spmd_procs"]
 
 #: Bucket encodings in the control block.
 _KIND_NONE = 0
@@ -679,16 +681,17 @@ class ProcComm(Comm):
 # -- the world driver ----------------------------------------------------
 
 
-def _put(result_q, rank: int, ok: bool, payload: Any) -> None:
-    """Ship ``(rank, ok, payload)`` to the parent, pre-pickled so that a
-    pickling failure surfaces *here* (``mp.Queue`` serializes in a feeder
-    thread, where an error would silently strand the parent)."""
+def _put(result_q, rank: int, job: int, ok: bool, payload: Any) -> None:
+    """Ship ``(rank, job, ok, payload)`` to the parent, pre-pickled so
+    that a pickling failure surfaces *here* (``mp.Queue`` serializes in a
+    feeder thread, where an error would silently strand the parent)."""
     try:
-        blob = pickle.dumps((rank, ok, payload))
+        blob = pickle.dumps((rank, job, ok, payload))
     except Exception as exc:  # noqa: BLE001 — degrade to a description
         blob = pickle.dumps(
             (
                 rank,
+                job,
                 False,
                 CommunicationError(
                     f"rank {rank} produced an unpicklable "
@@ -700,17 +703,53 @@ def _put(result_q, rank: int, ok: bool, payload: Any) -> None:
     result_q.put(blob)
 
 
-def _worker(rank: int, size: int, base: str, barrier, fn, result_q) -> None:
-    comm = ProcComm(rank, size, base, barrier)
+def _run_one(comm, fn, args, job: int, barrier, result_q) -> bool:
+    """Run one job on this rank; report to the parent.  Returns whether
+    the rank may accept further jobs (a failure breaks the world barrier,
+    which is unrecoverable — collective numbering across ranks diverges —
+    so the rank retires)."""
     try:
-        result = fn(comm)
+        result = fn(comm) if args is None else fn(comm, *args)
     except BaseException as exc:  # noqa: BLE001 — re-raised in the parent
         barrier.abort()  # unblock peers before reporting
-        _put(result_q, rank, False, exc)
-    else:
-        _put(result_q, rank, True, result)
+        _put(result_q, comm.rank, job, False, exc)
+        return False
+    comm.tracer = None  # jobs arm their own tracer; never leak across jobs
+    _put(result_q, comm.rank, job, True, result)
+    return True
+
+
+def _worker_loop(
+    rank: int, size: int, base: str, barrier, job_conn, result_q, first_job
+) -> None:
+    """Resident rank process: one ProcComm (arenas, collective counters)
+    for the world's lifetime, jobs arriving over ``job_conn``.
+
+    ``first_job`` rides along at fork so one-shot callers
+    (:func:`run_spmd_procs`) keep closure support — anything sent through
+    the pipe later must be picklable.
+    """
+    comm = ProcComm(rank, size, base, barrier)
+    try:
+        if first_job is not None and not _run_one(
+            comm, first_job, None, 1, barrier, result_q
+        ):
+            return
+        while True:
+            try:
+                msg = job_conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away: retire quietly
+            if msg is None:
+                return  # orderly close()
+            job, fn, args = msg
+            if not _run_one(comm, fn, args, job, barrier, result_q):
+                return
     finally:
-        comm._close()
+        with suppress(Exception):
+            comm._close()
+        with suppress(Exception):
+            job_conn.close()
 
 
 def _sweep_segments(ctl_shm: shared_memory.SharedMemory, base: str, size: int) -> None:
@@ -735,82 +774,201 @@ def _sweep_segments(ctl_shm: shared_memory.SharedMemory, base: str, size: int) -
         ctl_shm.unlink()
 
 
-def run_spmd_procs(
-    size: int,
-    fn: Callable[[Comm], Any],
-    timeout: float = 120.0,
-    arena_bytes: int = _DEFAULT_ARENA_BYTES,
-) -> List[Any]:
-    """Run ``fn(comm)`` on ``size`` ranks, one OS process each; return the
-    per-rank results, indexed by rank.
+#: Worlds this process spawned and has not yet closed, swept at
+#: interpreter exit so a crashed or careless run cannot strand /dev/shm
+#: segments (or resident rank processes).  Keyed by ``id(world)``; the
+#: creating pid rides along so a forked child inheriting the registry
+#: never closes its parent's worlds (rank processes exit via
+#: ``os._exit`` and run no atexit hooks, but user-forked helpers do).
+_LIVE: Dict[int, Tuple[int, "ProcWorld"]] = {}
 
-    Mirrors :func:`repro.runtime.threads.run_spmd`: one wall-clock deadline
-    for the whole world, the first rank failure re-raised in the caller,
-    and a broken barrier unblocking the survivors.  ``arena_bytes`` sizes
-    the initial shared-memory arenas (they grow on demand).
 
-    Prefers the ``fork`` start method so ``fn`` may be any closure; under
-    ``spawn`` (platforms without fork) ``fn`` must be picklable.
+def _sweep_leaked_worlds() -> None:
+    me = os.getpid()
+    for pid, world in list(_LIVE.values()):
+        if pid != me:
+            continue
+        with suppress(Exception):
+            world.close(join_timeout=0.2)
+
+
+atexit.register(_sweep_leaked_worlds)
+
+
+class ProcWorld(World):
+    """A persistent multi-process SPMD world.
+
+    ``size`` rank processes are forked once; each builds its
+    :class:`ProcComm` (attaching the shared-memory arenas) and then loops
+    on a job pipe.  :meth:`run` ships ``(fn, args)`` to every rank and
+    collects results, so repeated sorts pay the fork + arena cost once.
+    Arena state (generations, collective counters) carries across jobs —
+    safe because every rank executes the same job sequence and the parent
+    collects all of job *k* before dispatching *k + 1*.
+
+    A job failure breaks the world barrier, which is unrecoverable (the
+    surviving ranks' collective numbering has diverged): the world goes
+    dead and :meth:`run` refuses further work.  Pools replace dead worlds
+    (:mod:`repro.service.pool`).
     """
-    if size < 1:
-        raise ConfigurationError(f"need at least 1 rank, got {size}")
-    if arena_bytes < 1:
-        raise ConfigurationError(f"arena_bytes must be positive, got {arena_bytes}")
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    base = f"rspmd{os.getpid():x}{secrets.token_hex(4)}"
-    barrier = ctx.Barrier(size)
-    result_q = ctx.Queue()
 
-    ctl_shm = shared_memory.SharedMemory(
-        create=True, name=f"{base}-ctl", size=_ControlBlock.nbytes(size)
-    )
-    try:
-        ctl = _ControlBlock(ctl_shm, size)
-        ctl.gen[:] = 0
-        ctl.cap[:] = arena_bytes
-        ctl.post[:] = 0
-        ctl.done[:] = 0
-        ctl.meta[:] = 0
-        ctl.release()
-        for r in range(size):
-            for b in (0, 1):
-                seg = shared_memory.SharedMemory(
-                    create=True, name=_arena_name(base, r, b, 0), size=arena_bytes
-                )
-                seg.close()
+    backend = "procs"
 
-        procs = [
-            # daemon=True: a wedged rank must never outlive the caller.
-            ctx.Process(
-                target=_worker,
-                args=(r, size, base, barrier, fn, result_q),
-                name=f"spmd-rank-{r}",
-                daemon=True,
+    def __init__(
+        self,
+        size: int,
+        arena_bytes: int = _DEFAULT_ARENA_BYTES,
+        _first_job: Optional[Callable[[Comm], Any]] = None,
+    ):
+        if size < 1:
+            raise ConfigurationError(f"need at least 1 rank, got {size}")
+        if arena_bytes < 1:
+            raise ConfigurationError(
+                f"arena_bytes must be positive, got {arena_bytes}"
             )
-            for r in range(size)
-        ]
-        for p in procs:
-            p.start()
+        self.size = size
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._base = f"rspmd{os.getpid():x}{secrets.token_hex(4)}"
+        self._barrier = ctx.Barrier(size)
+        self._result_q = ctx.Queue()
+        #: Jobs dispatched so far; the preloaded first job is number 1.
+        self._job = 1 if _first_job is not None else 0
+        self._dead = False
+        self._closed = False
 
+        self._ctl_shm = shared_memory.SharedMemory(
+            create=True, name=f"{self._base}-ctl", size=_ControlBlock.nbytes(size)
+        )
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        try:
+            ctl = _ControlBlock(self._ctl_shm, size)
+            ctl.gen[:] = 0
+            ctl.cap[:] = arena_bytes
+            ctl.post[:] = 0
+            ctl.done[:] = 0
+            ctl.meta[:] = 0
+            ctl.release()
+            for r in range(size):
+                for b in (0, 1):
+                    seg = shared_memory.SharedMemory(
+                        create=True,
+                        name=_arena_name(self._base, r, b, 0),
+                        size=arena_bytes,
+                    )
+                    seg.close()
+            child_ends = []
+            for r in range(size):
+                recv_end, send_end = ctx.Pipe(duplex=False)
+                child_ends.append(recv_end)
+                self._conns.append(send_end)
+            self._procs = [
+                # daemon=True: a wedged rank must never outlive the caller.
+                ctx.Process(
+                    target=_worker_loop,
+                    args=(
+                        r,
+                        size,
+                        self._base,
+                        self._barrier,
+                        child_ends[r],
+                        self._result_q,
+                        _first_job,
+                    ),
+                    name=f"spmd-rank-{r}",
+                    daemon=True,
+                )
+                for r in range(size)
+            ]
+            for p in self._procs:
+                p.start()
+            for end in child_ends:
+                end.close()  # parent keeps only the send ends
+        except BaseException:
+            self._closed = True  # nothing dispatched; just reclaim
+            for p in self._procs:
+                with suppress(Exception):
+                    p.terminate()
+            with suppress(Exception):
+                self._result_q.close()
+            _sweep_segments(self._ctl_shm, self._base, size)
+            raise
+        _LIVE[id(self)] = (os.getpid(), self)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def healthy(self) -> bool:
+        return (
+            not self._dead
+            and not self._closed
+            and all(p.is_alive() for p in self._procs)
+        )
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        timeout: float = 120.0,
+    ) -> List[Any]:
+        if self._closed:
+            raise ConfigurationError("cannot run a job on a closed world")
+        if self._dead:
+            raise CommunicationError(
+                "SPMD world is dead (a rank died or a previous job "
+                "failed); spawn a replacement world"
+            )
+        if rank_args is not None and len(rank_args) != self.size:
+            raise ConfigurationError(
+                f"rank_args needs one entry per rank "
+                f"({self.size}), got {len(rank_args)}"
+            )
+        # Pre-flight the job callable alone: an unpicklable fn fails
+        # *before* anything is dispatched, leaving the world healthy
+        # (a partial dispatch would desynchronize the ranks for good).
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"procs world jobs must be picklable to travel the job "
+                f"pipe ({type(fn).__name__}: {exc}); use a module-level "
+                f"function, or run_spmd_procs for one-shot closures"
+            ) from exc
+        self._job += 1
+        job = self._job
+        try:
+            for r, conn in enumerate(self._conns):
+                args = None if rank_args is None else tuple(rank_args[r])
+                conn.send((job, fn, args))
+        except Exception as exc:
+            self._dead = True  # partial dispatch: ranks out of step
+            raise CommunicationError(
+                f"could not ship job to the procs world: {exc}"
+            ) from exc
+        return self._collect(job, timeout)
+
+    def _collect(self, job: int, timeout: float) -> List[Any]:
+        size, procs = self.size, self._procs
         deadline = time.monotonic() + timeout
         results: List[Any] = [None] * size
         failures: List[BaseException] = []
         reported = [False] * size
         # The parent blocks on the queue's read pipe *and* every
-        # unreported rank's process sentinel, bounded by the world
+        # unreported rank's process sentinel, bounded by the job
         # deadline — it wakes exactly when there is something to do (a
         # result arrived or a rank died), never on a polling interval.
-        # The previous 50 ms timed ``get`` span 20 times a second for the
-        # whole run just to notice dead ranks.
-        reader = getattr(result_q, "_reader", None)
+        reader = getattr(self._result_q, "_reader", None)
         while not all(reported):
             progressed = False
             while True:  # drain everything already in the pipe
                 try:
-                    rank, ok, payload = pickle.loads(result_q.get_nowait())
+                    rank, got, ok, payload = pickle.loads(
+                        self._result_q.get_nowait()
+                    )
                 except queue_mod.Empty:
                     break
+                if got != job:
+                    continue  # stale report from an abandoned job
                 progressed = True
                 reported[rank] = True
                 if ok:
@@ -831,12 +989,13 @@ def run_spmd_procs(
                             f"{p.exitcode} before reporting a result"
                         )
                     )
-                    barrier.abort()
+                    self._barrier.abort()
             if progressed:
                 continue
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                barrier.abort()
+                self._dead = True
+                self._barrier.abort()
                 for p in procs:
                     if p.is_alive():
                         p.terminate()
@@ -858,25 +1017,68 @@ def run_spmd_procs(
                 _sentinel_wait([reader] + sentinels, timeout=remaining)
             else:  # pragma: no cover — Queue without a read pipe handle
                 with suppress(queue_mod.Empty):
-                    rank, ok, payload = pickle.loads(
-                        result_q.get(timeout=min(remaining, 0.25))
+                    rank, got, ok, payload = pickle.loads(
+                        self._result_q.get(timeout=min(remaining, 0.25))
                     )
-                    reported[rank] = True
-                    if ok:
-                        results[rank] = payload
-                    else:
-                        failures.append(payload)
-        for p in procs:
-            p.join(timeout=max(0.0, deadline - time.monotonic()))
-            if p.is_alive():
-                p.terminate()
+                    if got == job:
+                        reported[rank] = True
+                        if ok:
+                            results[rank] = payload
+                        else:
+                            failures.append(payload)
         if failures:
+            self._dead = True
             # Prefer the root cause over peers' collapsed-barrier echoes
             # (stable sort: original arrival order breaks ties).
             failures.sort(key=lambda e: type(e) is CommunicationError)
             raise failures[0]
         return results
-    finally:
+
+    def close(self, join_timeout: float = 1.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            with suppress(Exception):
+                conn.send(None)  # orderly retirement
+            with suppress(Exception):
+                conn.close()
+        deadline = time.monotonic() + join_timeout
+        for p in self._procs:
+            with suppress(Exception):
+                p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            if p.exitcode is None:
+                with suppress(Exception):
+                    p.join(timeout=0.5)
         with suppress(Exception):
-            result_q.close()
-        _sweep_segments(ctl_shm, base, size)
+            self._result_q.close()
+        _sweep_segments(self._ctl_shm, self._base, self.size)
+        _LIVE.pop(id(self), None)
+
+
+def run_spmd_procs(
+    size: int,
+    fn: Callable[[Comm], Any],
+    timeout: float = 120.0,
+    arena_bytes: int = _DEFAULT_ARENA_BYTES,
+) -> List[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks, one OS process each; return the
+    per-rank results, indexed by rank.
+
+    Mirrors :func:`repro.runtime.threads.run_spmd`: one wall-clock deadline
+    for the whole world, the first rank failure re-raised in the caller,
+    and a broken barrier unblocking the survivors.  ``arena_bytes`` sizes
+    the initial shared-memory arenas (they grow on demand).
+
+    Prefers the ``fork`` start method so ``fn`` may be any closure (it
+    rides along at fork rather than through the job pipe); under ``spawn``
+    (platforms without fork) ``fn`` must be picklable.
+    """
+    world = ProcWorld(size, arena_bytes=arena_bytes, _first_job=fn)
+    try:
+        return world._collect(1, timeout)
+    finally:
+        world.close()

@@ -24,9 +24,10 @@ import numpy as np
 
 from repro.errors import CommunicationError, ConfigurationError, SpmdTimeoutError
 from repro.runtime.api import Comm
+from repro.runtime.world import World
 from repro.trace.recorder import trace_span
 
-__all__ = ["ThreadComm", "run_spmd"]
+__all__ = ["ThreadComm", "ThreadWorld", "run_spmd"]
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -333,50 +334,146 @@ class ThreadComm(Comm):
                             ) from None
 
 
+class ThreadWorld(World):
+    """A persistent in-process SPMD world.
+
+    ``size`` daemon rank threads are started once; each builds its
+    :class:`ThreadComm` against one shared :class:`_SharedState` and then
+    loops on a per-rank job queue, so mailbox matrix, barriers and
+    channels are reused across jobs.  A job failure breaks the world's
+    barriers permanently (:meth:`_SharedState.abort_all`), so the world
+    goes dead and refuses further jobs — pools replace dead worlds.
+    """
+
+    backend = "threads"
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ConfigurationError(f"need at least 1 rank, got {size}")
+        self.size = size
+        self._state = _SharedState(size)
+        self._job_qs: List[SimpleQueue] = [SimpleQueue() for _ in range(size)]
+        self._result_q: SimpleQueue = SimpleQueue()
+        self._job = 0
+        self._dead = False
+        self._closed = False
+        self._threads = [
+            # daemon=True: a wedged rank must never be able to block
+            # interpreter exit (run()'s watchdog already reports it).
+            threading.Thread(
+                target=self._worker, args=(r,), name=f"spmd-rank-{r}", daemon=True
+            )
+            for r in range(size)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker(self, rank: int) -> None:
+        comm = ThreadComm(rank, self._state)
+        while True:
+            msg = self._job_qs[rank].get()
+            if msg is None:
+                return  # orderly close()
+            job, fn, args = msg
+            try:
+                result = fn(comm) if args is None else fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+                self._state.abort_all()  # unblock peers before reporting
+                self._result_q.put((rank, job, False, exc))
+                return  # broken barriers are permanent: rank retires
+            comm.tracer = None  # jobs arm their own tracer; never leak
+            self._result_q.put((rank, job, True, result))
+
+    def healthy(self) -> bool:
+        return (
+            not self._dead
+            and not self._closed
+            and all(t.is_alive() for t in self._threads)
+        )
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        timeout: float = 120.0,
+    ) -> List[Any]:
+        if self._closed:
+            raise ConfigurationError("cannot run a job on a closed world")
+        if self._dead:
+            raise CommunicationError(
+                "SPMD world is dead (a previous job failed); spawn a "
+                "replacement world"
+            )
+        if rank_args is not None and len(rank_args) != self.size:
+            raise ConfigurationError(
+                f"rank_args needs one entry per rank "
+                f"({self.size}), got {len(rank_args)}"
+            )
+        self._job += 1
+        job = self._job
+        for r in range(self.size):
+            args = None if rank_args is None else tuple(rank_args[r])
+            self._job_qs[r].put((job, fn, args))
+        # One deadline for the whole world, whatever order results land.
+        deadline = time.monotonic() + timeout
+        results: List[Any] = [None] * self.size
+        failures: List[BaseException] = []
+        reported = [False] * self.size
+        while not all(reported):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._dead = True
+                self._state.abort_all()
+                stuck = reported.index(False)
+                raise SpmdTimeoutError(
+                    f"SPMD rank spmd-rank-{stuck} did not finish within "
+                    f"the world's {timeout}s budget (deadlock or runaway "
+                    "work)",
+                    phase="run_spmd",
+                )
+            try:
+                rank, got, ok, payload = self._result_q.get(timeout=remaining)
+            except Empty:
+                continue
+            if got != job:
+                continue  # stale report from an abandoned job
+            reported[rank] = True
+            if ok:
+                results[rank] = payload
+            else:
+                failures.append(payload)
+        if failures:
+            self._dead = True
+            # Prefer the root cause over peers' collapsed-barrier echoes
+            # (stable sort: arrival order breaks ties).
+            failures.sort(key=lambda e: type(e) is CommunicationError)
+            raise failures[0]
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._job_qs:
+            q.put(None)
+        deadline = time.monotonic() + 1.0
+        for t in self._threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        # Still-alive threads are wedged rank jobs: they are daemons and
+        # their world is unreachable from here on, so they cannot disturb
+        # anything — same abandonment the one-shot driver practiced.
+
+
 def run_spmd(size: int, fn: Callable[[Comm], Any], timeout: float = 120.0) -> List[Any]:
     """Run ``fn(comm)`` on ``size`` concurrent ranks; return the per-rank
     results, indexed by rank.
 
     If any rank raises, the world's barrier is broken (unblocking peers)
-    and the first failure is re-raised in the caller.
+    and the first failure is re-raised in the caller.  One-shot
+    spawn/run/close over :class:`ThreadWorld`.
     """
-    if size < 1:
-        raise ConfigurationError(f"need at least 1 rank, got {size}")
-    state = _SharedState(size)
-    results: List[Any] = [None] * size
-
-    def worker(rank: int) -> None:
-        comm = ThreadComm(rank, state)
-        try:
-            results[rank] = fn(comm)
-        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
-            with state.failure_lock:
-                state.failures.append(exc)
-            state.abort_all()
-
-    threads = [
-        # daemon=True: a wedged rank must never be able to block
-        # interpreter exit (the watchdog below already reports it).
-        threading.Thread(
-            target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True
-        )
-        for r in range(size)
-    ]
-    for t in threads:
-        t.start()
-    # One deadline for the whole world: join each thread with the budget
-    # that remains, so total wall-clock is bounded by ``timeout`` rather
-    # than ``size × timeout``.
-    deadline = time.monotonic() + timeout
-    for t in threads:
-        t.join(timeout=max(0.0, deadline - time.monotonic()))
-        if t.is_alive():
-            state.abort_all()
-            raise SpmdTimeoutError(
-                f"SPMD rank {t.name} did not finish within the world's "
-                f"{timeout}s budget (deadlock or runaway work)",
-                phase="run_spmd",
-            )
-    if state.failures:
-        raise state.failures[0]
-    return results
+    world = ThreadWorld(size)
+    try:
+        return world.run(fn, timeout=timeout)
+    finally:
+        world.close()

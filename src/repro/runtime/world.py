@@ -1,0 +1,77 @@
+"""Persistent SPMD worlds: construction split from job execution.
+
+Historically each :func:`repro.runtime.run_spmd` call built a world (rank
+threads or processes, barriers, shared-memory arenas), ran exactly one
+``fn(comm)`` and tore everything down.  A serving workload pays that
+construction cost per request, so the lifecycle is now split:
+
+* :func:`repro.runtime.driver.spawn_world` builds a world once;
+* :meth:`World.run` dispatches a job to the resident ranks and collects
+  the per-rank results — arenas, rank processes and barriers are reused
+  across jobs;
+* :meth:`World.close` releases the ranks and their segments.
+
+``run_spmd`` is now a thin spawn/run/close composition, so the one-shot
+contract (first failure re-raised, one wall-clock deadline per job,
+broken barrier unblocking survivors) is literally the same code path.
+
+A world on which a job failed or timed out is **dead**: collective
+numbering and barrier state are unrecoverable across ranks, so the world
+refuses further jobs (:class:`~repro.errors.CommunicationError`) and must
+be replaced — that is the pool's job (:mod:`repro.service.pool`), not the
+world's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["World"]
+
+
+class World(ABC):
+    """A spawned SPMD world: ``size`` resident ranks awaiting jobs.
+
+    Jobs are callables ``fn(comm, *args)`` executed SPMD-style on every
+    rank.  ``rank_args`` (optional, one tuple per rank) carries per-rank
+    arguments — the serving layer uses it to ship each rank only its own
+    shard instead of closing over the full input.  On the ``procs``
+    backend both ``fn`` and the arguments must be picklable (they travel
+    over a pipe to the resident rank processes); the ``threads`` backend
+    passes references.
+    """
+
+    #: Backend name, matching :data:`repro.runtime.driver.BACKENDS`.
+    backend: str = "?"
+    size: int = 0
+
+    @abstractmethod
+    def run(
+        self,
+        fn: Callable[..., Any],
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        timeout: float = 120.0,
+    ) -> List[Any]:
+        """Run one job on every rank; return per-rank results by rank.
+
+        Mirrors the one-shot contract: the first rank failure is
+        re-raised here, a broken barrier unblocks the survivors, and one
+        wall-clock ``timeout`` bounds the job.  Any failure or timeout
+        marks the world dead.
+        """
+
+    @abstractmethod
+    def healthy(self) -> bool:
+        """Whether the world can accept another job (no rank dead, no
+        prior job failed, not closed)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release ranks and any shared segments.  Idempotent."""
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

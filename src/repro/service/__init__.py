@@ -1,0 +1,28 @@
+"""``repro.service`` — the persistent sort service.
+
+A serving layer over the SPMD runtime: a warm :class:`WorldPool` keeps
+spawned worlds alive between requests, a LogGP-driven :class:`Planner`
+prices each request with the paper's closed forms calibrated to the host
+(:class:`HostProfile`), and :class:`SortService` fronts it all with a
+bounded queue, admission control, same-shape batching and per-request
+tracing.  See ``docs/SERVING.md``.
+"""
+
+from repro.service.planner import BenchHistory, PlanDecision, Planner
+from repro.service.pool import WorldPool
+from repro.service.profile import PROFILE_SCHEMA, BackendCosts, HostProfile
+from repro.service.service import ServiceReport, SortOutcome, SortService, Ticket
+
+__all__ = [
+    "BackendCosts",
+    "BenchHistory",
+    "HostProfile",
+    "PROFILE_SCHEMA",
+    "PlanDecision",
+    "Planner",
+    "ServiceReport",
+    "SortOutcome",
+    "SortService",
+    "Ticket",
+    "WorldPool",
+]

@@ -1,0 +1,306 @@
+"""The LogGP-driven request planner.
+
+Given a request's ``(N, dtype, faults)`` the planner chooses the cheapest
+execution: backend (threads vs procs), world size ``P``, and the
+fused/grouped communication flags — using the paper's closed forms priced
+with the host's calibrated :class:`~repro.service.profile.HostProfile`,
+optionally biased by measured bench history (``BENCH_pr*.json``).  This
+mirrors how engineered distributed sorters pick algorithms from machine
+parameters instead of hardcoding one.
+
+Every choice has a **forced-override escape hatch**: pass ``backend=``,
+``P=``, ``fused=`` or ``grouped=`` to :meth:`Planner.plan` and the
+planner optimizes only the remaining free dimensions.
+
+One choice is a *safety clamp*, not an optimization: a request with an
+armed fault plan runs on the threads backend (the injector needs one
+address space) with ``fused=False`` / ``grouped=False`` — the
+:class:`~repro.faults.transport.ReliableComm` wrapper cannot fuse, and
+while the :class:`~repro.runtime.api.Comm` ABC would fall back
+transparently, the planner must never *select* a configuration it knows
+will fall back.  The clamp beats a forced override and is pinned by a
+property test.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service.profile import HostProfile
+
+__all__ = ["PlanDecision", "Planner", "BenchHistory"]
+
+#: Candidate world sizes considered when ``P`` is not forced.
+_DEFAULT_CANDIDATE_P = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One request's chosen execution and why.
+
+    ``est_seconds`` is the model's estimate for the chosen config;
+    ``candidates`` maps every considered ``(backend, P)`` to its
+    estimate, so callers (and the decision table in SERVING.md) can see
+    the margins.  ``clamped`` is True when fault safety overrode a
+    request's own flags; ``source`` records what the choice rode on
+    (``"model"``, ``"history"`` or ``"forced"``).
+    """
+
+    backend: str
+    P: int
+    algorithm: str
+    fused: bool
+    grouped: bool
+    est_seconds: float
+    clamped: bool = False
+    source: str = "model"
+    candidates: Dict[str, float] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        ranked = sorted(self.candidates.items(), key=lambda kv: kv[1])
+        lines = [
+            f"plan: {self.algorithm} on {self.backend} x {self.P}, "
+            f"fused={self.fused} grouped={self.grouped} "
+            f"(~{self.est_seconds * 1e3:.1f} ms, source={self.source}"
+            + (", fault-clamped" if self.clamped else "")
+            + ")"
+        ]
+        for name, est in ranked:
+            marker = "*" if name == f"{self.backend}x{self.P}" else " "
+            lines.append(f"  {marker} {name:<12} ~{est * 1e3:8.2f} ms")
+        return "\n".join(lines)
+
+
+class BenchHistory:
+    """Measured end-to-end latencies from committed bench trajectories.
+
+    Loads the ``end_to_end`` records of ``BENCH_pr*.json`` files (schema
+    ``repro-bitonic-bench/2+``) and answers "what did backend X actually
+    cost near N keys on this host" — the empirical correction on top of
+    the closed forms.
+    """
+
+    def __init__(self, records: Sequence[Dict[str, Any]] = ()):
+        self._records = [
+            r for r in records
+            if "backend" in r and "keys" in r and "best_s" in r
+        ]
+
+    @classmethod
+    def load(cls, paths: Optional[Sequence[str]] = None) -> "BenchHistory":
+        """Load from explicit paths, or from ``BENCH_pr*.json`` in the
+        current directory when none are given.  Unreadable files are
+        skipped — history is a bias, never a requirement."""
+        if paths is None:
+            paths = sorted(glob.glob("BENCH_pr*.json"))
+        records: List[Dict[str, Any]] = []
+        for path in paths:
+            if not os.path.exists(path):
+                continue
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                records.extend(doc.get("end_to_end", []))
+            except (OSError, ValueError):
+                continue
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def best(self, backend: str, N: int) -> Optional[Tuple[float, int]]:
+        """Best measured ``(seconds, keys)`` for ``backend`` at the
+        record size nearest ``N`` (within a factor of 4), fused variant
+        preferred implicitly by taking the minimum."""
+        nearby = [
+            r for r in self._records
+            if r["backend"] == backend and N / 4 <= r["keys"] <= N * 4
+        ]
+        if not nearby:
+            return None
+        r = min(nearby, key=lambda r: (abs(r["keys"] - N), r["best_s"]))
+        best = min(
+            x["best_s"] for x in nearby if x["keys"] == r["keys"]
+        )
+        return best, int(r["keys"])
+
+
+class Planner:
+    """Choose (backend, P, flags) per request from the host profile.
+
+    ``backends`` restricts which SPMD backends may be chosen;
+    ``candidate_P`` the world sizes considered.  ``history`` supplies
+    measured latencies used to scale the model's per-backend estimates
+    (estimate × measured/modeled at the nearest benched size).
+    """
+
+    def __init__(
+        self,
+        profile: Optional[HostProfile] = None,
+        backends: Sequence[str] = ("threads", "procs"),
+        candidate_P: Sequence[int] = _DEFAULT_CANDIDATE_P,
+        history: Optional[BenchHistory] = None,
+    ):
+        self.profile = profile or HostProfile.default()
+        unknown = [b for b in backends if b not in self.profile.backends]
+        if unknown:
+            raise ConfigurationError(
+                f"planner backends {unknown} missing from the profile "
+                f"(knows {sorted(self.profile.backends)})"
+            )
+        if not backends:
+            raise ConfigurationError("planner needs at least one backend")
+        self.backends = tuple(backends)
+        self.candidate_P = tuple(sorted(set(candidate_P)))
+        self.history = history if history is not None else BenchHistory()
+
+    # -- the decision --------------------------------------------------
+
+    def plan(
+        self,
+        N: int,
+        *,
+        dtype_size: int = 4,
+        faults: bool = False,
+        backend: Optional[str] = None,
+        P: Optional[int] = None,
+        fused: Optional[bool] = None,
+        grouped: Optional[bool] = None,
+        warm: bool = True,
+    ) -> PlanDecision:
+        """Plan one sort request of ``N`` keys.
+
+        Keyword arguments other than ``faults``/``warm`` are forced
+        overrides: ``None`` means "planner chooses".  ``faults=True``
+        applies the safety clamp described in the module docstring —
+        it wins even over forced ``fused``/``grouped``.
+        """
+        if N < 1:
+            raise ConfigurationError(f"cannot plan a sort of {N} keys")
+        clamped = False
+        if faults:
+            # Safety clamp: the fault transport needs one address space
+            # and cannot fuse or group (ReliableComm wraps every payload
+            # in checksummed frames; the transparent ABC fallback would
+            # engage on every remap).  Never *plan* into a fallback.
+            if backend is not None and backend != "threads":
+                raise ConfigurationError(
+                    f"fault injection needs the threads backend, "
+                    f"not {backend!r}"
+                )
+            backend = "threads"
+            if fused is not False or grouped is not False:
+                clamped = True
+            fused = False
+            grouped = False
+        use_fused = True if fused is None else fused
+        use_grouped = True if grouped is None else grouped
+
+        backends = (backend,) if backend is not None else self.backends
+        for b in backends:
+            if b not in self.profile.backends:
+                raise ConfigurationError(
+                    f"unknown backend {b!r}; profile knows "
+                    f"{sorted(self.profile.backends)}"
+                )
+        if P is not None:
+            if P < 1 or N % P:
+                raise ConfigurationError(
+                    f"{N} keys do not divide over P={P} ranks"
+                )
+            if P > 1 and N // P < 2:
+                raise ConfigurationError(
+                    f"P={P} leaves {N // P} key(s) per rank; the smart "
+                    f"schedule needs at least 2"
+                )
+            candidates_P = (P,)
+        else:
+            # Smart schedules need >= 2 keys per rank (P=1 is the
+            # degenerate local sort and always valid).
+            candidates_P = tuple(
+                p for p in self.candidate_P
+                if p == 1 or (N % p == 0 and N // p >= 2)
+            ) or (1,)
+
+        candidates: Dict[str, float] = {}
+        best: Optional[Tuple[float, str, int]] = None
+        for b in backends:
+            scale = self._history_scale(b, N, dtype_size)
+            for p in candidates_P:
+                est = self.profile.estimate(
+                    N, p, b,
+                    fused=use_fused, grouped=use_grouped,
+                    warm=warm, dtype_size=dtype_size,
+                ) * scale
+                candidates[f"{b}x{p}"] = est
+                if best is None or est < best[0]:
+                    best = (est, b, p)
+        assert best is not None
+        est, chosen_backend, chosen_P = best
+        forced = backend is not None and P is not None
+        source = (
+            "forced" if forced
+            else "history" if len(self.history) and not faults
+            else "model"
+        )
+        return PlanDecision(
+            backend=chosen_backend,
+            P=chosen_P,
+            algorithm="smart",
+            fused=use_fused,
+            grouped=use_grouped,
+            est_seconds=est,
+            clamped=clamped,
+            source=source,
+            candidates=candidates,
+        )
+
+    def _history_scale(self, backend: str, N: int, dtype_size: int) -> float:
+        """Measured/modeled ratio at the nearest benched size: scales the
+        model's estimate for ``backend`` so systematic model error (GIL
+        serialization, allocator behaviour) cancels out of the
+        backend-vs-backend comparison."""
+        hit = self.history.best(backend, N)
+        if hit is None:
+            return 1.0
+        measured, keys = hit
+        # Bench records run cold at their recorded procs count; compare
+        # against the cold model estimate at the benched size.  P is not
+        # recorded per-history here, so use the bench default of 4.
+        try:
+            modeled = self.profile.estimate(
+                keys, 4, backend, warm=False, dtype_size=dtype_size
+            )
+        except ConfigurationError:
+            return 1.0
+        if modeled <= 0 or measured <= 0:
+            return 1.0
+        ratio = measured / modeled
+        # Clamp: history is a bias, not an oracle — a wildly off ratio
+        # (different host, stale file) must not invert sane decisions.
+        return min(max(ratio, 0.25), 4.0)
+
+    # -- reporting ------------------------------------------------------
+
+    def decision_table(
+        self,
+        sizes: Sequence[int] = (1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20),
+    ) -> str:
+        """Human-readable table of what the planner would pick per size
+        (the "planner decision table" of docs/SERVING.md)."""
+        lines = [
+            f"{'keys':>10}  {'backend':<8} {'P':>2}  {'fused':<5} "
+            f"{'grouped':<7} {'est':>10}",
+        ]
+        for N in sizes:
+            d = self.plan(N)
+            lines.append(
+                f"{N:>10,}  {d.backend:<8} {d.P:>2}  {str(d.fused):<5} "
+                f"{str(d.grouped):<7} {d.est_seconds * 1e3:>8.2f}ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""The warm world pool.
+
+Keeps spawned SPMD worlds alive between requests, keyed by
+``(backend, P)``.  Acquire hands out a healthy idle world (spawning one
+when none is idle), release returns it — or replaces it when a job
+killed it (crash-replacement reuses the runtime's dead-rank detection:
+a dead world simply reports unhealthy and is closed here).  Idle worlds
+beyond ``idle_ttl_s`` are reaped opportunistically on every release, so
+a burst of odd-shaped requests does not pin processes forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.driver import BackendOptions, spawn_world
+from repro.runtime.world import World
+
+__all__ = ["WorldPool"]
+
+
+class WorldPool:
+    """A keyed pool of warm SPMD worlds.
+
+    Parameters
+    ----------
+    max_idle_per_key:
+        How many idle worlds to retain per ``(backend, P)`` shape; a
+        released world beyond this is closed instead of cached.
+    idle_ttl_s:
+        Idle worlds older than this are reaped on the next release.
+    options:
+        Launch tuning (``arena_bytes``) for spawned procs worlds.
+    """
+
+    def __init__(
+        self,
+        max_idle_per_key: int = 2,
+        idle_ttl_s: float = 120.0,
+        options: Optional[BackendOptions] = None,
+    ):
+        if max_idle_per_key < 1:
+            raise ConfigurationError(
+                f"max_idle_per_key must be >= 1, got {max_idle_per_key}"
+            )
+        self._max_idle = max_idle_per_key
+        self._ttl = idle_ttl_s
+        self._options = options
+        self._lock = threading.Lock()
+        #: (backend, P) -> idle worlds with their release timestamps.
+        self._idle: Dict[Tuple[str, int], Deque[Tuple[World, float]]] = {}
+        self._closed = False
+        #: Lifetime counters, surfaced in ServiceReport.
+        self.spawned = 0
+        self.reused = 0
+        self.restarts = 0  # dead worlds replaced
+        self.reaped = 0  # idle worlds expired
+
+    # -- acquire / release ---------------------------------------------
+
+    def acquire(self, backend: str, P: int) -> World:
+        """A healthy world of the requested shape: warm if one is idle,
+        freshly spawned otherwise.  Unhealthy idle worlds found on the
+        way are closed and counted as restarts."""
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ConfigurationError("pool is closed")
+                bucket = self._idle.get((backend, P))
+                entry = bucket.popleft() if bucket else None
+            if entry is None:
+                with self._lock:
+                    self.spawned += 1
+                return spawn_world(P, backend=backend, options=self._options)
+            world, _ = entry
+            if world.healthy():
+                with self._lock:
+                    self.reused += 1
+                return world
+            # Crash-replacement: the previous job killed it after release
+            # (or a rank died while idle) — close and look again.
+            with self._lock:
+                self.restarts += 1
+            world.close()
+
+    def release(self, world: World) -> None:
+        """Return a world after a job.  Dead worlds are closed (counted
+        as restarts — their replacement is the next acquire's spawn);
+        healthy ones go back on the shelf, then the shelf is reaped."""
+        if not world.healthy():
+            with self._lock:
+                self.restarts += 1
+            world.close()
+        else:
+            key = (world.backend, world.size)
+            overflow = None
+            with self._lock:
+                if self._closed:
+                    overflow = world
+                else:
+                    bucket = self._idle.setdefault(key, deque())
+                    bucket.append((world, time.monotonic()))
+                    if len(bucket) > self._max_idle:
+                        overflow = bucket.popleft()[0]
+            if overflow is not None:
+                overflow.close()
+        self._reap()
+
+    def prewarm(self, backend: str, P: int, count: int = 1) -> None:
+        """Spawn ``count`` idle worlds of a shape ahead of traffic."""
+        for _ in range(count):
+            worlds = spawn_world(P, backend=backend, options=self._options)
+            with self._lock:
+                self.spawned += 1
+                self._idle.setdefault((backend, P), deque()).append(
+                    (worlds, time.monotonic())
+                )
+
+    def _reap(self) -> None:
+        """Close idle worlds past their TTL (opportunistic, on release)."""
+        horizon = time.monotonic() - self._ttl
+        doomed = []
+        with self._lock:
+            for bucket in self._idle.values():
+                while bucket and bucket[0][1] < horizon:
+                    doomed.append(bucket.popleft()[0])
+            self.reaped += len(doomed)
+        for world in doomed:
+            world.close()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(b) for b in self._idle.values())
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "spawned": self.spawned,
+                "reused": self.reused,
+                "restarts": self.restarts,
+                "reaped": self.reaped,
+                "idle": sum(len(b) for b in self._idle.values()),
+            }
+
+    def close(self) -> None:
+        """Close every idle world.  Worlds currently acquired are the
+        borrowers' to close (release after close closes them here)."""
+        with self._lock:
+            self._closed = True
+            doomed = [w for b in self._idle.values() for w, _ in b]
+            self._idle.clear()
+        for world in doomed:
+            world.close()
+
+    def __enter__(self) -> "WorldPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

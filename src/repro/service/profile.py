@@ -1,0 +1,238 @@
+"""Host performance profiles for the request planner.
+
+The paper's closed forms (§3.4) price a sort from machine parameters:
+LogGP network numbers plus per-element compute costs.  The bundled
+:data:`~repro.model.machines.MEIKO_CS2` spec prices the *paper's*
+machine; to plan requests on the machine actually serving them, the same
+formulas need *host* numbers.  A :class:`HostProfile` carries them:
+
+* per-element compute rates (radix pass, merge, pack/unpack/fused-pack,
+  addressing) measured on the host's NumPy kernels;
+* per-backend :class:`BackendCosts` — LogGP parameters fitted to the
+  backend's collectives plus the serving-specific fixed costs the closed
+  forms do not cover: world spawn, warm job dispatch, and shipping a
+  request's shards through the job pipe;
+* the usable core count, which turns per-processor busy time into wall
+  time on an oversubscribed host.
+
+:func:`HostProfile.default` is a conservative built-in so the planner
+works out of the box; ``scripts/calibrate_loggp.py`` measures the real
+numbers and persists them as JSON (:meth:`HostProfile.save` /
+:meth:`HostProfile.load`), which is the calibration workflow
+``docs/SERVING.md`` describes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.model.cache import CacheModel
+from repro.model.logp import LogGPParams
+from repro.model.machines import KEY_BYTES, ComputeCosts, MachineSpec
+
+__all__ = ["BackendCosts", "HostProfile", "PROFILE_SCHEMA"]
+
+#: Schema string embedded in persisted profiles; bump on layout changes.
+PROFILE_SCHEMA = "repro-bitonic-profile/1"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class BackendCosts:
+    """One SPMD backend's measured costs on this host.
+
+    ``L``/``o``/``g``/``G`` are LogGP parameters (µs, µs/byte) fitted to
+    the backend's collectives; the remaining fields are the serving fixed
+    costs outside the closed forms' scope (all in seconds, except
+    ``ship_bytes_per_s``).
+    """
+
+    L: float
+    o: float
+    g: float
+    G: float
+    #: Seconds to spawn one rank of a fresh world (fork/thread + arenas).
+    spawn_per_rank_s: float
+    #: Seconds of per-job dispatch/collect overhead on a warm world.
+    job_overhead_s: float
+    #: Bytes/second through the job pipe (shard shipping on a warm procs
+    #: world); ``inf`` for the threads backend, which passes references.
+    ship_bytes_per_s: float
+
+    def network(self, P: int) -> LogGPParams:
+        return LogGPParams(L=self.L, o=self.o, g=self.g, G=self.G, P=max(P, 1))
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Everything the planner knows about the serving host."""
+
+    cpus: int
+    #: Per-element compute rates, µs (see :class:`ComputeCosts`).
+    radix_pass_us: float
+    merge_us: float
+    pack_us: float
+    unpack_us: float
+    fused_pack_us: float
+    address_us: float
+    backends: Dict[str, BackendCosts] = field(default_factory=dict)
+    #: ``"default"`` for the built-in guess, ``"calibrated"`` after
+    #: ``scripts/calibrate_loggp.py`` measured this host.
+    source: str = "default"
+
+    @classmethod
+    def default(cls) -> "HostProfile":
+        """A conservative built-in profile (NumPy-on-one-core scale).
+
+        The absolute numbers matter less than the *ordering* they induce
+        (compute dwarfs shared-memory communication per element; procs
+        worlds cost more to spawn and dispatch than threads worlds),
+        which is what the planner's decisions ride on.  Calibrate for
+        real estimates.
+        """
+        return cls(
+            cpus=_usable_cpus(),
+            radix_pass_us=0.010,
+            merge_us=0.008,
+            pack_us=0.010,
+            unpack_us=0.008,
+            fused_pack_us=0.004,
+            address_us=0.001,
+            backends={
+                "threads": BackendCosts(
+                    L=10.0, o=30.0, g=30.0, G=0.0005,
+                    spawn_per_rank_s=0.0015,
+                    job_overhead_s=0.0010,
+                    ship_bytes_per_s=float("inf"),
+                ),
+                "procs": BackendCosts(
+                    L=20.0, o=60.0, g=60.0, G=0.0010,
+                    spawn_per_rank_s=0.0080,
+                    job_overhead_s=0.0020,
+                    ship_bytes_per_s=1.5e9,
+                ),
+            },
+        )
+
+    # -- the bridge into the paper's closed forms ----------------------
+
+    def compute_costs(self) -> ComputeCosts:
+        return ComputeCosts(
+            radix_pass=self.radix_pass_us,
+            merge=self.merge_us,
+            compare_exchange=self.merge_us,
+            pack=self.pack_us,
+            unpack=self.unpack_us,
+            address=self.address_us,
+            fused_pack=self.fused_pack_us,
+        )
+
+    def machine_spec(self, backend: str, P: int) -> MachineSpec:
+        """This host, expressed as a :class:`MachineSpec` the
+        :mod:`repro.theory` predictors accept."""
+        if backend not in self.backends:
+            raise ConfigurationError(
+                f"profile has no backend {backend!r}; "
+                f"knows {sorted(self.backends)}"
+            )
+        return MachineSpec(
+            name=f"host/{backend}",
+            network=self.backends[backend].network(P),
+            compute=self.compute_costs(),
+            # Ranks share one physical cache hierarchy; the capacity
+            # upturn is already baked into the measured per-element
+            # rates, so the spec's explicit cache penalty is disabled.
+            cache=CacheModel(capacity_bytes=1 << 30, key_bytes=KEY_BYTES, alpha=0.0),
+        )
+
+    def estimate(
+        self,
+        N: int,
+        P: int,
+        backend: str,
+        *,
+        fused: bool = True,
+        grouped: bool = True,
+        warm: bool = True,
+        dtype_size: int = KEY_BYTES,
+    ) -> float:
+        """Estimated end-to-end wall seconds for one smart-sort request.
+
+        The per-processor busy time comes from the paper's closed form
+        (:func:`repro.theory.predict.predict` with this host's spec);
+        oversubscription scales it by ``P / min(P, cpus)`` because ranks
+        beyond the core count serialize.  Ungrouped runs pay the full
+        world-barrier fan-in per remap instead of the Lemma-4 group
+        fan-in.  On top ride the serving fixed costs: spawn (cold only),
+        job dispatch, and shard shipping through the job pipe.
+        """
+        from repro.theory.counts import counts_for
+        from repro.theory.predict import predict
+
+        costs = self.backends.get(backend)
+        if costs is None:
+            raise ConfigurationError(
+                f"profile has no backend {backend!r}; "
+                f"knows {sorted(self.backends)}"
+            )
+        spec = self.machine_spec(backend, P)
+        pt = predict("smart", N, P, spec=spec, fused=fused)
+        busy_us = pt.total
+        if P > 1:
+            counts = counts_for("smart", N, P)
+            # Synchronization fan-in per remap: each member waits on the
+            # group (Lemma 4) or on the whole world, one ``o`` per peer
+            # it must observe.  Groups average far fewer members.
+            mean_group = max(2.0, counts.messages / counts.remaps + 1)
+            fanin = mean_group if grouped else float(P)
+            busy_us += counts.remaps * costs.o * fanin
+        oversub = P / max(1, min(P, self.cpus))
+        wall = busy_us * oversub / 1e6
+        wall += costs.job_overhead_s
+        if not warm:
+            wall += costs.spawn_per_rank_s * P
+        elif backend == "procs":
+            wall += (N * dtype_size) / costs.ship_bytes_per_s
+        return wall
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: str) -> None:
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "profile": asdict(self),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "HostProfile":
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != PROFILE_SCHEMA:
+            raise ConfigurationError(
+                f"{path}: profile schema {doc.get('schema')!r} != "
+                f"{PROFILE_SCHEMA!r} — re-run scripts/calibrate_loggp.py"
+            )
+        raw = dict(doc["profile"])
+        raw["backends"] = {
+            name: BackendCosts(**costs)
+            for name, costs in raw.get("backends", {}).items()
+        }
+        return cls(**raw)
+
+    def with_backend(self, name: str, costs: BackendCosts) -> "HostProfile":
+        merged = dict(self.backends)
+        merged[name] = costs
+        return replace(self, backends=merged)

@@ -1,0 +1,502 @@
+"""The persistent sort service: front door, queue, dispatcher.
+
+``SortService`` accepts sort requests (:meth:`~SortService.submit` /
+:meth:`~SortService.map` / :meth:`~SortService.sort`), plans each one
+with the LogGP planner, and runs it on a warm world from the pool:
+
+* **bounded queue + admission control** — a full queue rejects
+  (:class:`~repro.errors.AdmissionError`, ``reason="queue-full"``), and
+  when a deadline is configured a request whose estimated completion
+  time (queued work + its own planner estimate) exceeds it is shed at
+  the door (``reason="deadline"``) rather than timing out after queuing;
+* **same-shape batching** — consecutive requests with identical
+  ``(N, dtype, plan)`` run back to back on one world acquisition, so a
+  burst of lookalike requests pays one dispatch;
+* **crash replacement** — a request whose world dies mid-job is retried
+  once on a fresh world (the pool replaces the dead one) before the
+  failure is surfaced;
+* **per-request tracing** — each request can carry its own per-rank
+  :class:`~repro.trace.recorder.Tracer` set plus a service-lane tracer
+  recording the queue wait as a ``wait/queue`` span on the same
+  monotonic timebase, exported per request (not blurred per batch).
+
+Everything observable lands in :class:`ServiceReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    CommunicationError,
+    ConfigurationError,
+    ServiceClosedError,
+    SpmdTimeoutError,
+)
+from repro.service.jobs import sort_shards_job
+from repro.service.planner import PlanDecision, Planner
+from repro.service.pool import WorldPool
+from repro.trace.recorder import Tracer
+
+__all__ = ["SortService", "SortOutcome", "ServiceReport", "Ticket"]
+
+
+@dataclass
+class SortOutcome:
+    """What one request produced."""
+
+    request_id: int
+    sorted_keys: np.ndarray
+    decision: PlanDecision
+    queue_wait_s: float
+    run_s: float
+    wall_s: float
+    #: Number of requests that shared this request's world dispatch.
+    batch_size: int = 1
+    #: World-replacement retries this request survived.
+    retries: int = 0
+    #: Per-rank tracers (+ one service-lane tracer with the queue-wait
+    #: span) when the request was traced; feed to write_chrome_trace.
+    tracers: Optional[List[Tracer]] = None
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+
+class Ticket:
+    """A pending request's handle; :meth:`result` blocks for the outcome."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._done = threading.Event()
+        self._outcome: Optional[SortOutcome] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, outcome: SortOutcome) -> None:
+        self._outcome = outcome
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> SortOutcome:
+        if not self._done.wait(timeout):
+            raise SpmdTimeoutError(
+                f"request {self.request_id} still pending after {timeout}s",
+                phase="service",
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+
+@dataclass
+class _Pending:
+    ticket: Ticket
+    keys: np.ndarray
+    decision: PlanDecision
+    faults: Optional[Any]  # FaultPlan
+    trace: bool
+    enqueued_at: float
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate service telemetry plus one record per served request."""
+
+    served: int = 0
+    failed: int = 0
+    rejected_queue_full: int = 0
+    shed_deadline: int = 0
+    batches: int = 0
+    world_retries: int = 0
+    pool: Dict[str, int] = field(default_factory=dict)
+    #: One dict per served request: id, keys, backend, P, flags,
+    #: est/queue/run/wall seconds, batch size.
+    requests: List[Dict[str, Any]] = field(default_factory=list)
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.requests:
+            return 0.0
+        walls = sorted(r["wall_s"] for r in self.requests)
+        idx = min(len(walls) - 1, max(0, int(round(q * (len(walls) - 1)))))
+        return walls[idx]
+
+    def describe(self) -> str:
+        lines = [
+            f"service: {self.served} served, {self.failed} failed, "
+            f"{self.rejected_queue_full} rejected (queue), "
+            f"{self.shed_deadline} shed (deadline), "
+            f"{self.batches} batches, {self.world_retries} world retries",
+            f"  pool: {self.pool}",
+        ]
+        if self.requests:
+            lines.append(
+                f"  latency p50={self.latency_percentile(0.5) * 1e3:.1f}ms "
+                f"p95={self.latency_percentile(0.95) * 1e3:.1f}ms "
+                f"max={self.latency_percentile(1.0) * 1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class SortService:
+    """A persistent sort service over a warm world pool.
+
+    Parameters
+    ----------
+    planner:
+        Request planner; defaults to a :class:`Planner` over the default
+        host profile (pass one built on a calibrated profile for real
+        estimates).
+    pool:
+        Warm world pool; defaults to a fresh :class:`WorldPool`.
+    queue_depth:
+        Bounded-queue capacity; submissions beyond it are rejected.
+    deadline_s:
+        Default admission deadline: a request whose estimated completion
+        (queued estimates + its own) exceeds this is shed.  ``None``
+        disables deadline shedding (per-request ``deadline_s`` still
+        applies).
+    batch_max:
+        Most same-shape requests coalesced into one world dispatch.
+    trace:
+        Default per-request tracing (overridable per request).
+    verify:
+        Element-exact output verification against ``np.sort`` per
+        request (off by default: the service is the hot path; the bench
+        and tests verify independently).
+    timeout:
+        Wall-clock budget per world dispatch.
+    """
+
+    def __init__(
+        self,
+        planner: Optional[Planner] = None,
+        pool: Optional[WorldPool] = None,
+        queue_depth: int = 32,
+        deadline_s: Optional[float] = None,
+        batch_max: int = 8,
+        trace: bool = False,
+        verify: bool = False,
+        timeout: float = 120.0,
+        prewarm: Sequence[Tuple[str, int]] = (),
+    ):
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if batch_max < 1:
+            raise ConfigurationError(f"batch_max must be >= 1, got {batch_max}")
+        self.planner = planner or Planner()
+        self.pool = pool or WorldPool()
+        self._queue_depth = queue_depth
+        self._deadline_s = deadline_s
+        self._batch_max = batch_max
+        self._trace = trace
+        self._verify = verify
+        self._timeout = timeout
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._report = ServiceReport()
+        self._report_lock = threading.Lock()
+        for backend, P in prewarm:
+            self.pool.prewarm(backend, P)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="sort-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- the front door -------------------------------------------------
+
+    def submit(
+        self,
+        keys: np.ndarray,
+        *,
+        backend: Optional[str] = None,
+        P: Optional[int] = None,
+        fused: Optional[bool] = None,
+        grouped: Optional[bool] = None,
+        faults: Optional[Any] = None,
+        deadline_s: Optional[float] = None,
+        trace: Optional[bool] = None,
+    ) -> Ticket:
+        """Enqueue one sort request; returns its :class:`Ticket`.
+
+        ``backend``/``P``/``fused``/``grouped`` are forced overrides for
+        the planner (``None`` = planner chooses).  Raises
+        :class:`~repro.errors.AdmissionError` when the queue is full or
+        the deadline estimate says the request cannot finish in time —
+        admission failures never enqueue.
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1 or keys.size < 1:
+            raise ConfigurationError(
+                f"service sorts 1-D non-empty arrays, got shape {keys.shape}"
+            )
+        if keys.size & (keys.size - 1):
+            raise ConfigurationError(
+                f"the bitonic network needs a power-of-two input, "
+                f"got {keys.size} keys"
+            )
+        have_faults = faults is not None and not getattr(faults, "is_null", False)
+        decision = self.planner.plan(
+            keys.size,
+            dtype_size=keys.dtype.itemsize,
+            faults=have_faults,
+            backend=backend,
+            P=P,
+            fused=fused,
+            grouped=grouped,
+        )
+        ticket = Ticket(next(self._ids))
+        deadline = deadline_s if deadline_s is not None else self._deadline_s
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if len(self._queue) >= self._queue_depth:
+                with self._report_lock:
+                    self._report.rejected_queue_full += 1
+                raise AdmissionError(
+                    f"queue full ({self._queue_depth} pending); request "
+                    "rejected",
+                    reason="queue-full",
+                )
+            if deadline is not None:
+                est_completion = decision.est_seconds + sum(
+                    p.decision.est_seconds for p in self._queue
+                )
+                if est_completion > deadline:
+                    with self._report_lock:
+                        self._report.shed_deadline += 1
+                    raise AdmissionError(
+                        f"estimated completion {est_completion:.3f}s exceeds "
+                        f"the {deadline}s deadline "
+                        f"({len(self._queue)} requests queued); request shed",
+                        reason="deadline",
+                        est_seconds=est_completion,
+                    )
+            self._queue.append(
+                _Pending(
+                    ticket=ticket,
+                    keys=keys,
+                    decision=decision,
+                    faults=faults if have_faults else None,
+                    trace=self._trace if trace is None else trace,
+                    enqueued_at=time.perf_counter(),
+                )
+            )
+            self._cond.notify()
+        return ticket
+
+    def sort(self, keys: np.ndarray, **kwargs: Any) -> SortOutcome:
+        """Submit and wait: the synchronous convenience spelling."""
+        timeout = kwargs.pop("result_timeout", None)
+        return self.submit(keys, **kwargs).result(timeout)
+
+    def map(
+        self, arrays: Sequence[np.ndarray], **kwargs: Any
+    ) -> List[SortOutcome]:
+        """Submit many requests, wait for all, return outcomes in order.
+
+        Same-shape neighbours batch onto shared world dispatches."""
+        timeout = kwargs.pop("result_timeout", None)
+        tickets = [self.submit(a, **kwargs) for a in arrays]
+        return [t.result(timeout) for t in tickets]
+
+    # -- the dispatcher -------------------------------------------------
+
+    def _batch_key(self, p: _Pending) -> Optional[Tuple]:
+        if p.faults is not None or not 1 <= p.decision.P <= p.keys.size:
+            return None  # fault runs never share a world dispatch
+        d = p.decision
+        return (p.keys.size, p.keys.dtype.str, d.backend, d.P, d.fused, d.grouped)
+
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            head = self._queue.popleft()
+            batch = [head]
+            key = self._batch_key(head)
+            if key is not None:
+                # Same-shape coalescing: pull lookalikes from anywhere in
+                # the queue (order within a shape is preserved; distinct
+                # shapes may complete out of submission order, as in any
+                # batching server).
+                rest = []
+                for p in self._queue:
+                    if len(batch) < self._batch_max and self._batch_key(p) == key:
+                        batch.append(p)
+                    else:
+                        rest.append(p)
+                self._queue.clear()
+                self._queue.extend(rest)
+            return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 — fail the batch, not the service
+                for p in batch:
+                    p.ticket._fail(exc)
+                with self._report_lock:
+                    self._report.failed += len(batch)
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        d = batch[0].decision
+        dispatched_at = time.perf_counter()
+        injector = None
+        if batch[0].faults is not None:
+            from repro.faults.plan import FaultInjector
+
+            injector = FaultInjector(batch[0].faults)
+        trace = any(p.trace for p in batch)
+        P = d.P
+        # rank r receives its slice of every request in the batch.
+        def shards_for(rank: int) -> List[np.ndarray]:
+            out = []
+            for p in batch:
+                n = p.keys.size // P
+                out.append(p.keys[rank * n : (rank + 1) * n])
+            return out
+
+        rank_args = [
+            (shards_for(r), d.fused, d.grouped, trace, injector)
+            for r in range(P)
+        ]
+        retries = 0
+        while True:
+            world = self.pool.acquire(d.backend, P)
+            try:
+                rank_results = world.run(
+                    sort_shards_job, rank_args=rank_args, timeout=self._timeout
+                )
+                break
+            except CommunicationError as exc:
+                # The world died under the job (rank crash, collapsed
+                # barrier).  Release sends it to the pool's morgue; one
+                # retry runs the batch on a fresh world.  Timeouts are
+                # not retried — the job itself was too slow.
+                self.pool.release(world)
+                if isinstance(exc, SpmdTimeoutError) or retries >= 1:
+                    raise
+                retries += 1
+                with self._report_lock:
+                    self._report.world_retries += 1
+            except BaseException:
+                self.pool.release(world)
+                raise
+        self.pool.release(world)
+        done_at = time.perf_counter()
+        run_s = done_at - dispatched_at
+
+        for i, p in enumerate(batch):
+            out = np.concatenate([rank_results[r][0][i] for r in range(P)])
+            if self._verify:
+                from repro.sorts.base import verify_sorted
+
+                verify_sorted(p.keys, out, f"service[{d.backend}x{P}]")
+            tracers = None
+            if p.trace:
+                tracers = [rank_results[r][1][i] for r in range(P)]
+                lane = Tracer(rank=P)  # the service lane, after the ranks
+                lane.spans.append(
+                    ["wait", "queue", p.enqueued_at, dispatched_at, -1]
+                )
+                tracers = [t for t in tracers if t is not None] + [lane]
+            outcome = SortOutcome(
+                request_id=p.ticket.request_id,
+                sorted_keys=out,
+                decision=p.decision,
+                queue_wait_s=dispatched_at - p.enqueued_at,
+                run_s=run_s,
+                wall_s=done_at - p.enqueued_at,
+                batch_size=len(batch),
+                retries=retries,
+                tracers=tracers,
+                fault_stats=(
+                    injector.stats.as_dict() if injector is not None else {}
+                ),
+            )
+            with self._report_lock:
+                self._report.served += 1
+                self._report.requests.append(
+                    {
+                        "id": p.ticket.request_id,
+                        "keys": int(p.keys.size),
+                        "backend": d.backend,
+                        "P": P,
+                        "fused": d.fused,
+                        "grouped": d.grouped,
+                        "est_s": d.est_seconds,
+                        "queue_wait_s": outcome.queue_wait_s,
+                        "run_s": run_s,
+                        "wall_s": outcome.wall_s,
+                        "batch_size": len(batch),
+                    }
+                )
+            p.ticket._resolve(outcome)
+        with self._report_lock:
+            self._report.batches += 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    def report(self) -> ServiceReport:
+        """A snapshot of the service's telemetry (pool stats included)."""
+        with self._report_lock:
+            snap = ServiceReport(
+                served=self._report.served,
+                failed=self._report.failed,
+                rejected_queue_full=self._report.rejected_queue_full,
+                shed_deadline=self._report.shed_deadline,
+                batches=self._report.batches,
+                world_retries=self._report.world_retries,
+                pool=self.pool.stats(),
+                requests=list(self._report.requests),
+            )
+        return snap
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests, optionally drain the queue, stop the
+        dispatcher and close the pool.  Idempotent."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                for p in abandoned:
+                    p.ticket._fail(
+                        ServiceClosedError(
+                            "service closed before the request ran"
+                        )
+                    )
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=timeout)
+        self.pool.close()
+
+    def __enter__(self) -> "SortService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -84,3 +84,30 @@ class TestOtherCommands:
     def test_no_command_prints_help(self, capsys):
         assert main(["--help"][:0]) == 2  # empty argv
         assert "repro-bitonic" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_submit_plans_and_sorts(self, capsys):
+        assert main(["submit", "--keys", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "verified" in out
+
+    def test_submit_forced_backend_and_trace(self, tmp_path, capsys):
+        trace = tmp_path / "req.json"
+        assert main([
+            "submit", "--keys", "2048", "--backend", "threads",
+            "--procs", "2", "--trace", str(trace),
+        ]) == 0
+        assert trace.exists()
+        assert "threads x 2" in capsys.readouterr().out
+
+    def test_serve_small_soak_no_leaks(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "serve", "--requests", "8", "--sizes", "1024",
+            "--backends", "threads", "--trace-every", "4",
+            "--traces-dir", str(tmp_path / "traces"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "soak ok" in out and "zero leaks" in out
+        assert (tmp_path / "traces").is_dir()
