@@ -17,7 +17,10 @@ The full hierarchy::
     │   └── CorruptPayloadError       — a checksum rejected a payload
     ├── ServiceError                  (also RuntimeError)
     │   ├── AdmissionError            — request rejected/shed at the door
-    │   └── ServiceClosedError        — submitted to a closed service
+    │   ├── ServiceClosedError        — submitted to a closed service
+    │   ├── ShardUnavailableError     — no healthy shard could take the request
+    │   ├── RequestTimeoutError       (also TimeoutError) — client deadline expired
+    │   └── FrameCorruptError         — a wire frame failed its checksum
     └── VerificationError             (also AssertionError)
 
 The three :class:`CommunicationError` subclasses are raised by the
@@ -179,6 +182,82 @@ class AdmissionError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """The service was closed before (or while) the request could run."""
+
+
+class ShardUnavailableError(ServiceError):
+    """No healthy shard could take (or finish) the request.
+
+    Raised by the shard router when every shard is ejected (circuit open,
+    failed health checks) or when the failover budget drained without a
+    surviving shard completing the request.  Carries the per-shard status
+    observed at the moment of the verdict so callers can tell "everything
+    is down" from "everything is saturated".
+
+    Attributes
+    ----------
+    shards:
+        ``{shard_name: status_string}`` snapshot at failure time.
+    attempts:
+        Shard attempts (first try + failovers) made for this request.
+    """
+
+    def __init__(self, message: str, shards: Optional[dict] = None,
+                 attempts: int = 0):
+        super().__init__(message)
+        self.shards = dict(shards or {})
+        self.attempts = attempts
+
+
+class RequestTimeoutError(ServiceError, TimeoutError):
+    """A request's end-to-end deadline expired.
+
+    The deadline is the *client's*: the remaining-time budget travels
+    client → router → shard admission → world dispatch, and whichever
+    layer first observes the budget at zero raises this instead of doing
+    work the caller has already given up on.  Also a
+    :class:`TimeoutError` so generic timeout handlers catch it.
+
+    Attributes
+    ----------
+    deadline_s:
+        The original end-to-end budget, in seconds.
+    elapsed_s:
+        Time spent before the expiry verdict.
+    stage:
+        Which layer gave up (``"client"``, ``"router"``, ``"admission"``,
+        ``"dispatch"``, ``"result-wait"``).
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0,
+                 elapsed_s: float = 0.0, stage: str = ""):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.stage = stage
+
+
+class FrameCorruptError(ServiceError):
+    """A wire frame failed its CRC (or structural) check.
+
+    The length-prefixed frame protocol (:mod:`repro.service.net`)
+    checksums every payload; a receiver that cannot validate a frame
+    raises this instead of ever acting on damaged bytes.  The client
+    treats it as retriable (idempotent request ids make the retry safe).
+
+    Attributes
+    ----------
+    frame_type:
+        Numeric frame type if the header was readable, else ``None``.
+    detail:
+        What specifically failed (``"crc"``, ``"magic"``, ``"version"``,
+        ``"truncated"``, ``"meta"``).
+    """
+
+    def __init__(self, message: str, frame_type: Optional[int] = None,
+                 detail: str = ""):
+        super().__init__(message)
+        self.frame_type = frame_type
+        self.detail = detail
 
 
 class VerificationError(ReproError, AssertionError):

@@ -16,7 +16,10 @@ subpackage makes the communication plane adversarial-by-default testable:
   shard snapshots so a crashed run resumes from the last completed stage;
 * :mod:`repro.faults.chaos` — :func:`run_chaos_sort`: the driver that
   sorts through an adversarial network, restarting from checkpoints, and
-  verifies the result element-exactly.
+  verifies the result element-exactly;
+* :mod:`repro.faults.netchaos` — :class:`NetFaultInjector`: the same
+  deterministic verdicts pointed at the serving layer's wire frames
+  (drop / corrupt / delay per frame), powering ``chaos-serve``.
 
 The same :class:`FaultInjector` also plugs into the LogGP simulator
 (:class:`repro.machine.Machine`), where retransmissions are charged as
@@ -26,6 +29,7 @@ see the ``chaos-sweep`` experiment and the ``repro-bitonic chaos`` CLI.
 
 from repro.faults.checkpoint import CheckpointStore
 from repro.faults.chaos import ChaosReport, run_chaos_sort
+from repro.faults.netchaos import NetFaultInjector, corrupt_frame_bytes
 from repro.faults.plan import (
     FaultDecision,
     FaultInjector,
@@ -44,7 +48,9 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "InjectedCrash",
+    "NetFaultInjector",
     "ReliableComm",
+    "corrupt_frame_bytes",
     "corrupt_payload",
     "run_chaos_sort",
 ]

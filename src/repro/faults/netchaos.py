@@ -1,0 +1,108 @@
+"""Frame-level fault injection for the network serving layer.
+
+The PR 1 fault machinery (:mod:`repro.faults.plan`) decides the fate of
+*SPMD messages*; this adapter points the same deterministic machinery at
+*wire frames* so the networked sort service (:mod:`repro.service.net`)
+can be chaos-tested with the exact reproducibility guarantees the
+transports enjoy: every verdict is a pure function of
+``(seed, direction, connection, frame seq)``, so a failing chaos-serve
+run replays bit-for-bit.
+
+Faults modelled, and how each surfaces:
+
+* **drop** — the frame is discarded after decode (inbound) or never
+  written (outbound).  The peer observes a missing reply and recovers by
+  deadline + retry with the same idempotent request id.
+* **corrupt** — one bit of the encoded frame's payload is flipped *after*
+  the CRC was computed, so the receiver's checksum rejects it as a typed
+  :class:`~repro.errors.FrameCorruptError` — damage is never silent.
+* **delay** — the frame is stalled ``delay_s`` before delivery,
+  exercising the client's deadline accounting without killing anything.
+
+Crash-style chaos (killing a whole shard) is not a frame fault; the
+chaos-serve driver does that by abruptly closing a server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultDecision, FaultInjector, FaultPlan
+
+__all__ = ["NetFaultInjector", "corrupt_frame_bytes"]
+
+
+def corrupt_frame_bytes(data: bytes, rng: np.random.Generator) -> bytes:
+    """``data`` with one bit flipped somewhere past the fixed header.
+
+    The flip lands in the checksummed region (meta/body) so the
+    receiver's CRC is guaranteed to catch it; an empty payload flips a
+    header byte instead, which the structural checks catch.
+    """
+    if not data:
+        return data
+    from repro.service.net import HEADER_SIZE  # local import: no cycle at module load
+
+    buf = bytearray(data)
+    lo = HEADER_SIZE if len(buf) > HEADER_SIZE else 0
+    pos = lo + int(rng.integers(len(buf) - lo))
+    buf[pos] ^= 1 << int(rng.integers(8))
+    return bytes(buf)
+
+
+class NetFaultInjector:
+    """Deterministic frame-fault verdicts over a shared :class:`FaultPlan`.
+
+    Wraps a :class:`FaultInjector` (sharing its stats, so a chaos report
+    aggregates SPMD and wire faults in one place) and exposes the verdict
+    in frame terms.  ``direction`` is ``"in"`` (request frames arriving
+    at the server) or ``"out"`` (response frames leaving it); each
+    (direction, connection) stream numbers its frames independently.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 injector: Optional[FaultInjector] = None):
+        self.plan = plan
+        self.injector = injector or FaultInjector(plan)
+
+    @property
+    def stats(self):
+        return self.injector.stats
+
+    def decide(
+        self, direction: str, conn: int, seq: int
+    ) -> FaultDecision:
+        """The fate of frame ``seq`` on connection ``conn``."""
+        return self.injector.decide(f"net-{direction}", conn, 0, seq)
+
+    def corrupt(
+        self, data: bytes, direction: str, conn: int, seq: int
+    ) -> bytes:
+        """Deterministically corrupted copy of an encoded frame."""
+        rng = self.injector._rng(f"net-{direction}", conn, 0, seq, 0, salt=1)
+        return corrupt_frame_bytes(data, rng)
+
+    @property
+    def delay_s(self) -> float:
+        """Injected stall per delayed frame, in seconds (the plan stores
+        the magnitude in simulated µs; on the wire we apply it 1000x so
+        the default 500 µs becomes a tangible 0.5 s stall)."""
+        return self.plan.delay_us / 1e3
+
+    def apply(
+        self, data: bytes, direction: str, conn: int, seq: int
+    ) -> Tuple[Optional[bytes], float]:
+        """One-call convenience: ``(bytes_to_deliver_or_None, stall_s)``.
+
+        ``None`` means the frame was dropped; corrupted frames come back
+        modified; ``stall_s`` > 0 asks the carrier to sleep first.
+        """
+        verdict = self.decide(direction, conn, seq)
+        if verdict.drop:
+            return None, 0.0
+        out = data
+        if verdict.corrupt:
+            out = self.corrupt(data, direction, conn, seq)
+        return out, (self.delay_s if verdict.delay else 0.0)

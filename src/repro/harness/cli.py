@@ -29,11 +29,26 @@ Python:
 ``repro-bitonic serve --requests 200 --worlds 2``
     Soak the persistent sort service: push a mixed-shape request stream
     through a warm world pool, verify every output, export sampled
-    per-request Chrome traces, and fail on any leaked child process or
-    shared-memory segment (the CI ``service-soak`` job).
+    per-request Chrome traces, gate p50/p99 latency against a committed
+    baseline (``--baseline SOAK_BASELINE.json``), and fail on any leaked
+    child process or shared-memory segment (the CI ``service-soak`` job).
+``repro-bitonic serve --listen 127.0.0.1:7070``
+    Run the networked sort service in the foreground: an asyncio frame
+    server (``repro.service.net``) over a warm world pool, until ^C.
 ``repro-bitonic submit --keys 65536 [--backend procs --procs 4]``
     Run one request through the sort service and print the planner's
-    decision table alongside the measured latency.
+    decision table alongside the measured latency.  With
+    ``--connect HOST:PORT`` the request travels the wire to a running
+    ``serve --listen`` server instead (deadline, tenant and retries
+    apply).
+``repro-bitonic chaos-serve --shards 2 --clients 8 --requests 200``
+    The serving layer's adversarial soak: several networked shards
+    behind a health-checked router, concurrent multi-tenant clients,
+    deterministic frame drop/corrupt/delay injection, and one shard
+    killed mid-run.  Gates: every request is accounted (completed
+    correctly — possibly after failover — or failed with a typed
+    error), zero silent losses, zero leaked processes or shm segments,
+    and p50/p99 within the committed baseline.
 ``repro-bitonic trace --keys 262144 --procs 4 --backend threads``
     Run the real SPMD sort with the phase tracer armed, print the
     measured / simulated / predicted per-phase table
@@ -328,6 +343,74 @@ def _shm_segments() -> set:
     }
 
 
+def _parse_listen(spec: str):
+    """``host:port`` / ``:port`` / ``port`` -> ``(host, int(port))``."""
+    host, _, port = str(spec).rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _load_baseline(path, section):
+    """One section of the committed soak baseline, or None."""
+    import json
+    import os
+
+    if not path or not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh).get(section)
+
+
+def _gate_percentiles(p50_s, p99_s, baseline, label) -> int:
+    """Compare measured p50/p99 to the committed ceiling; 1 on breach."""
+    if not baseline:
+        return 0
+    bad = 0
+    for name, got in (("p50_s", p50_s), ("p99_s", p99_s)):
+        ceiling = baseline.get(name)
+        if ceiling is not None and got > ceiling:
+            print(f"{label}: {name} {got:.3f}s exceeds the committed "
+                  f"baseline ceiling {ceiling:.3f}s", file=sys.stderr)
+            bad = 1
+    return bad
+
+
+def _cmd_listen(args) -> int:
+    """Foreground networked service: ``serve --listen HOST:PORT``."""
+    import time as _time
+
+    from repro.errors import ReproError
+    from repro.service import SortServer, SortService, WorldPool
+
+    try:
+        planner = _service_planner(args.profile)
+        svc = SortService(
+            planner,
+            WorldPool(max_idle_per_key=args.worlds),
+            queue_depth=args.queue_depth,
+            batch_max=args.batch_max,
+            timeout=args.timeout,
+        )
+        host, port = _parse_listen(args.listen)
+        server = SortServer(svc, host, port, name=args.name,
+                            own_service=True)
+        addr = server.start()
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"shard {args.name!r} serving on {addr[0]}:{addr[1]} "
+          "(ctrl-C to drain and stop)")
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining...")
+    finally:
+        server.close(drain=True)
+    report = svc.report()
+    print(report.describe())
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """The service soak driver (the CI ``service-soak`` job runs this):
     push a mixed-shape request stream through a small warm pool, verify
@@ -340,6 +423,8 @@ def _cmd_serve(args) -> int:
     from repro.service import SortService, WorldPool
     from repro.utils.rng import make_keys
 
+    if args.listen:
+        return _cmd_listen(args)
     try:
         planner = _service_planner(args.profile)
     except ReproError as exc:
@@ -425,10 +510,17 @@ def _cmd_serve(args) -> int:
     if shm_leaked:
         print(f"LEAK: {len(shm_leaked)} shared-memory segments left in "
               f"/dev/shm: {sorted(shm_leaked)[:8]}", file=sys.stderr)
-    if failures or children or shm_leaked or report.failed:
+    p50 = report.latency_percentile(0.50)
+    p99 = report.latency_percentile(0.99)
+    print(f"  latency p50 {p50 * 1e3:.1f} ms   p99 {p99 * 1e3:.1f} ms")
+    slow = _gate_percentiles(
+        p50, p99, _load_baseline(args.baseline, "service_soak"), "soak"
+    )
+    if failures or children or shm_leaked or report.failed or slow:
         print(f"soak FAILED: {failures} bad outputs, {report.failed} "
               f"failed requests, {len(children)} leaked processes, "
-              f"{len(shm_leaked)} leaked segments", file=sys.stderr)
+              f"{len(shm_leaked)} leaked segments, {slow} latency-gate "
+              "breaches", file=sys.stderr)
         return 1
     print(f"soak ok: {report.served} requests served, zero leaks")
     return 0
@@ -456,7 +548,8 @@ def _drain(entry, args) -> int:
 
 
 def _cmd_submit(args) -> int:
-    """One request through a fresh service: plan, run, explain."""
+    """One request through a fresh service: plan, run, explain.  With
+    ``--connect`` the request goes over the wire instead."""
     from repro.errors import ReproError
     from repro.service import SortService
     from repro.trace import write_chrome_trace
@@ -464,6 +557,8 @@ def _cmd_submit(args) -> int:
 
     keys = make_keys(args.keys, distribution=args.distribution,
                      seed=args.seed)
+    if args.connect:
+        return _submit_remote(args, keys)
     try:
         planner = _service_planner(args.profile)
         with SortService(planner, verify=True, timeout=args.timeout) as svc:
@@ -483,6 +578,220 @@ def _cmd_submit(args) -> int:
     if args.trace and outcome.tracers:
         write_chrome_trace(args.trace, outcome.tracers)
         print(f"per-request trace written to {args.trace}")
+    return 0
+
+
+def _submit_remote(args, keys) -> int:
+    """``submit --connect``: one request over the wire, typed end to end."""
+    import numpy as np
+
+    from repro.errors import ReproError
+    from repro.service import SortClient
+    from repro.trace import write_chrome_trace
+
+    try:
+        with SortClient(_parse_listen(args.connect)) as client:
+            out = client.sort(
+                keys,
+                deadline_s=args.deadline,
+                tenant=args.tenant,
+                backend=args.backend,
+                P=args.procs,
+                trace=args.trace is not None,
+            )
+    except ReproError as exc:
+        print(f"submit failed ({type(exc).__name__}): {exc}",
+              file=sys.stderr)
+        return 1
+    verified = np.array_equal(out.sorted_keys, np.sort(keys))
+    srv = out.server
+    print(f"shard {out.shard!r} sorted {keys.size:,} keys in "
+          f"{out.wall_s * 1e3:.1f} ms wall "
+          f"({srv.get('queue_wait_s', 0.0) * 1e3:.2f} ms queued, "
+          f"{srv.get('run_s', 0.0) * 1e3:.1f} ms running on "
+          f"{srv.get('backend')} x {srv.get('P')}), "
+          f"{out.attempts} attempt(s), "
+          f"{'shm' if out.via_shm else 'frame'} payload, "
+          f"{'verified' if verified else 'WRONG OUTPUT'}")
+    if args.trace and out.tracer is not None:
+        write_chrome_trace(args.trace, [out.tracer])
+        print(f"network trace written to {args.trace}")
+    return 0 if verified else 1
+
+
+def _cmd_chaos_serve(args) -> int:
+    """The serving layer's adversarial soak (the CI ``chaos-serve`` job):
+    several networked shards behind a health-checked router, concurrent
+    multi-tenant clients, deterministic frame faults, and one shard
+    killed mid-run.  Every request must end accounted — sorted
+    correctly (failover allowed) or failed with a typed error — with
+    zero leaks and p50/p99 inside the committed baseline."""
+    import multiprocessing
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.errors import ReproError
+    from repro.faults import FaultPlan, NetFaultInjector
+    from repro.service import (
+        ShardRouter,
+        SortClient,
+        SortServer,
+        SortService,
+        WorldPool,
+    )
+    from repro.service.net import shm_segments as _net_shm
+    from repro.utils.rng import make_keys
+
+    try:
+        planner = _service_planner(args.profile)
+    except ReproError as exc:
+        print(f"chaos-serve failed: {exc}", file=sys.stderr)
+        return 1
+    shm_before = _shm_segments() | _net_shm()
+    plan = FaultPlan(seed=args.seed, drop=args.drop, corrupt=args.corrupt,
+                     delay=args.delay)
+    injector = NetFaultInjector(plan)
+    servers = []
+    shards = {}
+    for s in range(args.shards):
+        svc = SortService(
+            planner,
+            WorldPool(max_idle_per_key=1),
+            queue_depth=args.queue_depth,
+            batch_max=args.batch_max,
+            timeout=args.timeout,
+        )
+        name = f"shard{s}"
+        server = SortServer(svc, name=name, faults=injector,
+                            own_service=True)
+        addr = server.start()
+        servers.append(server)
+        shards[name] = SortClient(
+            addr, retries=args.retries, timeout_s=args.attempt_timeout,
+            name=f"cli-{name}",
+        )
+    router = ShardRouter(shards, eject_after=2, cooldown_s=1.0,
+                         health_interval_s=0.25)
+    router.start_health_checks()
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    tenants = [f"tenant{t}" for t in range(max(1, args.tenants))]
+    total = args.requests
+    per_worker = [total // args.clients] * args.clients
+    for i in range(total % args.clients):
+        per_worker[i] += 1
+    results = []  # (verdict, wall_s, failovers) — one row per request
+    lock = threading.Lock()
+
+    def worker(wid: int, count: int) -> None:
+        base = sum(per_worker[:wid])
+        for i in range(count):
+            idx = base + i
+            keys = make_keys(sizes[idx % len(sizes)], seed=idx)
+            t0 = _time.monotonic()
+            try:
+                out = router.sort(
+                    keys,
+                    deadline_s=args.deadline,
+                    tenant=tenants[wid % len(tenants)],
+                    backend="threads",
+                    P=2,
+                )
+                verdict = (
+                    "ok"
+                    if np.array_equal(out.sorted_keys, np.sort(keys))
+                    else "WRONG-OUTPUT"
+                )
+                row = (verdict, _time.monotonic() - t0, out.failovers)
+            except ReproError as exc:
+                row = (type(exc).__name__, _time.monotonic() - t0, 0)
+            except Exception as exc:  # noqa: BLE001 — untyped = a bug
+                row = (f"UNTYPED:{type(exc).__name__}",
+                       _time.monotonic() - t0, 0)
+            with lock:
+                results.append(row)
+
+    workers = [
+        threading.Thread(target=worker, args=(w, per_worker[w]),
+                         name=f"chaos-client-{w}")
+        for w in range(args.clients)
+    ]
+    started_at = _time.monotonic()
+    for t in workers:
+        t.start()
+    killed = None
+    if not args.no_kill and args.shards > 1:
+        # Kill the last shard once roughly half the load has landed.
+        while _time.monotonic() - started_at < args.timeout:
+            with lock:
+                done = len(results)
+            if done >= total // 2:
+                break
+            _time.sleep(0.05)
+        killed = servers[-1].name
+        print(f"killing {killed} mid-soak "
+              f"({len(results)}/{total} requests resolved)...")
+        servers[-1].kill()
+    for t in workers:
+        t.join()
+    router.close()
+    for client in shards.values():
+        client.close()
+    for server in servers:
+        server.close(drain=True)
+
+    # -- accounting: zero silent losses -------------------------------
+    ok = [r for r in results if r[0] == "ok"]
+    wrong = [r for r in results if r[0] == "WRONG-OUTPUT"]
+    untyped = [r for r in results if r[0].startswith("UNTYPED")]
+    typed = [
+        r for r in results
+        if r[0] not in ("ok", "WRONG-OUTPUT")
+        and not r[0].startswith("UNTYPED")
+    ]
+    lost = total - len(results)
+    failovers = sum(r[2] for r in ok)
+    walls = sorted(r[1] for r in ok) or [0.0]
+    p50 = walls[int(round(0.50 * (len(walls) - 1)))]
+    p99 = walls[int(round(0.99 * (len(walls) - 1)))]
+    by_error = {}
+    for r in typed:
+        by_error[r[0]] = by_error.get(r[0], 0) + 1
+    print(f"chaos-serve: {total} requests via {args.clients} clients x "
+          f"{len(tenants)} tenants over {args.shards} shards"
+          + (f" (killed {killed})" if killed else ""))
+    print(f"  completed {len(ok)} ({failovers} failovers), typed "
+          f"failures {len(typed)} {by_error or ''}, wrong {len(wrong)}, "
+          f"untyped {len(untyped)}, unaccounted {lost}")
+    print(f"  fault verdicts: {injector.stats.as_dict()}")
+    print(f"  latency p50 {p50 * 1e3:.1f} ms   p99 {p99 * 1e3:.1f} ms")
+    children = multiprocessing.active_children()
+    shm_leaked = (_shm_segments() | _net_shm()) - shm_before
+    slow = _gate_percentiles(
+        p50, p99, _load_baseline(args.baseline, "chaos_serve"),
+        "chaos-serve",
+    )
+    bad = (
+        lost or wrong or untyped or children or shm_leaked or slow
+        or not ok
+    )
+    if children:
+        print(f"LEAK: {len(children)} child processes: "
+              f"{[p.name for p in children]}", file=sys.stderr)
+    if shm_leaked:
+        print(f"LEAK: {len(shm_leaked)} shm segments: "
+              f"{sorted(shm_leaked)[:8]}", file=sys.stderr)
+    if bad:
+        print("chaos-serve FAILED: "
+              f"{lost} unaccounted, {len(wrong)} wrong, "
+              f"{len(untyped)} untyped, {len(children)} leaked procs, "
+              f"{len(shm_leaked)} leaked segments, {slow} latency "
+              "breaches", file=sys.stderr)
+        return 1
+    print("chaos-serve ok: every request accounted (completed or typed), "
+          "zero leaks")
     return 0
 
 
@@ -621,7 +930,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--profile", default=None,
                          help="calibrated host profile JSON "
                               "(scripts/calibrate_loggp.py)")
+    p_serve.add_argument("--baseline", default=None,
+                         help="committed soak baseline JSON "
+                              "(SOAK_BASELINE.json); gates p50/p99")
+    p_serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="serve over the wire in the foreground "
+                              "instead of running the soak")
+    p_serve.add_argument("--name", default="shard0",
+                         help="shard name reported on the wire "
+                              "(with --listen)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_cserve = sub.add_parser(
+        "chaos-serve",
+        help="adversarial serving soak: networked shards, router "
+             "failover, frame faults, a mid-run shard kill, and "
+             "zero-silent-loss accounting",
+    )
+    p_cserve.add_argument("--shards", type=int, default=2,
+                          help="networked shard servers to run")
+    p_cserve.add_argument("--clients", type=int, default=8,
+                          help="concurrent client threads")
+    p_cserve.add_argument("--requests", type=int, default=200,
+                          help="total requests across all clients")
+    p_cserve.add_argument("--tenants", type=int, default=2,
+                          help="distinct tenants the clients cycle")
+    p_cserve.add_argument("--sizes", default="2048,8192",
+                          help="comma-separated request key counts")
+    p_cserve.add_argument("--drop", type=float, default=0.05,
+                          help="per-frame drop probability")
+    p_cserve.add_argument("--corrupt", type=float, default=0.05,
+                          help="per-frame corruption probability")
+    p_cserve.add_argument("--delay", type=float, default=0.0,
+                          help="per-frame delay probability")
+    p_cserve.add_argument("--deadline", type=float, default=60.0,
+                          help="per-request deadline (seconds)")
+    p_cserve.add_argument("--retries", type=int, default=4,
+                          help="client wire retries per request")
+    p_cserve.add_argument("--attempt-timeout", type=float, default=3.0,
+                          help="client per-attempt socket budget")
+    p_cserve.add_argument("--queue-depth", type=int, default=16)
+    p_cserve.add_argument("--batch-max", type=int, default=4)
+    p_cserve.add_argument("--timeout", type=float, default=120.0,
+                          help="service dispatch timeout / kill-wait cap")
+    p_cserve.add_argument("--no-kill", action="store_true",
+                          help="do not kill a shard mid-soak")
+    p_cserve.add_argument("--seed", type=int, default=0)
+    p_cserve.add_argument("--profile", default=None,
+                          help="calibrated host profile JSON")
+    p_cserve.add_argument("--baseline", default=None,
+                          help="committed soak baseline JSON; gates "
+                               "p50/p99")
+    p_cserve.set_defaults(fn=_cmd_chaos_serve)
 
     p_submit = sub.add_parser(
         "submit", help="run one request through the sort service"
@@ -639,6 +999,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--distribution", default="uniform")
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--timeout", type=float, default=120.0)
+    p_submit.add_argument("--connect", default=None, metavar="HOST:PORT",
+                          help="send the request to a running "
+                               "'serve --listen' server over the wire")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          help="end-to-end deadline for --connect "
+                               "(propagates to shard admission and "
+                               "dispatch)")
+    p_submit.add_argument("--tenant", default=None,
+                          help="tenant label for --connect (admission "
+                               "fairness)")
     p_submit.set_defaults(fn=_cmd_submit)
 
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")
@@ -654,7 +1024,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
-             "chaos", "bench", "trace", "serve", "submit", "-h", "--help"}
+             "chaos", "bench", "trace", "serve", "submit", "chaos-serve",
+             "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

@@ -5,24 +5,43 @@ spawned worlds alive between requests, a LogGP-driven :class:`Planner`
 prices each request with the paper's closed forms calibrated to the host
 (:class:`HostProfile`), and :class:`SortService` fronts it all with a
 bounded queue, admission control, same-shape batching and per-request
-tracing.  See ``docs/SERVING.md``.
+tracing.
+
+PR 6 adds the wire: :mod:`repro.service.net` frames requests over TCP
+(:class:`SortServer` / :class:`SortClient`, with same-host shm payloads
+and idempotent retries), :mod:`repro.service.router` spreads them across
+shards with health-checked circuit breaking and failover
+(:class:`ShardRouter`), and :mod:`repro.service.admission` arbitrates
+tenants at the queue door (:class:`TenantAdmission`).  See
+``docs/SERVING.md``.
 """
 
+from repro.service.admission import DEFAULT_TENANT, TenantAdmission, TenantPolicy
+from repro.service.net import ClientOutcome, SortClient, SortServer
 from repro.service.planner import BenchHistory, PlanDecision, Planner
 from repro.service.pool import WorldPool
 from repro.service.profile import PROFILE_SCHEMA, BackendCosts, HostProfile
+from repro.service.router import LocalShard, ShardRouter
 from repro.service.service import ServiceReport, SortOutcome, SortService, Ticket
 
 __all__ = [
     "BackendCosts",
     "BenchHistory",
+    "ClientOutcome",
+    "DEFAULT_TENANT",
     "HostProfile",
+    "LocalShard",
     "PROFILE_SCHEMA",
     "PlanDecision",
     "Planner",
     "ServiceReport",
+    "ShardRouter",
+    "SortClient",
+    "SortServer",
     "SortOutcome",
     "SortService",
+    "TenantAdmission",
+    "TenantPolicy",
     "Ticket",
     "WorldPool",
 ]

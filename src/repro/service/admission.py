@@ -1,0 +1,216 @@
+"""Per-tenant admission control: token buckets and weighted fair shares.
+
+The service's bounded queue (PR 5) protects the *machine*; this module
+protects the *tenants from each other*.  Two mechanisms compose, both
+enforced at the admission door (a rejected request never enqueues):
+
+* **token buckets** — a tenant with a configured ``rate`` earns that many
+  admissions per second (up to ``burst`` banked); a tenant that has spent
+  its bucket is rejected with
+  :class:`~repro.errors.AdmissionError` ``reason="tenant-rate"``;
+* **weighted fair queue shares** — when the queue is *contended* (its
+  occupancy is at or above ``contended_fraction`` of capacity), a tenant
+  may occupy at most its weight-proportional share of the queue slots
+  (never less than one).  A hot tenant bursting past its share is
+  rejected with ``reason="tenant-share"`` while quieter tenants keep
+  admitting, so one storming client degrades gracefully instead of
+  starving everyone behind a ``queue-full`` wall.  Below the contention
+  threshold the queue is work-conserving: any tenant may use idle slots.
+
+The controller is substrate-neutral — :class:`~repro.service.SortService`
+consults it in-process and the network front end
+(:mod:`repro.service.net`) consults the same instance for remote
+tenants, so local and wire traffic share one fairness domain.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import AdmissionError, ConfigurationError
+
+__all__ = ["TenantPolicy", "TenantAdmission", "DEFAULT_TENANT"]
+
+#: Requests submitted without a tenant land here.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's entitlement.
+
+    ``weight`` sets the tenant's fair share of queue slots under
+    contention (relative to the other *currently active* tenants).
+    ``rate``/``burst`` configure the token bucket: ``rate`` admissions
+    per second sustained, ``burst`` banked at most; ``rate=None``
+    disables rate limiting for the tenant.
+    """
+
+    weight: float = 1.0
+    rate: Optional[float] = None
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant weight must be > 0, got {self.weight}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError(
+                f"tenant rate must be > 0 (or None), got {self.rate}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"tenant burst must be >= 1, got {self.burst}"
+            )
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    tokens: float
+    refilled_at: float
+    queued: int = 0
+    admitted: int = 0
+    rejected_rate: int = 0
+    rejected_share: int = 0
+
+
+class TenantAdmission:
+    """Thread-safe per-tenant admission ledger.
+
+    Parameters
+    ----------
+    policies:
+        ``{tenant: TenantPolicy}`` for tenants with explicit
+        entitlements; unknown tenants get ``default_policy``.
+    default_policy:
+        Entitlement for tenants not named in ``policies``.
+    contended_fraction:
+        Queue occupancy (``queued / depth``) at which fair shares start
+        binding.  Below it any tenant may use idle slots.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Mapping[str, TenantPolicy]] = None,
+        default_policy: TenantPolicy = TenantPolicy(),
+        contended_fraction: float = 0.5,
+    ):
+        if not 0.0 <= contended_fraction <= 1.0:
+            raise ConfigurationError(
+                f"contended_fraction must be in [0, 1], "
+                f"got {contended_fraction}"
+            )
+        self._policies = dict(policies or {})
+        self._default = default_policy
+        self._contended_fraction = contended_fraction
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    # -- the admission verdict ------------------------------------------
+
+    def admit(self, tenant: str, queue_len: int, queue_depth: int) -> None:
+        """Admit one request for ``tenant`` or raise
+        :class:`~repro.errors.AdmissionError`.
+
+        ``queue_len`` is the queue occupancy *before* this request; the
+        caller holds its queue lock across this call and the enqueue, so
+        the tenant ledger and the queue cannot drift.  On success the
+        tenant's queued count is incremented — the caller must pair every
+        admit with exactly one :meth:`release` when the request leaves
+        the queue (served, failed, or expired).
+        """
+        now = time.monotonic()
+        with self._lock:
+            st = self._state(tenant, now)
+            # Token bucket first: a rate-limited tenant is turned away
+            # even on an empty queue (the bucket is the contract).
+            policy = st.policy
+            if policy.rate is not None:
+                st.tokens = min(
+                    policy.burst,
+                    st.tokens + (now - st.refilled_at) * policy.rate,
+                )
+                st.refilled_at = now
+                if st.tokens < 1.0:
+                    st.rejected_rate += 1
+                    raise AdmissionError(
+                        f"tenant {tenant!r} spent its token bucket "
+                        f"(rate {policy.rate}/s, burst {policy.burst}); "
+                        "request rejected",
+                        reason="tenant-rate",
+                    )
+            # Fair share second, and only under contention.
+            if queue_len >= self._contended_fraction * queue_depth:
+                share = self._fair_share_locked(tenant, queue_depth)
+                if st.queued >= share:
+                    st.rejected_share += 1
+                    raise AdmissionError(
+                        f"tenant {tenant!r} holds {st.queued} of its "
+                        f"{share}-slot fair share in a contended queue "
+                        f"({queue_len}/{queue_depth}); request rejected",
+                        reason="tenant-share",
+                    )
+            if policy.rate is not None:
+                st.tokens -= 1.0
+            st.queued += 1
+            st.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """A previously admitted request left the queue."""
+        with self._lock:
+            st = self._tenants.get(tenant)
+            if st is not None and st.queued > 0:
+                st.queued -= 1
+
+    # -- introspection ---------------------------------------------------
+
+    def fair_share(self, tenant: str, queue_depth: int) -> int:
+        """This tenant's current slot entitlement under contention."""
+        with self._lock:
+            self._state(tenant, time.monotonic())
+            return self._fair_share_locked(tenant, queue_depth)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters: queued now, admitted, rejections by kind."""
+        with self._lock:
+            return {
+                name: {
+                    "queued": st.queued,
+                    "admitted": st.admitted,
+                    "rejected_rate": st.rejected_rate,
+                    "rejected_share": st.rejected_share,
+                    "weight": st.policy.weight,
+                }
+                for name, st in self._tenants.items()
+            }
+
+    # -- internals -------------------------------------------------------
+
+    def _state(self, tenant: str, now: float) -> _TenantState:
+        st = self._tenants.get(tenant)
+        if st is None:
+            policy = self._policies.get(tenant, self._default)
+            st = _TenantState(
+                policy=policy, tokens=policy.burst, refilled_at=now
+            )
+            self._tenants[tenant] = st
+        return st
+
+    def _fair_share_locked(self, tenant: str, queue_depth: int) -> int:
+        """Weight-proportional slots among *active* tenants (queued > 0,
+        plus the asking tenant), floored at one slot so no tenant is
+        starved outright."""
+        active_weight = 0.0
+        for name, st in self._tenants.items():
+            if st.queued > 0 or name == tenant:
+                active_weight += st.policy.weight
+        mine = self._tenants[tenant].policy.weight
+        if active_weight <= 0:
+            return queue_depth
+        return max(1, math.ceil(queue_depth * mine / active_weight))

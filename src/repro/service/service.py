@@ -38,9 +38,11 @@ from repro.errors import (
     AdmissionError,
     CommunicationError,
     ConfigurationError,
+    RequestTimeoutError,
     ServiceClosedError,
     SpmdTimeoutError,
 )
+from repro.service.admission import DEFAULT_TENANT, TenantAdmission
 from repro.service.jobs import sort_shards_job
 from repro.service.planner import PlanDecision, Planner
 from repro.service.pool import WorldPool
@@ -91,9 +93,11 @@ class Ticket:
 
     def result(self, timeout: Optional[float] = None) -> SortOutcome:
         if not self._done.wait(timeout):
-            raise SpmdTimeoutError(
+            raise RequestTimeoutError(
                 f"request {self.request_id} still pending after {timeout}s",
-                phase="service",
+                deadline_s=timeout or 0.0,
+                elapsed_s=timeout or 0.0,
+                stage="result-wait",
             )
         if self._error is not None:
             raise self._error
@@ -109,6 +113,10 @@ class _Pending:
     faults: Optional[Any]  # FaultPlan
     trace: bool
     enqueued_at: float
+    tenant: str = DEFAULT_TENANT
+    #: Absolute monotonic expiry (enqueue time + the caller's budget);
+    #: ``None`` means the caller waits forever.
+    deadline_at: Optional[float] = None
 
 
 @dataclass
@@ -119,9 +127,15 @@ class ServiceReport:
     failed: int = 0
     rejected_queue_full: int = 0
     shed_deadline: int = 0
+    #: Requests whose deadline passed while they queued; failed with
+    #: RequestTimeoutError *before* dispatch (never run past a give-up).
+    expired: int = 0
     batches: int = 0
     world_retries: int = 0
     pool: Dict[str, int] = field(default_factory=dict)
+    #: Per-tenant admission counters (queued/admitted/rejections) when a
+    #: TenantAdmission controller is attached.
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: One dict per served request: id, keys, backend, P, flags,
     #: est/queue/run/wall seconds, batch size.
     requests: List[Dict[str, Any]] = field(default_factory=list)
@@ -138,9 +152,16 @@ class ServiceReport:
             f"service: {self.served} served, {self.failed} failed, "
             f"{self.rejected_queue_full} rejected (queue), "
             f"{self.shed_deadline} shed (deadline), "
+            f"{self.expired} expired (in queue), "
             f"{self.batches} batches, {self.world_retries} world retries",
             f"  pool: {self.pool}",
         ]
+        for tenant, st in sorted(self.tenants.items()):
+            lines.append(
+                f"  tenant {tenant}: {st['admitted']:.0f} admitted, "
+                f"{st['rejected_rate']:.0f} rate-limited, "
+                f"{st['rejected_share']:.0f} share-limited"
+            )
         if self.requests:
             lines.append(
                 f"  latency p50={self.latency_percentile(0.5) * 1e3:.1f}ms "
@@ -178,6 +199,11 @@ class SortService:
         and tests verify independently).
     timeout:
         Wall-clock budget per world dispatch.
+    admission:
+        Optional per-tenant :class:`~repro.service.admission.TenantAdmission`
+        controller layered on the bounded queue; when attached,
+        ``submit(tenant=...)`` is rate-limited and fair-share-bounded per
+        tenant and :meth:`report` carries per-tenant counters.
     """
 
     def __init__(
@@ -191,6 +217,7 @@ class SortService:
         verify: bool = False,
         timeout: float = 120.0,
         prewarm: Sequence[Tuple[str, int]] = (),
+        admission: Optional[TenantAdmission] = None,
     ):
         if queue_depth < 1:
             raise ConfigurationError(
@@ -206,6 +233,7 @@ class SortService:
         self._trace = trace
         self._verify = verify
         self._timeout = timeout
+        self._admission = admission
         self._queue: deque = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -232,14 +260,21 @@ class SortService:
         faults: Optional[Any] = None,
         deadline_s: Optional[float] = None,
         trace: Optional[bool] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Ticket:
         """Enqueue one sort request; returns its :class:`Ticket`.
 
         ``backend``/``P``/``fused``/``grouped`` are forced overrides for
         the planner (``None`` = planner chooses).  Raises
-        :class:`~repro.errors.AdmissionError` when the queue is full or
-        the deadline estimate says the request cannot finish in time —
-        admission failures never enqueue.
+        :class:`~repro.errors.AdmissionError` when the queue is full, the
+        deadline estimate says the request cannot finish in time, or the
+        tenant is over its rate/fair-share entitlement — admission
+        failures never enqueue.
+
+        ``deadline_s`` is also the request's *absolute* remaining-time
+        budget: if it is still queued when the budget runs out, it fails
+        with :class:`~repro.errors.RequestTimeoutError` instead of ever
+        dispatching — work is never done for a caller that has given up.
         """
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size < 1:
@@ -288,6 +323,13 @@ class SortService:
                         reason="deadline",
                         est_seconds=est_completion,
                     )
+            if self._admission is not None:
+                # Tenant checks last: their ledger increments on success,
+                # so earlier rejections need no unwind.
+                self._admission.admit(
+                    tenant, len(self._queue), self._queue_depth
+                )
+            now = time.perf_counter()
             self._queue.append(
                 _Pending(
                     ticket=ticket,
@@ -295,7 +337,11 @@ class SortService:
                     decision=decision,
                     faults=faults if have_faults else None,
                     trace=self._trace if trace is None else trace,
-                    enqueued_at=time.perf_counter(),
+                    enqueued_at=now,
+                    tenant=tenant,
+                    deadline_at=(
+                        None if deadline is None else now + deadline
+                    ),
                 )
             )
             self._cond.notify()
@@ -357,11 +403,43 @@ class SortService:
                 self._run_batch(batch)
             except BaseException as exc:  # noqa: BLE001 — fail the batch, not the service
                 for p in batch:
+                    self._release_tenant(p)
                     p.ticket._fail(exc)
                 with self._report_lock:
                     self._report.failed += len(batch)
 
+    def _release_tenant(self, p: _Pending) -> None:
+        if self._admission is not None:
+            self._admission.release(p.tenant)
+
+    def _expire_overdue(self, batch: List[_Pending]) -> List[_Pending]:
+        """Fail (typed, never silent) the batch members whose caller's
+        budget ran out while they queued; return the still-live rest."""
+        now = time.perf_counter()
+        live = []
+        for p in batch:
+            if p.deadline_at is not None and now >= p.deadline_at:
+                self._release_tenant(p)
+                p.ticket._fail(
+                    RequestTimeoutError(
+                        f"request {p.ticket.request_id} spent its "
+                        f"{p.deadline_at - p.enqueued_at:.3f}s budget in the "
+                        "queue; not dispatched",
+                        deadline_s=p.deadline_at - p.enqueued_at,
+                        elapsed_s=now - p.enqueued_at,
+                        stage="dispatch",
+                    )
+                )
+                with self._report_lock:
+                    self._report.expired += 1
+            else:
+                live.append(p)
+        return live
+
     def _run_batch(self, batch: List[_Pending]) -> None:
+        batch = self._expire_overdue(batch)
+        if not batch:
+            return
         d = batch[0].decision
         dispatched_at = time.perf_counter()
         injector = None
@@ -383,12 +461,22 @@ class SortService:
             (shards_for(r), d.fused, d.grouped, trace, injector)
             for r in range(P)
         ]
+        # Deadline propagation into the world dispatch: when every batch
+        # member carries a budget, the dispatch may not outlive the
+        # latest of them (a lone overdue member was already expired
+        # above; mixed batches keep the service-wide budget so an
+        # undeadlined member is never cut short).
+        timeout = self._timeout
+        deadlines = [p.deadline_at for p in batch if p.deadline_at is not None]
+        if deadlines and len(deadlines) == len(batch):
+            remaining = max(deadlines) - time.perf_counter()
+            timeout = min(timeout, max(0.05, remaining))
         retries = 0
         while True:
             world = self.pool.acquire(d.backend, P)
             try:
                 rank_results = world.run(
-                    sort_shards_job, rank_args=rank_args, timeout=self._timeout
+                    sort_shards_job, rank_args=rank_args, timeout=timeout
                 )
                 break
             except CommunicationError as exc:
@@ -452,8 +540,10 @@ class SortService:
                         "run_s": run_s,
                         "wall_s": outcome.wall_s,
                         "batch_size": len(batch),
+                        "tenant": p.tenant,
                     }
                 )
+            self._release_tenant(p)
             p.ticket._resolve(outcome)
         with self._report_lock:
             self._report.batches += 1
@@ -468,9 +558,15 @@ class SortService:
                 failed=self._report.failed,
                 rejected_queue_full=self._report.rejected_queue_full,
                 shed_deadline=self._report.shed_deadline,
+                expired=self._report.expired,
                 batches=self._report.batches,
                 world_retries=self._report.world_retries,
                 pool=self.pool.stats(),
+                tenants=(
+                    self._admission.stats()
+                    if self._admission is not None
+                    else {}
+                ),
                 requests=list(self._report.requests),
             )
         return snap
@@ -486,6 +582,7 @@ class SortService:
                 abandoned = list(self._queue)
                 self._queue.clear()
                 for p in abandoned:
+                    self._release_tenant(p)
                     p.ticket._fail(
                         ServiceClosedError(
                             "service closed before the request ran"

@@ -1,0 +1,154 @@
+"""Tests for per-tenant admission control (:mod:`repro.service.admission`).
+
+The ledger is pure bookkeeping (no sockets, no worlds), so these tests
+pin its contract exactly: token buckets reject with ``tenant-rate``,
+contended fair shares reject with ``tenant-share``, idle queues are
+work-conserving, and every admit/release pair keeps the counts honest.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service import DEFAULT_TENANT, TenantAdmission, TenantPolicy
+
+
+class TestTenantPolicy:
+    def test_defaults_are_unlimited(self):
+        policy = TenantPolicy()
+        assert policy.weight == 1.0
+        assert policy.rate is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": -1.0},
+            {"rate": 0.0},
+            {"rate": -5.0},
+            {"burst": 0.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_rejection(self):
+        adm = TenantAdmission(
+            {"metered": TenantPolicy(rate=5.0, burst=2.0)}
+        )
+        adm.admit("metered", queue_len=0, queue_depth=16)
+        adm.admit("metered", queue_len=0, queue_depth=16)
+        with pytest.raises(AdmissionError) as exc:
+            adm.admit("metered", queue_len=0, queue_depth=16)
+        assert exc.value.reason == "tenant-rate"
+
+    def test_bucket_refills_with_time(self):
+        adm = TenantAdmission(
+            {"metered": TenantPolicy(rate=50.0, burst=1.0)}
+        )
+        adm.admit("metered", queue_len=0, queue_depth=16)
+        with pytest.raises(AdmissionError):
+            adm.admit("metered", queue_len=0, queue_depth=16)
+        time.sleep(0.05)  # 50/s earns back >= 1 token in 50 ms
+        adm.admit("metered", queue_len=0, queue_depth=16)
+
+    def test_rate_binds_even_on_an_empty_queue(self):
+        adm = TenantAdmission(
+            {"metered": TenantPolicy(rate=0.001, burst=1.0)}
+        )
+        adm.admit("metered", queue_len=0, queue_depth=16)
+        with pytest.raises(AdmissionError) as exc:
+            adm.admit("metered", queue_len=0, queue_depth=16)
+        assert exc.value.reason == "tenant-rate"
+
+    def test_unmetered_tenant_never_rate_limited(self):
+        adm = TenantAdmission()
+        for _ in range(100):
+            adm.admit(DEFAULT_TENANT, queue_len=0, queue_depth=16)
+
+
+class TestFairShares:
+    def test_work_conserving_below_contention(self):
+        """An idle queue lets one tenant use every slot."""
+        adm = TenantAdmission(contended_fraction=0.5)
+        for i in range(7):  # occupancy stays below 8 * 0.5 until i >= 4
+            if i >= 4:
+                break
+            adm.admit("hog", queue_len=i, queue_depth=8)
+
+    def test_contended_share_rejects_the_hog_not_the_quiet(self):
+        adm = TenantAdmission(contended_fraction=0.25)
+        depth = 8
+        # Two active equal-weight tenants: each is entitled to 4 slots.
+        adm.admit("quiet", queue_len=0, queue_depth=depth)
+        queued = 1
+        rejected = None
+        hog_held = 0
+        for _ in range(depth):
+            try:
+                adm.admit("hog", queue_len=queued, queue_depth=depth)
+                queued += 1
+                hog_held += 1
+            except AdmissionError as exc:
+                rejected = exc
+                break
+        assert rejected is not None and rejected.reason == "tenant-share"
+        assert hog_held == depth // 2  # the hog stopped at its half
+        # The quiet tenant still has room under its own share.
+        adm.admit("quiet", queue_len=queued, queue_depth=depth)
+        stats = adm.stats()
+        assert stats["quiet"]["queued"] == 2
+        assert stats["hog"]["rejected_share"] >= 1
+
+    def test_weighted_shares_are_proportional(self):
+        adm = TenantAdmission(
+            {
+                "gold": TenantPolicy(weight=3.0),
+                "bronze": TenantPolicy(weight=1.0),
+            }
+        )
+        # Both tenants active: gold gets 3/4 of the slots, bronze 1/4.
+        adm.admit("gold", queue_len=0, queue_depth=16)
+        adm.admit("bronze", queue_len=1, queue_depth=16)
+        assert adm.fair_share("gold", queue_depth=16) == 12
+        assert adm.fair_share("bronze", queue_depth=16) == 4
+
+    def test_share_floor_is_one_slot(self):
+        policies = {f"t{i}": TenantPolicy() for i in range(32)}
+        adm = TenantAdmission(policies)
+        for name in policies:
+            adm.admit(name, queue_len=0, queue_depth=4)
+        # 32 active tenants on a 4-deep queue: ceil still floors at 1.
+        assert adm.fair_share("t0", queue_depth=4) == 1
+
+    def test_release_frees_the_share(self):
+        adm = TenantAdmission(contended_fraction=0.0)  # always contended
+        depth = 4
+        # Sole active tenant: the whole queue is its share.
+        for i in range(depth):
+            adm.admit("a", queue_len=i, queue_depth=depth)
+        with pytest.raises(AdmissionError):
+            adm.admit("a", queue_len=depth, queue_depth=depth)
+        adm.release("a")
+        adm.admit("a", queue_len=depth - 1, queue_depth=depth)
+
+    def test_stats_shape(self):
+        adm = TenantAdmission({"a": TenantPolicy(weight=2.0)})
+        adm.admit("a", queue_len=0, queue_depth=8)
+        stats = adm.stats()
+        assert stats["a"]["queued"] == 1
+        assert stats["a"]["admitted"] == 1
+        assert stats["a"]["rejected_rate"] == 0
+        assert stats["a"]["rejected_share"] == 0
+        assert stats["a"]["weight"] == 2.0
+
+    def test_release_of_unknown_tenant_is_harmless(self):
+        TenantAdmission().release("never-admitted")
+
+    def test_bad_contended_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantAdmission(contended_fraction=1.5)

@@ -10,13 +10,19 @@ import numpy as np
 import pytest
 
 from repro.errors import (
+    AdmissionError,
     CommunicationError,
     ConfigurationError,
     CorruptPayloadError,
+    FrameCorruptError,
     LayoutError,
     PeerFailedError,
     ReproError,
+    RequestTimeoutError,
     ScheduleError,
+    ServiceClosedError,
+    ServiceError,
+    ShardUnavailableError,
     SizeError,
     SpmdTimeoutError,
     VerificationError,
@@ -27,7 +33,9 @@ class TestHierarchy:
     @pytest.mark.parametrize("exc", [
         ConfigurationError, SizeError, LayoutError, ScheduleError,
         CommunicationError, PeerFailedError, SpmdTimeoutError,
-        CorruptPayloadError, VerificationError,
+        CorruptPayloadError, VerificationError, ServiceError,
+        AdmissionError, ServiceClosedError, ShardUnavailableError,
+        RequestTimeoutError, FrameCorruptError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -55,6 +63,12 @@ class TestHierarchy:
             PeerFailedError: CommunicationError,
             SpmdTimeoutError: CommunicationError,
             CorruptPayloadError: CommunicationError,
+            ServiceError: ReproError,
+            AdmissionError: ServiceError,
+            ServiceClosedError: ServiceError,
+            ShardUnavailableError: ServiceError,
+            RequestTimeoutError: ServiceError,
+            FrameCorruptError: ServiceError,
             VerificationError: ReproError,
         }
         for child, parent in tree.items():
@@ -63,10 +77,32 @@ class TestHierarchy:
         assert issubclass(ConfigurationError, ValueError)
         assert issubclass(CommunicationError, RuntimeError)
         assert issubclass(SpmdTimeoutError, TimeoutError)
+        assert issubclass(ServiceError, RuntimeError)
+        assert issubclass(RequestTimeoutError, TimeoutError)
         assert issubclass(VerificationError, AssertionError)
         # The transport errors are *not* configuration mistakes.
-        for exc in (PeerFailedError, SpmdTimeoutError, CorruptPayloadError):
+        for exc in (PeerFailedError, SpmdTimeoutError, CorruptPayloadError,
+                    ShardUnavailableError, RequestTimeoutError,
+                    FrameCorruptError):
             assert not issubclass(exc, ValueError)
+        # The two timeout species stay distinguishable: a generic
+        # TimeoutError handler catches both, but neither is a subclass
+        # of the other (an SPMD world deadline is not a client deadline).
+        assert not issubclass(RequestTimeoutError, CommunicationError)
+        assert not issubclass(SpmdTimeoutError, ServiceError)
+
+    def test_network_errors_carry_diagnostics(self):
+        su = ShardUnavailableError(
+            "all down", shards={"s0": "circuit-open", "s1": "dead"},
+            attempts=3,
+        )
+        assert su.shards == {"s0": "circuit-open", "s1": "dead"}
+        assert su.attempts == 3
+        rt = RequestTimeoutError("late", deadline_s=1.5, elapsed_s=1.6,
+                                 stage="router")
+        assert (rt.deadline_s, rt.elapsed_s, rt.stage) == (1.5, 1.6, "router")
+        fc = FrameCorruptError("bad crc", frame_type=4, detail="crc")
+        assert (fc.frame_type, fc.detail) == (4, "crc")
 
     def test_transport_errors_carry_diagnostics(self):
         pf = PeerFailedError("dead", rank=3, phase="phase-2",

@@ -7,6 +7,9 @@ calibrated host profile round-trip, and the ``sort(service=...)`` front
 door bridge.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -16,6 +19,7 @@ from repro.api import sort
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    RequestTimeoutError,
     ServiceClosedError,
     ServiceError,
 )
@@ -27,6 +31,8 @@ from repro.service import (
     Planner,
     ServiceReport,
     SortService,
+    TenantAdmission,
+    TenantPolicy,
     WorldPool,
 )
 from repro.utils.rng import make_keys
@@ -302,6 +308,143 @@ class TestAdmissionControl:
     def test_admission_errors_are_service_errors(self):
         assert issubclass(AdmissionError, ServiceError)
         assert issubclass(ServiceClosedError, ServiceError)
+
+
+class TestDeadlinePropagation:
+    def test_pending_ticket_times_out_typed(self):
+        with SortService() as svc:
+            ticket = svc.submit(make_keys(1 << 16, seed=1),
+                                backend="threads", P=2)
+            with pytest.raises(RequestTimeoutError) as exc:
+                ticket.result(timeout=1e-6)
+            assert exc.value.stage == "result-wait"
+            ticket.result(60)  # the request itself still completes
+
+    def test_overdue_request_expires_in_queue_not_on_a_world(self):
+        """A request whose deadline dies while queued is failed typed at
+        dispatch — it never runs after the caller gave up."""
+        with SortService(queue_depth=8, batch_max=1) as svc:
+            # Park a slow request so the next one ages in the queue.
+            slow = svc.submit(make_keys(1 << 20, seed=2),
+                              backend="threads", P=2)
+            time.sleep(0.3)  # let the dispatcher take it (queue empties)
+            # The deadline clears the admission estimate (a tiny sort)
+            # but dies long before the slow request frees the
+            # dispatcher.
+            doomed = svc.submit(make_keys(1 << 10, seed=3),
+                                backend="threads", P=4,
+                                deadline_s=0.03)
+            with pytest.raises(RequestTimeoutError) as exc:
+                doomed.result(60)
+            assert exc.value.stage == "dispatch"
+            slow.result(120)
+            report = svc.report()
+            # The expired request is accounted in its own counter, not
+            # silently dropped (and not double-counted as failed).
+            assert report.expired == 1
+            assert report.failed == 0
+
+    def test_generous_deadline_passes_through(self):
+        with SortService() as svc:
+            out = svc.sort(make_keys(1 << 10, seed=4), backend="threads",
+                           P=2, deadline_s=60.0)
+            assert out.sorted_keys[0] <= out.sorted_keys[-1]
+
+
+class TestTenantFairness:
+    """Concurrent-client admission: mixed tenants on one queue."""
+
+    def test_tenant_accounting_in_report(self):
+        adm = TenantAdmission()
+        with SortService(admission=adm) as svc:
+            svc.sort(make_keys(1 << 10, seed=5), backend="threads", P=2,
+                     tenant="acme")
+            report = svc.report()
+        assert report.tenants["acme"]["admitted"] == 1
+        assert "acme" in report.describe()
+
+    def test_burst_tenant_bounded_quiet_tenant_admitted(self):
+        """Under a contended queue a bursting tenant is capped near its
+        fair share while a quiet tenant still gets in."""
+        adm = TenantAdmission(contended_fraction=0.25)
+        with SortService(queue_depth=8, batch_max=1,
+                         admission=adm) as svc:
+            # Stall the dispatcher with one slow request so the burst
+            # really contends for queue slots.
+            slow = svc.submit(make_keys(1 << 20, seed=6),
+                              backend="threads", P=2)
+            tickets, rejections = [], []
+            for i in range(12):
+                try:
+                    tickets.append(
+                        svc.submit(make_keys(1 << 10, seed=10 + i),
+                                   backend="threads", P=4,
+                                   tenant="burst")
+                    )
+                except AdmissionError as exc:
+                    rejections.append(exc.reason)
+            # The burst was shed with the *tenant* reason, not only the
+            # queue-full wall, and the quiet tenant still admits.
+            assert "tenant-share" in rejections
+            quiet = svc.submit(make_keys(1 << 10, seed=30),
+                               backend="threads", P=4, tenant="quiet")
+            slow.result(120)
+            for t in tickets:
+                t.result(60)
+            quiet.result(60)
+            stats = svc.report().tenants
+            assert stats["burst"]["rejected_share"] >= 1
+            assert stats["quiet"]["admitted"] == 1
+            # Fairness bound: the burst tenant never held more queued
+            # slots than the whole queue minus the quiet share floor.
+            assert stats["burst"]["admitted"] <= 8
+
+    def test_rate_limited_tenant_rejected_typed(self):
+        adm = TenantAdmission(
+            {"metered": TenantPolicy(rate=0.001, burst=1.0)}
+        )
+        with SortService(admission=adm) as svc:
+            svc.sort(make_keys(1 << 10, seed=7), backend="threads", P=2,
+                     tenant="metered")
+            with pytest.raises(AdmissionError) as exc:
+                svc.submit(make_keys(1 << 10, seed=8), tenant="metered")
+            assert exc.value.reason == "tenant-rate"
+
+    def test_concurrent_mixed_tenants_all_accounted(self):
+        """Many threads, several tenants: every submit ends as a result
+        or a typed rejection, and the ledger drains to zero queued."""
+        adm = TenantAdmission()
+        outcomes = {"ok": 0, "rejected": 0}
+        lock = threading.Lock()
+        with SortService(queue_depth=8, batch_max=4,
+                         admission=adm) as svc:
+            def client(tenant, seed):
+                try:
+                    ticket = svc.submit(make_keys(1 << 10, seed=seed),
+                                        backend="threads", P=2,
+                                        tenant=tenant)
+                except AdmissionError:
+                    with lock:
+                        outcomes["rejected"] += 1
+                    return
+                ticket.result(60)
+                with lock:
+                    outcomes["ok"] += 1
+
+            threads = [
+                threading.Thread(target=client,
+                                 args=(f"tenant{i % 3}", 100 + i))
+                for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.report().tenants
+        assert outcomes["ok"] + outcomes["rejected"] == 12
+        assert outcomes["ok"] >= 1
+        for tenant_stats in stats.values():
+            assert tenant_stats["queued"] == 0  # every admit released
 
 
 class TestServiceLifecycle:
