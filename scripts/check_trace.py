@@ -24,13 +24,19 @@ Fails (exit 1) if any given trace file:
   traces of deliberately unfused runs);
 * records group-scoped collectives with an inconsistent member tally
   (``coll.group_alltoallv`` > 0 but ``coll.group_size`` == 0, or a mean
-  group size outside ``2 .. ranks``).
+  group size outside ``2 .. ranks``);
+* claims overlapped collectives (``coll.overlapped`` > 0) but contains
+  no ``wait``/``complete`` span — a posted-but-never-waited pipeline
+  would mean the nonblocking schedule silently degenerated.
 
 With ``--bench BENCH.json`` it additionally gates the quick benchmark
 trajectory: for every backend, the fused+group variant must not be more
 than 25% slower than the unfused world-wide baseline
-(``*_fused_over_unfused`` >= 0.75) — a silently-engaged fallback or a
-fusion regression shows up here even when outputs stay correct.
+(``*_fused_over_unfused`` >= 0.75), and (schema
+``repro-bitonic-bench/5``+) the overlapped pipeline must not be more
+than 10% slower than its synchronous twin (``*_overlap_over_sync`` >=
+0.9) — a silently-engaged fallback or an overlap regression shows up
+here even when outputs stay correct.
 """
 
 import argparse
@@ -47,6 +53,13 @@ REQUIRED_COUNTERS = ("remaps", "messages", "bytes_sent")
 #: replaced (guards against the compatibility fallback engaging
 #: silently while outputs stay byte-identical).
 BENCH_MIN_FUSED_SPEEDUP = 0.75
+
+#: Minimum acceptable overlap-over-sync speedup in the bench gate: the
+#: chunked nonblocking pipeline may not be more than 10% slower than its
+#: synchronous twin (guards against per-chunk overhead swamping the
+#: overlap, or the schedule silently falling back to sync and paying
+#: chunking for nothing).
+BENCH_MIN_OVERLAP_SPEEDUP = 0.9
 
 
 def check(path: str, allow_unfused: bool = False) -> list:
@@ -102,6 +115,22 @@ def check(path: str, allow_unfused: bool = False) -> list:
                 f"mean group size {mean:.2f} outside 2 .. {ranks} — "
                 "Lemma-4 group derivation looks wrong"
             )
+    if counters.get("coll.overlapped", 0):
+        completes = sum(
+            1 for e in spans
+            if e.get("cat") == "wait" and e.get("name") == "complete"
+        )
+        if not completes:
+            errors.append(
+                f"{counters['coll.overlapped']} overlapped collectives "
+                "posted but no wait/complete span recorded — the "
+                "nonblocking pipeline never completed an op"
+            )
+        if not counters.get("coll.chunks"):
+            errors.append(
+                "coll.overlapped recorded without coll.chunks — the "
+                "overlapped remaps lost their chunk accounting"
+            )
     return errors
 
 
@@ -131,6 +160,28 @@ def check_bench(path: str) -> list:
                     f"{name}[{size}] = {ratio:.3f}x: fused+group more than "
                     f"{(1 - BENCH_MIN_FUSED_SPEEDUP):.0%} slower than the "
                     "unfused baseline (silent fallback or fusion regression)"
+                )
+    try:
+        schema_version = int(schema.rsplit("/", 1)[1])
+    except (IndexError, ValueError):
+        schema_version = 0
+    overlap_tables = {
+        name: table
+        for name, table in speedups.items()
+        if name.endswith("_overlap_over_sync")
+    }
+    if schema_version >= 5 and not overlap_tables:
+        errors.append(
+            "no *_overlap_over_sync speedup tables — schema "
+            f"{schema!r} promises the overlapped variant"
+        )
+    for name, table in overlap_tables.items():
+        for size, ratio in table.items():
+            if ratio < BENCH_MIN_OVERLAP_SPEEDUP:
+                errors.append(
+                    f"{name}[{size}] = {ratio:.3f}x: overlapped pipeline "
+                    f"more than {(1 - BENCH_MIN_OVERLAP_SPEEDUP):.0%} slower "
+                    "than its synchronous twin (overlap regression)"
                 )
     return errors
 
@@ -173,7 +224,9 @@ def main(argv) -> int:
                 print(f"  - {err}")
         else:
             print(f"OK   {args.bench}: fused+group within "
-                  f"{BENCH_MIN_FUSED_SPEEDUP}x floor of the unfused baseline")
+                  f"{BENCH_MIN_FUSED_SPEEDUP}x floor of the unfused "
+                  f"baseline; overlap within {BENCH_MIN_OVERLAP_SPEEDUP}x "
+                  "floor of sync")
     return 1 if failed else 0
 
 

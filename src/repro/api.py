@@ -169,7 +169,9 @@ def sort(
         :class:`~repro.runtime.driver.BackendOptions` tuning for the SPMD
         backends.  Its ``fused`` / ``grouped`` fields (both on by
         default) toggle the fused zero-copy remap collective and the
-        Lemma-4 group-scoped exchanges of the SPMD sort.
+        Lemma-4 group-scoped exchanges of the SPMD sort; ``overlap`` /
+        ``chunks`` (off by default) engage the chunked nonblocking remap
+        pipeline that hides transfer wait behind unpack/merge work.
     service:
         A running :class:`~repro.service.SortService`.  When given, the
         call routes through the service's warm world pool instead of
@@ -266,12 +268,16 @@ def _sort_service(
         )
     fused = backend_options.fused if backend_options is not None else None
     grouped = backend_options.grouped if backend_options is not None else None
+    overlap = backend_options.overlap if backend_options is not None else None
+    chunks = backend_options.chunks if backend_options is not None else None
     outcome = service.sort(
         keys,
         backend=forced_backend,
         P=P,
         fused=fused,
         grouped=grouped,
+        overlap=overlap,
+        chunks=chunks,
         faults=faults,
         trace=trace,
     )
@@ -364,9 +370,16 @@ def _sort_spmd(
             )
         injector = FaultInjector(faults)
 
-    # Algorithm toggles ride in BackendOptions; None means "on".
+    # Algorithm toggles ride in BackendOptions; None means "on" for
+    # fused/grouped but "off" for overlap (an opt-in, measured trade).
     fused = backend_options is None or backend_options.fused is not False
     grouped = backend_options is None or backend_options.grouped is not False
+    overlap = backend_options is not None and backend_options.overlap is True
+    chunks = (
+        backend_options.chunks
+        if backend_options is not None and backend_options.chunks is not None
+        else 4
+    )
 
     def prog(comm):
         if trace:
@@ -380,6 +393,8 @@ def _sort_spmd(
             keys[comm.rank * n : (comm.rank + 1) * n],
             fused=fused,
             grouped=grouped,
+            overlap=overlap,
+            chunks=chunks,
         )
         return out, comm.tracer
 

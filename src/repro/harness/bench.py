@@ -7,7 +7,8 @@ one):
 * **end-to-end** — the real SPMD bitonic sort
   (:func:`~repro.runtime.spmd_bitonic_sort`) across runtime backends,
   problem sizes, and communication variants (fused + group-scoped
-  collectives vs the unfused world-wide baseline), cross-checking that
+  collectives, the same run as the chunked nonblocking overlap pipeline,
+  and the unfused world-wide baseline), cross-checking that
   every backend × variant produces byte-identical output;
 * **kernel hot paths** — the local radix sort and the batched bitonic
   merge, each timed against its *legacy* implementation (kept here,
@@ -58,19 +59,28 @@ __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 #: ``grouped`` flags) and the ``fused_over_unfused`` speedup table;
 #: /4 added the ``service`` section: warm-pool vs cold-spawn latency per
 #: backend and size (with a candidate-P sweep), the ``warm_over_cold``
-#: speedup table, and the planner-vs-measured ``planner_matches`` tally.
-BENCH_SCHEMA = "repro-bitonic-bench/4"
+#: speedup table, and the planner-vs-measured ``planner_matches`` tally;
+#: /5 added the overlapped-communication variant (``overlap`` /
+#: ``chunks`` flags, per-record measured ``wait_split``) and the
+#: ``overlap_over_sync`` speedup tables.
+BENCH_SCHEMA = "repro-bitonic-bench/5"
 
 #: World sizes the service section sweeps when measuring warm latency
 #: (and the planner's candidate set for the match tally).
 SERVICE_CANDIDATE_P = (1, 2, 4)
 
-#: The communication variants every backend is benchmarked under:
-#: the default fused + group-scoped path against the unfused world-wide
-#: baseline it replaced.
+#: Chunks per overlapped remap in the overlap variant (the sort's own
+#: default; the per-chunk 64-element clamp still applies).
+BENCH_CHUNKS = 4
+
+#: The communication variants every backend is benchmarked under
+#: (``name, fused, grouped, overlap``): the default fused + group-scoped
+#: synchronous path, the same path run as the chunked nonblocking
+#: pipeline, and the unfused world-wide baseline both replaced.
 BENCH_VARIANTS = (
-    ("fused+group", True, True),
-    ("unfused+world", False, False),
+    ("fused+group", True, True, False),
+    ("overlap+chunked", True, True, True),
+    ("unfused+world", False, False, False),
 )
 
 
@@ -143,18 +153,23 @@ def _bench_end_to_end(
         keys = make_keys(N, seed=N % 104729)
         n = N // procs
 
-        def sort_on(backend: str, fused: bool, grouped: bool) -> np.ndarray:
+        def sort_on(
+            backend: str, fused: bool, grouped: bool, overlap: bool
+        ) -> np.ndarray:
             def prog(c):
                 return spmd_bitonic_sort(
                     c, keys[c.rank * n : (c.rank + 1) * n],
                     fused=fused, grouped=grouped,
+                    overlap=overlap, chunks=BENCH_CHUNKS,
                 )
 
             return np.concatenate(
                 run_spmd(procs, prog, backend=backend, timeout=timeout)
             )
 
-        def traced_phases(backend: str, fused: bool, grouped: bool) -> Dict[str, Any]:
+        def traced_phases(
+            backend: str, fused: bool, grouped: bool, overlap: bool
+        ) -> Dict[str, Any]:
             # One separate traced run; the timed reps above stay untraced
             # so the span bookkeeping can never contaminate the timings.
             def prog(c):
@@ -162,6 +177,7 @@ def _bench_end_to_end(
                 spmd_bitonic_sort(
                     c, keys[c.rank * n : (c.rank + 1) * n],
                     fused=fused, grouped=grouped,
+                    overlap=overlap, chunks=BENCH_CHUNKS,
                 )
                 return c.tracer
 
@@ -170,12 +186,16 @@ def _bench_end_to_end(
             return {
                 "phases": rep.measured_us or {},
                 "trace_counters": rep.counters,
+                "wait_split": {
+                    "transfer_wait_us": rep.measured_transfer_wait_us,
+                    "queue_wait_us": rep.measured_queue_wait_us,
+                },
             }
 
         reference: Optional[bytes] = None
         for backend in backends:
-            for variant, fused, grouped in BENCH_VARIANTS:
-                output = sort_on(backend, fused, grouped)
+            for variant, fused, grouped, overlap in BENCH_VARIANTS:
+                output = sort_on(backend, fused, grouped, overlap)
                 if reference is None:
                     reference = output.tobytes()
                     if reference != np.sort(keys).tobytes():
@@ -189,17 +209,21 @@ def _bench_end_to_end(
                         f"differs from the reference on {N} keys x "
                         f"{procs} ranks"
                     )
-                timing = _time(lambda: sort_on(backend, fused, grouped), reps)
+                timing = _time(
+                    lambda: sort_on(backend, fused, grouped, overlap), reps
+                )
                 records.append(
                     {
                         "backend": backend,
                         "variant": variant,
                         "fused": fused,
                         "grouped": grouped,
+                        "overlap": overlap,
+                        "chunks": BENCH_CHUNKS if overlap else 1,
                         "keys": N,
                         "procs": procs,
                         **timing,
-                        **traced_phases(backend, fused, grouped),
+                        **traced_phases(backend, fused, grouped, overlap),
                     }
                 )
     return records
@@ -398,8 +422,8 @@ def run_bench(
                 for r in end_to_end
                 if r["backend"] == backend and r["variant"] == default_variant
             }
-    # The A/B this PR exists for: fused+group against the unfused
-    # world-wide baseline, per backend and size.
+    # The fused A/B: fused+group against the unfused world-wide
+    # baseline, per backend and size.
     for backend in backends:
         unfused_best = {
             r["keys"]: r["best_s"]
@@ -410,6 +434,21 @@ def run_bench(
             str(r["keys"]): unfused_best[r["keys"]] / r["best_s"]
             for r in end_to_end
             if r["backend"] == backend and r["variant"] == default_variant
+        }
+    # The overlap A/B: the chunked nonblocking pipeline against its own
+    # synchronous twin (same fused+group flags), per backend and size —
+    # > 1 means the pipeline hid transfer wait, < 1 means the per-chunk
+    # overhead won.
+    for backend in backends:
+        sync_best = {
+            r["keys"]: r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == default_variant
+        }
+        speedups[f"{backend}_overlap_over_sync"] = {
+            str(r["keys"]): sync_best[r["keys"]] / r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == "overlap+chunked"
         }
     return {
         "schema": BENCH_SCHEMA,

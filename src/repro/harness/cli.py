@@ -236,12 +236,14 @@ def _cmd_trace(args) -> int:
 
     keys = make_keys(args.keys, distribution=args.distribution, seed=args.seed)
     options = None
-    if args.no_fused or args.no_group:
+    if args.no_fused or args.no_group or args.overlap:
         from repro.runtime import BackendOptions
 
         options = BackendOptions(
             fused=False if args.no_fused else None,
             grouped=False if args.no_group else None,
+            overlap=True if args.overlap else None,
+            chunks=args.chunks if args.overlap else None,
         )
     try:
         report = sort(
@@ -904,6 +906,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--no-group", action="store_true",
                          help="disable Lemma-4 group-scoped exchanges "
                               "(every remap synchronizes the whole world)")
+    p_trace.add_argument("--overlap", action="store_true",
+                         help="run each remap as the chunked nonblocking "
+                              "pipeline (overlap transfer with unpack/merge)")
+    p_trace.add_argument("--chunks", type=int, default=4,
+                         help="chunks per overlapped remap (with --overlap)")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_serve = sub.add_parser(

@@ -44,7 +44,7 @@ BACKENDS = ("threads", "procs")
 #: Fields consumed by the sort layer (:func:`repro.api.sort` /
 #: :func:`repro.runtime.bitonic_spmd.spmd_bitonic_sort`), not by the
 #: world launcher — valid on every backend.
-_ALGO_FIELDS = ("fused", "grouped")
+_ALGO_FIELDS = ("fused", "grouped", "overlap", "chunks")
 
 
 @dataclass(frozen=True)
@@ -55,8 +55,8 @@ class BackendOptions:
     apply to one backend are rejected elsewhere (the threads backend
     takes no launch tuning at all, so any set launch field raises there —
     same behaviour the old loose-kwargs interface had).  The *algorithm*
-    fields (``fused``, ``grouped``) tune the sort running on top and are
-    accepted on every SPMD backend.
+    fields (``fused``, ``grouped``, ``overlap``, ``chunks``) tune the
+    sort running on top and are accepted on every SPMD backend.
 
     Attributes
     ----------
@@ -64,6 +64,12 @@ class BackendOptions:
         ``procs`` only — initial shared-memory arena capacity per
         (rank, parity); arenas grow on demand, so this is a preallocation
         hint, not a limit.
+    spin_budget:
+        ``procs`` only — busy-spin iterations before the counter-handshake
+        waits start yielding the CPU (0 yields immediately — right for
+        oversubscribed hosts; the backend defaults it from the core
+        count, and :class:`repro.service.profile.HostProfile` can carry a
+        calibrated value).
     fused:
         Route each remap through the fused pack/transfer/unpack
         collective (:meth:`repro.runtime.api.Comm.alltoallv_fused`) —
@@ -73,11 +79,25 @@ class BackendOptions:
         Scope each remap exchange to its Lemma-4 communication group of
         ``2**N_BitsChanged`` ranks instead of the world.  Default
         (``None``) means **on**.
+    overlap:
+        Run each remap as a chunked pipeline over the nonblocking
+        collectives, overlapping unpack/merge of one chunk with the
+        in-flight transfer of the next.  Default (``None``) means **off**
+        — deliberately the opposite polarity of ``fused``/``grouped``:
+        overlap is a measured trade (pipelining overhead vs hidden
+        transfer wait) that the service planner prices per host, so it is
+        opt-in rather than presumed.
+    chunks:
+        Chunks per overlapped remap (default 4 when ``overlap`` is on;
+        the sort clamps so chunks never drop below 64 elements).
     """
 
     arena_bytes: Optional[int] = None
+    spin_budget: Optional[int] = None
     fused: Optional[bool] = None
     grouped: Optional[bool] = None
+    overlap: Optional[bool] = None
+    chunks: Optional[int] = None
 
     def set_fields(self) -> List[str]:
         """Names of the fields explicitly set (non-``None``)."""
@@ -142,6 +162,8 @@ def run_spmd(
         kwargs = {}
         if options.arena_bytes is not None:
             kwargs["arena_bytes"] = options.arena_bytes
+        if options.spin_budget is not None:
+            kwargs["spin_budget"] = options.spin_budget
         return run_spmd_procs(size, fn, timeout=timeout, **kwargs)
     raise ConfigurationError(
         f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
@@ -164,8 +186,9 @@ def spawn_world(
     swept at interpreter exit.
 
     ``options`` carries the same launch tuning :func:`run_spmd` accepts
-    (``arena_bytes`` on procs); the algorithm fields (``fused``,
-    ``grouped``) are per-job concerns and are ignored here.
+    (``arena_bytes``, ``spin_budget`` on procs); the algorithm fields
+    (``fused``, ``grouped``, ``overlap``, ``chunks``) are per-job
+    concerns and are ignored here.
     """
     options = options or BackendOptions()
     if backend == "threads":
@@ -183,6 +206,8 @@ def spawn_world(
         kwargs = {}
         if options.arena_bytes is not None:
             kwargs["arena_bytes"] = options.arena_bytes
+        if options.spin_budget is not None:
+            kwargs["spin_budget"] = options.spin_budget
         return ProcWorld(size, **kwargs)
     raise ConfigurationError(
         f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"

@@ -29,6 +29,8 @@ def sort_shards_job(
     grouped: bool,
     trace: bool,
     injector: Optional[Any] = None,
+    overlap: bool = False,
+    chunks: int = 4,
 ) -> Tuple[List[np.ndarray], List[Optional[Tracer]]]:
     """Run one batch of same-shape sort requests back to back.
 
@@ -37,7 +39,10 @@ def sort_shards_job(
     :class:`Tracer` per request, so the service can surface per-request
     spans rather than one blurred batch.  ``injector`` (threads backend
     only — it needs one address space) wraps the comm in the
-    fault-tolerant transport for the whole batch.
+    fault-tolerant transport for the whole batch; the wrapped comm is
+    not :attr:`~repro.runtime.api.Comm.overlap_capable`, so an armed
+    injector transparently forces the synchronous schedule even when
+    ``overlap`` is requested.
     """
     base = comm
     if injector is not None:
@@ -50,7 +55,10 @@ def sort_shards_job(
         tracer = Tracer(base.rank) if trace else None
         base.tracer = tracer
         outs.append(
-            spmd_bitonic_sort(comm, shard, fused=fused, grouped=grouped)
+            spmd_bitonic_sort(
+                comm, shard, fused=fused, grouped=grouped,
+                overlap=overlap, chunks=chunks,
+            )
         )
         base.tracer = None
         tracers.append(tracer)

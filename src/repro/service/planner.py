@@ -9,8 +9,9 @@ mirrors how engineered distributed sorters pick algorithms from machine
 parameters instead of hardcoding one.
 
 Every choice has a **forced-override escape hatch**: pass ``backend=``,
-``P=``, ``fused=`` or ``grouped=`` to :meth:`Planner.plan` and the
-planner optimizes only the remaining free dimensions.
+``P=``, ``fused=``, ``grouped=``, ``overlap=`` or ``chunks=`` to
+:meth:`Planner.plan` and the planner optimizes only the remaining free
+dimensions.
 
 One choice is a *safety clamp*, not an optimization: a request with an
 armed fault plan runs on the threads backend (the injector needs one
@@ -27,7 +28,7 @@ from __future__ import annotations
 import glob
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -57,21 +58,30 @@ class PlanDecision:
     fused: bool
     grouped: bool
     est_seconds: float
+    #: Run the remaps as the chunked nonblocking pipeline.  Chosen only
+    #: when the profile/history says hiding transfer wait beats the
+    #: pipeline's per-chunk overhead (or when forced); fault clamps force
+    #: it off — the fault transport is not overlap-capable.
+    overlap: bool = False
+    chunks: int = 4
     clamped: bool = False
     source: str = "model"
     candidates: Dict[str, float] = field(default_factory=dict)
 
     def explain(self) -> str:
         ranked = sorted(self.candidates.items(), key=lambda kv: kv[1])
+        chosen = f"{self.backend}x{self.P}" + ("+ov" if self.overlap else "")
         lines = [
             f"plan: {self.algorithm} on {self.backend} x {self.P}, "
             f"fused={self.fused} grouped={self.grouped} "
-            f"(~{self.est_seconds * 1e3:.1f} ms, source={self.source}"
+            f"overlap={self.overlap}"
+            + (f" chunks={self.chunks}" if self.overlap else "")
+            + f" (~{self.est_seconds * 1e3:.1f} ms, source={self.source}"
             + (", fault-clamped" if self.clamped else "")
             + ")"
         ]
         for name, est in ranked:
-            marker = "*" if name == f"{self.backend}x{self.P}" else " "
+            marker = "*" if name == chosen else " "
             lines.append(f"  {marker} {name:<12} ~{est * 1e3:8.2f} ms")
         return "\n".join(lines)
 
@@ -129,6 +139,32 @@ class BenchHistory:
         )
         return best, int(r["keys"])
 
+    def overlap_efficiency(self, backend: str) -> Optional[float]:
+        """Measured overlap payoff for ``backend``, as the fraction of
+        end-to-end time the overlapped variant shaved off its synchronous
+        counterpart at the same size — ``max(1 - overlap/sync)`` over the
+        sizes benched both ways, clamped to [0, 1].  Because transfer is
+        at most the whole run, this end-to-end fraction is a conservative
+        stand-in for the hidden-transfer fraction
+        :attr:`~repro.service.profile.HostProfile.overlap_efficiency`
+        prices with.  ``None`` when no size was benched both ways (the
+        planner then never chooses overlap on its own)."""
+        by_size: Dict[int, Dict[bool, float]] = {}
+        for r in self._records:
+            if r["backend"] != backend:
+                continue
+            ov = bool(r.get("overlap", False))
+            d = by_size.setdefault(int(r["keys"]), {})
+            d[ov] = min(d.get(ov, float("inf")), float(r["best_s"]))
+        gains = [
+            1.0 - pair[True] / pair[False]
+            for pair in by_size.values()
+            if True in pair and False in pair and pair[False] > 0
+        ]
+        if not gains:
+            return None
+        return min(max(max(gains), 0.0), 1.0)
+
 
 class Planner:
     """Choose (backend, P, flags) per request from the host profile.
@@ -171,6 +207,8 @@ class Planner:
         P: Optional[int] = None,
         fused: Optional[bool] = None,
         grouped: Optional[bool] = None,
+        overlap: Optional[bool] = None,
+        chunks: Optional[int] = None,
         warm: bool = True,
     ) -> PlanDecision:
         """Plan one sort request of ``N`` keys.
@@ -178,28 +216,40 @@ class Planner:
         Keyword arguments other than ``faults``/``warm`` are forced
         overrides: ``None`` means "planner chooses".  ``faults=True``
         applies the safety clamp described in the module docstring —
-        it wins even over forced ``fused``/``grouped``.
+        it wins even over forced ``fused``/``grouped``/``overlap``.
+
+        With ``overlap=None`` the planner prices each ``(backend, P)``
+        twice — synchronous and overlapped (the ``+ov`` candidates) —
+        and picks overlap only when the estimate says hiding transfer
+        wait beats the pipeline's per-chunk overhead; with the default
+        profile (``overlap_efficiency=0``) and no bench history that is
+        never, so overlap stays opt-in until measured.
         """
         if N < 1:
             raise ConfigurationError(f"cannot plan a sort of {N} keys")
         clamped = False
         if faults:
             # Safety clamp: the fault transport needs one address space
-            # and cannot fuse or group (ReliableComm wraps every payload
-            # in checksummed frames; the transparent ABC fallback would
-            # engage on every remap).  Never *plan* into a fallback.
+            # and cannot fuse, group or overlap (ReliableComm wraps every
+            # payload in checksummed frames and is not overlap-capable;
+            # the transparent ABC fallback would engage on every remap).
+            # Never *plan* into a fallback.
             if backend is not None and backend != "threads":
                 raise ConfigurationError(
                     f"fault injection needs the threads backend, "
                     f"not {backend!r}"
                 )
             backend = "threads"
-            if fused is not False or grouped is not False:
+            if fused is not False or grouped is not False or overlap is True:
                 clamped = True
             fused = False
             grouped = False
+            overlap = False
         use_fused = True if fused is None else fused
         use_grouped = True if grouped is None else grouped
+        use_chunks = 4 if chunks is None else int(chunks)
+        if use_chunks < 1:
+            raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
 
         backends = (backend,) if backend is not None else self.backends
         for b in backends:
@@ -227,21 +277,31 @@ class Planner:
                 if p == 1 or (N % p == 0 and N // p >= 2)
             ) or (1,)
 
+        # Which overlap polarities compete: both when the planner is free
+        # to choose, exactly one when forced (or fault-clamped).
+        ov_options = (False, True) if overlap is None else (bool(overlap),)
         candidates: Dict[str, float] = {}
-        best: Optional[Tuple[float, str, int]] = None
+        best: Optional[Tuple[float, str, int, bool]] = None
         for b in backends:
             scale = self._history_scale(b, N, dtype_size)
+            # Measured overlap payoff beats the profile's static number.
+            profile = self.profile
+            eff = self.history.overlap_efficiency(b)
+            if eff is not None and True in ov_options:
+                profile = replace(profile, overlap_efficiency=eff)
             for p in candidates_P:
-                est = self.profile.estimate(
-                    N, p, b,
-                    fused=use_fused, grouped=use_grouped,
-                    warm=warm, dtype_size=dtype_size,
-                ) * scale
-                candidates[f"{b}x{p}"] = est
-                if best is None or est < best[0]:
-                    best = (est, b, p)
+                for ov in ov_options:
+                    est = profile.estimate(
+                        N, p, b,
+                        fused=use_fused, grouped=use_grouped,
+                        overlap=ov, chunks=use_chunks,
+                        warm=warm, dtype_size=dtype_size,
+                    ) * scale
+                    candidates[f"{b}x{p}" + ("+ov" if ov else "")] = est
+                    if best is None or est < best[0]:
+                        best = (est, b, p, ov)
         assert best is not None
-        est, chosen_backend, chosen_P = best
+        est, chosen_backend, chosen_P, chosen_ov = best
         forced = backend is not None and P is not None
         source = (
             "forced" if forced
@@ -254,6 +314,8 @@ class Planner:
             algorithm="smart",
             fused=use_fused,
             grouped=use_grouped,
+            overlap=chosen_ov,
+            chunks=use_chunks,
             est_seconds=est,
             clamped=clamped,
             source=source,
@@ -295,12 +357,13 @@ class Planner:
         (the "planner decision table" of docs/SERVING.md)."""
         lines = [
             f"{'keys':>10}  {'backend':<8} {'P':>2}  {'fused':<5} "
-            f"{'grouped':<7} {'est':>10}",
+            f"{'grouped':<7} {'overlap':<7} {'est':>10}",
         ]
         for N in sizes:
             d = self.plan(N)
             lines.append(
                 f"{N:>10,}  {d.backend:<8} {d.P:>2}  {str(d.fused):<5} "
-                f"{str(d.grouped):<7} {d.est_seconds * 1e3:>8.2f}ms"
+                f"{str(d.grouped):<7} {str(d.overlap):<7} "
+                f"{d.est_seconds * 1e3:>8.2f}ms"
             )
         return "\n".join(lines)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.model.cache import CacheModel
@@ -86,6 +86,16 @@ class HostProfile:
     fused_pack_us: float
     address_us: float
     backends: Dict[str, BackendCosts] = field(default_factory=dict)
+    #: Fraction of per-remap transfer time the overlapped communication
+    #: schedule hides behind unpack/merge work on this host, in [0, 1].
+    #: 0 (the default) means "never plan into overlap" — the value comes
+    #: from measured bench history (:meth:`BenchHistory.overlap_efficiency`)
+    #: or calibration, not from optimism.
+    overlap_efficiency: float = 0.0
+    #: Calibrated busy-spin budget for the procs backend's counter
+    #: handshakes (``None`` = let the backend default from the core
+    #: count); plumbed into :class:`~repro.runtime.driver.BackendOptions`.
+    spin_budget: Optional[int] = None
     #: ``"default"`` for the built-in guess, ``"calibrated"`` after
     #: ``scripts/calibrate_loggp.py`` measured this host.
     source: str = "default"
@@ -163,6 +173,8 @@ class HostProfile:
         *,
         fused: bool = True,
         grouped: bool = True,
+        overlap: bool = False,
+        chunks: int = 4,
         warm: bool = True,
         dtype_size: int = KEY_BYTES,
     ) -> float:
@@ -173,8 +185,14 @@ class HostProfile:
         oversubscription scales it by ``P / min(P, cpus)`` because ranks
         beyond the core count serialize.  Ungrouped runs pay the full
         world-barrier fan-in per remap instead of the Lemma-4 group
-        fan-in.  On top ride the serving fixed costs: spawn (cold only),
-        job dispatch, and shard shipping through the job pipe.
+        fan-in.  ``overlap`` credits :attr:`overlap_efficiency` of the
+        predicted transfer time (the share the chunked pipeline hides
+        behind unpack/merge) and charges one extra per-chunk posting
+        overhead ``o`` per remap — with the default efficiency of 0 the
+        overlapped estimate is strictly *worse*, so the planner only
+        selects overlap once measurements justify it.  On top ride the
+        serving fixed costs: spawn (cold only), job dispatch, and shard
+        shipping through the job pipe.
         """
         from repro.theory.counts import counts_for
         from repro.theory.predict import predict
@@ -188,6 +206,11 @@ class HostProfile:
         spec = self.machine_spec(backend, P)
         pt = predict("smart", N, P, spec=spec, fused=fused)
         busy_us = pt.total
+        if overlap and P > 1:
+            eff = min(max(self.overlap_efficiency, 0.0), 1.0)
+            busy_us -= eff * pt.times.get("transfer", 0.0)
+            remaps = counts_for("smart", N, P).remaps
+            busy_us += (max(int(chunks), 1) - 1) * remaps * costs.o
         if P > 1:
             counts = counts_for("smart", N, P)
             # Synchronization fan-in per remap: each member waits on the

@@ -42,6 +42,7 @@ from repro.errors import (
     ServiceClosedError,
     SpmdTimeoutError,
 )
+from repro.runtime.driver import BackendOptions
 from repro.service.admission import DEFAULT_TENANT, TenantAdmission
 from repro.service.jobs import sort_shards_job
 from repro.service.planner import PlanDecision, Planner
@@ -226,7 +227,17 @@ class SortService:
         if batch_max < 1:
             raise ConfigurationError(f"batch_max must be >= 1, got {batch_max}")
         self.planner = planner or Planner()
-        self.pool = pool or WorldPool()
+        if pool is None:
+            # A calibrated spin budget in the planner's host profile
+            # reaches the worlds this service spawns (procs ranks
+            # spin-then-yield on that budget; irrelevant knobs are
+            # ignored by the threads backend).
+            budget = self.planner.profile.spin_budget
+            pool = WorldPool(
+                options=BackendOptions(spin_budget=budget)
+                if budget is not None else None
+            )
+        self.pool = pool
         self._queue_depth = queue_depth
         self._deadline_s = deadline_s
         self._batch_max = batch_max
@@ -257,6 +268,8 @@ class SortService:
         P: Optional[int] = None,
         fused: Optional[bool] = None,
         grouped: Optional[bool] = None,
+        overlap: Optional[bool] = None,
+        chunks: Optional[int] = None,
         faults: Optional[Any] = None,
         deadline_s: Optional[float] = None,
         trace: Optional[bool] = None,
@@ -264,7 +277,8 @@ class SortService:
     ) -> Ticket:
         """Enqueue one sort request; returns its :class:`Ticket`.
 
-        ``backend``/``P``/``fused``/``grouped`` are forced overrides for
+        ``backend``/``P``/``fused``/``grouped``/``overlap``/``chunks``
+        are forced overrides for
         the planner (``None`` = planner chooses).  Raises
         :class:`~repro.errors.AdmissionError` when the queue is full, the
         deadline estimate says the request cannot finish in time, or the
@@ -295,6 +309,8 @@ class SortService:
             P=P,
             fused=fused,
             grouped=grouped,
+            overlap=overlap,
+            chunks=chunks,
         )
         ticket = Ticket(next(self._ids))
         deadline = deadline_s if deadline_s is not None else self._deadline_s
@@ -368,7 +384,10 @@ class SortService:
         if p.faults is not None or not 1 <= p.decision.P <= p.keys.size:
             return None  # fault runs never share a world dispatch
         d = p.decision
-        return (p.keys.size, p.keys.dtype.str, d.backend, d.P, d.fused, d.grouped)
+        return (
+            p.keys.size, p.keys.dtype.str, d.backend, d.P,
+            d.fused, d.grouped, d.overlap, d.chunks,
+        )
 
     def _take_batch(self) -> Optional[List[_Pending]]:
         with self._cond:
@@ -458,7 +477,8 @@ class SortService:
             return out
 
         rank_args = [
-            (shards_for(r), d.fused, d.grouped, trace, injector)
+            (shards_for(r), d.fused, d.grouped, trace, injector,
+             d.overlap, d.chunks)
             for r in range(P)
         ]
         # Deadline propagation into the world dispatch: when every batch
@@ -535,6 +555,8 @@ class SortService:
                         "P": P,
                         "fused": d.fused,
                         "grouped": d.grouped,
+                        "overlap": d.overlap,
+                        "chunks": d.chunks,
                         "est_s": d.est_seconds,
                         "queue_wait_s": outcome.queue_wait_s,
                         "run_s": run_s,

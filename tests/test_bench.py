@@ -110,5 +110,8 @@ class TestBenchCli:
         # is still measured on the one backend that ran.
         speedups = data["end_to_end_speedup"]
         assert "procs_over_threads" not in speedups
-        assert set(speedups) == {"threads_fused_over_unfused"}
+        assert set(speedups) == {
+            "threads_fused_over_unfused", "threads_overlap_over_sync",
+        }
         assert set(speedups["threads_fused_over_unfused"]) == {"1024"}
+        assert set(speedups["threads_overlap_over_sync"]) == {"1024"}
