@@ -17,11 +17,17 @@ Fails (exit 1) if any given trace file:
   golden file together, deliberately);
 * lacks the core counters a traced sort must produce
   (``remaps``, ``messages``, ``bytes_sent``);
-* ran the default (fused) sort but shows no ``coll.fused`` collectives,
-  or fused collectives that all fell back off the zero-copy path
-  (``coll.fused_direct`` == 0) — the compatibility fallback must never
-  engage silently on the bundled backends (pass ``--allow-unfused`` for
-  traces of deliberately unfused runs);
+* ran the default (fused) bitonic sort but shows no ``coll.fused``
+  collectives, or fused collectives that all fell back off the zero-copy
+  path (``coll.fused_direct`` == 0) — the compatibility fallback must
+  never engage silently on the bundled backends (pass ``--allow-unfused``
+  for traces of deliberately unfused runs).  Traces of pure sample-sort
+  runs (``algo.sample`` > 0, no bitonic remaps) are exempt: sample sort
+  fuses nothing by design;
+* records sample-sort runs (``algo.sample`` > 0) with fewer ``remaps``
+  than runs (each run is exactly one splitter-driven redistribution) or
+  without a ``merge`` span — a sample trace missing its p-way merge
+  means the phase instrumentation silently stopped;
 * records group-scoped collectives with an inconsistent member tally
   (``coll.group_alltoallv`` > 0 but ``coll.group_size`` == 0, or a mean
   group size outside ``2 .. ranks``);
@@ -36,7 +42,10 @@ than 25% slower than the unfused world-wide baseline
 ``repro-bitonic-bench/5``+) the overlapped pipeline must not be more
 than 10% slower than its synchronous twin (``*_overlap_over_sync`` >=
 0.9) — a silently-engaged fallback or an overlap regression shows up
-here even when outputs stay correct.
+here even when outputs stay correct.  Schema ``repro-bitonic-bench/6``+
+trajectories must additionally carry the ``*_sample_over_bitonic``
+crossover tables (positive ratios; no floor — which algorithm wins is
+the data).
 """
 
 import argparse
@@ -89,14 +98,30 @@ def check(path: str, allow_unfused: bool = False) -> list:
     missing = [c for c in REQUIRED_COUNTERS if not counters.get(c)]
     if missing:
         errors.append(f"required counters missing or zero: {missing}")
+    sample_runs = counters.get("algo.sample", 0)
+    if sample_runs:
+        # Each sample-sort run is exactly one splitter-driven
+        # redistribution, so the (world-summed) remap tally must cover
+        # the runs, and the p-way merge must have left spans.
+        if counters.get("remaps", 0) < sample_runs:
+            errors.append(
+                f"algo.sample = {sample_runs} but only "
+                f"{counters.get('remaps', 0)} remaps — each sample sort "
+                "redistributes exactly once"
+            )
+        if not any(e.get("cat") == "merge" for e in spans):
+            errors.append(
+                "algo.sample recorded but no merge span — the p-way "
+                "merge never ran (or stopped tracing)"
+            )
     fused = counters.get("coll.fused", 0)
     if not allow_unfused:
-        if not fused:
+        if not fused and not sample_runs:
             errors.append(
                 "no coll.fused collectives — the default sort fuses every "
                 "remap (pass --allow-unfused for deliberately unfused runs)"
             )
-        elif not counters.get("coll.fused_direct"):
+        elif fused and not counters.get("coll.fused_direct"):
             errors.append(
                 "every fused collective fell back off the zero-copy path "
                 "(coll.fused_direct == 0) — silent compatibility fallback"
@@ -175,6 +200,26 @@ def check_bench(path: str) -> list:
             "no *_overlap_over_sync speedup tables — schema "
             f"{schema!r} promises the overlapped variant"
         )
+    # Schema /6+: the sample-vs-bitonic crossover tables must be present
+    # and well-formed (positive ratios); no floor is imposed — which
+    # algorithm wins is exactly what the table records.
+    sample_tables = {
+        name: table
+        for name, table in speedups.items()
+        if name.endswith("_sample_over_bitonic")
+    }
+    if schema_version >= 6 and not sample_tables:
+        errors.append(
+            "no *_sample_over_bitonic crossover tables — schema "
+            f"{schema!r} promises the sample-sort variant"
+        )
+    for name, table in sample_tables.items():
+        for size, ratio in table.items():
+            if not ratio > 0:
+                errors.append(
+                    f"{name}[{size}] = {ratio!r}: crossover ratios must "
+                    "be positive measured speedups"
+                )
     for name, table in overlap_tables.items():
         for size, ratio in table.items():
             if ratio < BENCH_MIN_OVERLAP_SPEEDUP:

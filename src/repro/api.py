@@ -22,7 +22,8 @@ when a :class:`~repro.faults.plan.FaultPlan` was armed.
 
 Capability matrix (a combination outside it raises
 :class:`~repro.errors.ConfigurationError` rather than silently ignoring
-an argument):
+an argument; the algorithm column is the single source of truth,
+:data:`BACKEND_ALGORITHMS`):
 
 ===========  ==========================  =====  ======
 backend      algorithms                  trace  faults
@@ -30,15 +31,21 @@ backend      algorithms                  trace  faults
 simulated    smart, cyclic-blocked,      yes    yes
              blocked-merge, radix,
              sample
-threads      smart                       yes    yes
-procs        smart                       yes    no (injector needs one
+threads      smart, sample               yes    yes
+procs        smart, sample               yes    no (injector needs one
                                                 address space)
 ===========  ==========================  =====  ======
+
+``algorithm="auto"`` is a routing directive, not a sixth algorithm: with
+a ``service=`` attached (where it is the default) the service planner
+prices smart bitonic against sample sort per request and runs the
+winner.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -47,18 +54,36 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.machine.metrics import RunStats
 
-__all__ = ["SortReport", "sort", "SORT_BACKENDS", "SORT_ALGORITHMS"]
+__all__ = [
+    "SortReport",
+    "sort",
+    "SORT_BACKENDS",
+    "SORT_ALGORITHMS",
+    "BACKEND_ALGORITHMS",
+]
 
 #: Substrates :func:`sort` can run on.
 SORT_BACKENDS = ("simulated", "threads", "procs")
 
-#: Algorithm names accepted by :func:`sort` (SPMD backends support only
-#: ``smart`` — the message-passing program implements the smart schedule).
+#: Algorithm names accepted by :func:`sort` (each runs on the backends
+#: :data:`BACKEND_ALGORITHMS` lists for it).  ``"auto"`` — planner
+#: routing with a service attached — is deliberately not in this tuple:
+#: it names a dispatch policy, not an algorithm.
 SORT_ALGORITHMS = ("smart", "cyclic-blocked", "blocked-merge", "radix", "sample")
+
+#: The capability table: which algorithms each backend executes.  The
+#: simulated machine runs every comparator of the paper's Ch. 5; the
+#: SPMD runtimes implement the smart bitonic sort and the sample sort
+#: (the two the service planner prices against each other).
+BACKEND_ALGORITHMS = {
+    "simulated": SORT_ALGORITHMS,
+    "threads": ("smart", "sample"),
+    "procs": ("smart", "sample"),
+}
 
 #: Algorithms with a closed-form predictor (fills the ``predicted`` column
 #: of a traced report).
-_PREDICTABLE = ("smart", "cyclic-blocked", "blocked-merge")
+_PREDICTABLE = ("smart", "cyclic-blocked", "blocked-merge", "radix", "sample")
 
 
 @dataclass
@@ -122,16 +147,69 @@ class SortReport:
         return "\n".join(lines)
 
 
+def _resolve_algorithm(
+    algorithm: Optional[str], backend: str, routed: bool
+) -> str:
+    """The one place algorithm names are validated.
+
+    ``None`` resolves to the context's default: ``"auto"`` on a
+    service-routed call (the planner picks), ``"smart"`` otherwise.
+    ``"auto"`` is only meaningful where a planner exists; every other
+    name must be in :data:`SORT_ALGORITHMS` and runnable on ``backend``
+    per the :data:`BACKEND_ALGORITHMS` capability table.
+    """
+    if algorithm is None:
+        return "auto" if routed else "smart"
+    if algorithm == "auto":
+        if not routed:
+            raise ConfigurationError(
+                "algorithm='auto' is planner routing — it needs a "
+                "service= attached; pick a concrete algorithm from "
+                f"{list(SORT_ALGORITHMS)} for a direct run"
+            )
+        return algorithm
+    if algorithm not in SORT_ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {list(SORT_ALGORITHMS)}"
+        )
+    supported = BACKEND_ALGORITHMS.get(backend, ())
+    if not routed and algorithm not in supported:
+        raise ConfigurationError(
+            f"backend {backend!r} implements {list(supported)}, not "
+            f"{algorithm!r}; run {algorithm!r} on backend='simulated'"
+        )
+    return algorithm
+
+
+def _merge_options_shim(options, backend_options):
+    """Fold the deprecated ``backend_options=`` spelling into
+    ``options=`` (one release of warning, same semantics)."""
+    if backend_options is None:
+        return options
+    if options is not None:
+        raise ConfigurationError(
+            "pass options= or the deprecated backend_options=, not both"
+        )
+    warnings.warn(
+        "sort(backend_options=...) is deprecated; "
+        "pass options=BackendOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return backend_options
+
+
 def sort(
     keys: np.ndarray,
     P: Optional[int] = None,
     *,
-    algorithm: str = "smart",
+    algorithm: Optional[str] = None,
     backend: str = "simulated",
     trace: bool = False,
     faults: Optional["FaultPlan"] = None,  # noqa: F821 — forward ref
     timeout: float = 120.0,
     verify: bool = True,
+    options: Optional["BackendOptions"] = None,  # noqa: F821
     backend_options: Optional["BackendOptions"] = None,  # noqa: F821
     service: Optional["SortService"] = None,  # noqa: F821 — forward ref
 ) -> SortReport:
@@ -145,8 +223,11 @@ def sort(
         Number of simulated processors or real ranks.  Optional when a
         ``service`` routes the call — its planner then chooses ``P``.
     algorithm:
-        One of :data:`SORT_ALGORITHMS`; SPMD backends accept only
-        ``"smart"``.
+        One of :data:`SORT_ALGORITHMS`, constrained per backend by the
+        :data:`BACKEND_ALGORITHMS` capability table, or ``"auto"`` on a
+        service-routed call — the planner then prices smart bitonic
+        against sample sort and runs the winner.  Default: ``"auto"``
+        with a service, ``"smart"`` without.
     backend:
         ``"simulated"`` runs on the LogGP-costed machine;
         ``"threads"`` / ``"procs"`` run the real message-passing sort via
@@ -165,26 +246,32 @@ def sort(
     verify:
         Check the output element-exactly against ``np.sort`` (on by
         default — the front door favours safety over benchmark purity).
-    backend_options:
+    options:
         :class:`~repro.runtime.driver.BackendOptions` tuning for the SPMD
         backends.  Its ``fused`` / ``grouped`` fields (both on by
         default) toggle the fused zero-copy remap collective and the
-        Lemma-4 group-scoped exchanges of the SPMD sort; ``overlap`` /
-        ``chunks`` (off by default) engage the chunked nonblocking remap
-        pipeline that hides transfer wait behind unpack/merge work.
+        Lemma-4 group-scoped exchanges of the SPMD bitonic sort;
+        ``overlap`` / ``chunks`` (off by default) engage the chunked
+        nonblocking remap pipeline that hides transfer wait behind
+        unpack/merge work.  (Sample sort's single exchange ignores the
+        bitonic-pipeline flags.)
+    backend_options:
+        Deprecated spelling of ``options`` (kept one release with a
+        :class:`DeprecationWarning`; passing both is an error).
     service:
         A running :class:`~repro.service.SortService`.  When given, the
         call routes through the service's warm world pool instead of
-        spawning a one-shot world: the explicitly-passed ``P`` /
-        SPMD ``backend`` / ``backend_options`` flags become forced
+        spawning a one-shot world: the explicitly-passed ``algorithm`` /
+        ``P`` / SPMD ``backend`` / ``options`` flags become forced
         planner overrides, anything left unsaid (including
         ``backend="simulated"``, which the service never runs) is the
         planner's choice.
     """
+    options = _merge_options_shim(options, backend_options)
     if service is not None:
         return _sort_service(
             keys, P, algorithm, backend, trace, faults, verify,
-            backend_options, service,
+            options, service,
         )
     if P is None:
         raise ConfigurationError(
@@ -195,25 +282,17 @@ def sort(
         raise ConfigurationError(
             f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
         )
-    if algorithm not in SORT_ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {list(SORT_ALGORITHMS)}"
-        )
+    algorithm = _resolve_algorithm(algorithm, backend, routed=False)
     keys = np.asarray(keys)
     if backend == "simulated":
-        if backend_options is not None:
+        if options is not None:
             raise ConfigurationError(
                 "backend_options tune the SPMD backends; the simulated "
                 "machine takes none"
             )
         return _sort_simulated(keys, P, algorithm, trace, faults, verify)
-    if algorithm != "smart":
-        raise ConfigurationError(
-            f"the SPMD runtime implements only the 'smart' algorithm; "
-            f"run {algorithm!r} on backend='simulated'"
-        )
     return _sort_spmd(
-        keys, P, backend, trace, faults, timeout, verify, backend_options
+        keys, P, algorithm, backend, trace, faults, timeout, verify, options
     )
 
 
@@ -244,7 +323,7 @@ def _predicted(algorithm: str, N: int, P: int):
 
 
 def _sort_service(
-    keys, P, algorithm, backend, trace, faults, verify, backend_options,
+    keys, P, algorithm, backend, trace, faults, verify, options,
     service,
 ) -> SortReport:
     """Bridge the front door onto a running SortService.
@@ -252,26 +331,31 @@ def _sort_service(
     Explicit arguments become forced planner overrides; defaults mean
     "planner chooses" (``backend="simulated"`` is the front door's own
     default, so it reads as unconstrained here — the service runs only
-    SPMD backends).
+    SPMD backends; likewise ``algorithm`` defaults to ``"auto"``, the
+    planner's cross-algorithm routing).
     """
     from repro.sorts.base import verify_sorted
 
-    if algorithm != "smart":
+    algorithm = _resolve_algorithm(algorithm, backend, routed=True)
+    if algorithm not in ("auto",) + BACKEND_ALGORITHMS["threads"]:
         raise ConfigurationError(
-            f"the sort service runs only the 'smart' algorithm; "
-            f"run {algorithm!r} on backend='simulated' without a service"
+            f"the sort service runs only the SPMD algorithms "
+            f"{list(BACKEND_ALGORITHMS['threads'])}; run {algorithm!r} on "
+            f"backend='simulated' without a service"
         )
+    forced_algorithm = None if algorithm == "auto" else algorithm
     forced_backend = None if backend == "simulated" else backend
     if forced_backend is not None and forced_backend not in SORT_BACKENDS:
         raise ConfigurationError(
             f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
         )
-    fused = backend_options.fused if backend_options is not None else None
-    grouped = backend_options.grouped if backend_options is not None else None
-    overlap = backend_options.overlap if backend_options is not None else None
-    chunks = backend_options.chunks if backend_options is not None else None
+    fused = options.fused if options is not None else None
+    grouped = options.grouped if options is not None else None
+    overlap = options.overlap if options is not None else None
+    chunks = options.chunks if options is not None else None
     outcome = service.sort(
         keys,
+        algorithm=forced_algorithm,
         backend=forced_backend,
         P=P,
         fused=fused,
@@ -283,24 +367,26 @@ def _sort_service(
     )
     d = outcome.decision
     if verify:
-        verify_sorted(keys, outcome.sorted_keys, f"service[{d.backend}x{d.P}]")
+        verify_sorted(
+            keys, outcome.sorted_keys,
+            f"service[{d.algorithm}:{d.backend}x{d.P}]",
+        )
     phases = None
     if trace and outcome.tracers:
-        from repro.sorts import SmartBitonicSort
         from repro.trace.report import build_phase_report
 
         # The last tracer is the service lane (queue wait); the phase
         # table aligns the rank tracers against simulation + theory.
-        sim = SmartBitonicSort().run(keys, d.P)
+        sim = _sorter(d.algorithm).run(keys, d.P)
         phases = build_phase_report(
             tracers=outcome.tracers[: d.P],
             stats=sim.stats,
-            predicted=_predicted("smart", keys.size, d.P),
+            predicted=_predicted(d.algorithm, keys.size, d.P),
             P=d.P,
             n=keys.size // d.P,
         )
     return SortReport(
-        algorithm="smart",
+        algorithm=d.algorithm,
         backend=d.backend,
         P=d.P,
         n=keys.size // d.P,
@@ -346,11 +432,12 @@ def _sort_simulated(keys, P, algorithm, trace, faults, verify) -> SortReport:
 
 
 def _sort_spmd(
-    keys, P, backend, trace, faults, timeout, verify, backend_options
+    keys, P, algorithm, backend, trace, faults, timeout, verify, options
 ) -> SortReport:
     from repro.faults.plan import FaultInjector
     from repro.runtime.bitonic_spmd import spmd_bitonic_sort
     from repro.runtime.driver import run_spmd
+    from repro.runtime.sample_spmd import spmd_sample_sort
     from repro.sorts.base import verify_sorted
     from repro.trace.recorder import Tracer
     from repro.trace.report import build_phase_report
@@ -372,12 +459,12 @@ def _sort_spmd(
 
     # Algorithm toggles ride in BackendOptions; None means "on" for
     # fused/grouped but "off" for overlap (an opt-in, measured trade).
-    fused = backend_options is None or backend_options.fused is not False
-    grouped = backend_options is None or backend_options.grouped is not False
-    overlap = backend_options is not None and backend_options.overlap is True
+    fused = options is None or options.fused is not False
+    grouped = options is None or options.grouped is not False
+    overlap = options is not None and options.overlap is True
     chunks = (
-        backend_options.chunks
-        if backend_options is not None and backend_options.chunks is not None
+        options.chunks
+        if options is not None and options.chunks is not None
         else 4
     )
 
@@ -388,43 +475,45 @@ def _sort_spmd(
             from repro.faults.transport import ReliableComm
 
             comm = ReliableComm(comm, injector)
-        out = spmd_bitonic_sort(
-            comm,
-            keys[comm.rank * n : (comm.rank + 1) * n],
-            fused=fused,
-            grouped=grouped,
-            overlap=overlap,
-            chunks=chunks,
-        )
+        shard = keys[comm.rank * n : (comm.rank + 1) * n]
+        if algorithm == "sample":
+            out = spmd_sample_sort(comm, shard)
+        else:
+            out = spmd_bitonic_sort(
+                comm,
+                shard,
+                fused=fused,
+                grouped=grouped,
+                overlap=overlap,
+                chunks=chunks,
+            )
         return out, comm.tracer
 
     start = time.perf_counter()
     parts = run_spmd(
-        P, prog, timeout=timeout, backend=backend, options=backend_options
+        P, prog, timeout=timeout, backend=backend, options=options
     )
     wall = time.perf_counter() - start
     out = np.concatenate([p for p, _ in parts])
     if verify:
-        verify_sorted(keys, out, f"smart-spmd[{backend}]")
+        verify_sorted(keys, out, f"{algorithm}-spmd[{backend}]")
 
     phases = tracers = None
     if trace:
         # The aligned three-source table: measured spans from this run,
         # the LogGP machine's simulation of the same (N, P), and the
         # closed-form prediction.
-        from repro.sorts import SmartBitonicSort
-
         tracers = [tr for _, tr in parts]
-        sim = SmartBitonicSort().run(keys, P)
+        sim = _sorter(algorithm).run(keys, P)
         phases = build_phase_report(
             tracers=tracers,
             stats=sim.stats,
-            predicted=_predicted("smart", keys.size, P),
+            predicted=_predicted(algorithm, keys.size, P),
             P=P,
             n=n,
         )
     return SortReport(
-        algorithm="smart",
+        algorithm=algorithm,
         backend=backend,
         P=P,
         n=n,

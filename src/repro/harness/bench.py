@@ -4,12 +4,14 @@ Every performance PR needs a baseline to beat and a record that it beat
 it.  :func:`run_bench` measures, on the *host* clock (not the simulated
 one):
 
-* **end-to-end** — the real SPMD bitonic sort
-  (:func:`~repro.runtime.spmd_bitonic_sort`) across runtime backends,
-  problem sizes, and communication variants (fused + group-scoped
-  collectives, the same run as the chunked nonblocking overlap pipeline,
-  and the unfused world-wide baseline), cross-checking that
-  every backend × variant produces byte-identical output;
+* **end-to-end** — the real SPMD sorts
+  (:func:`~repro.runtime.spmd_bitonic_sort` and
+  :func:`~repro.runtime.spmd_sample_sort`) across runtime backends,
+  problem sizes, and variants (fused + group-scoped collectives, the
+  same run as the chunked nonblocking overlap pipeline, the unfused
+  world-wide baseline, and the splitter-driven sample sort),
+  cross-checking that every backend × variant produces byte-identical
+  output;
 * **kernel hot paths** — the local radix sort and the batched bitonic
   merge, each timed against its *legacy* implementation (kept here,
   verbatim, for honest A/B comparison), plus cold-vs-cached remap-plan
@@ -48,7 +50,7 @@ from repro.localsort.bitonic_merge_sort import batched_bitonic_merge
 from repro.localsort.radix import num_passes, radix_sort
 from repro.remap.cache import RemapPlanCache
 from repro.remap.plan import build_remap_plan
-from repro.runtime import run_spmd, spmd_bitonic_sort
+from repro.runtime import run_spmd, spmd_bitonic_sort, spmd_sample_sort
 from repro.trace import Tracer, build_phase_report
 from repro.utils.rng import make_keys
 
@@ -62,8 +64,11 @@ __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 #: speedup table, and the planner-vs-measured ``planner_matches`` tally;
 #: /5 added the overlapped-communication variant (``overlap`` /
 #: ``chunks`` flags, per-record measured ``wait_split``) and the
-#: ``overlap_over_sync`` speedup tables.
-BENCH_SCHEMA = "repro-bitonic-bench/5"
+#: ``overlap_over_sync`` speedup tables;
+#: /6 added the per-record ``algorithm`` field, the SPMD sample-sort
+#: variant, the ``sample_over_bitonic`` crossover tables, and the
+#: service section's cross-algorithm planner audit.
+BENCH_SCHEMA = "repro-bitonic-bench/6"
 
 #: World sizes the service section sweeps when measuring warm latency
 #: (and the planner's candidate set for the match tally).
@@ -73,14 +78,17 @@ SERVICE_CANDIDATE_P = (1, 2, 4)
 #: default; the per-chunk 64-element clamp still applies).
 BENCH_CHUNKS = 4
 
-#: The communication variants every backend is benchmarked under
-#: (``name, fused, grouped, overlap``): the default fused + group-scoped
-#: synchronous path, the same path run as the chunked nonblocking
-#: pipeline, and the unfused world-wide baseline both replaced.
+#: The variants every backend is benchmarked under
+#: (``name, algorithm, fused, grouped, overlap``): the default fused +
+#: group-scoped synchronous bitonic path, the same path run as the
+#: chunked nonblocking pipeline, the unfused world-wide baseline both
+#: replaced, and the splitter-driven sample sort (one redistribution;
+#: the bitonic schedule flags do not apply to it).
 BENCH_VARIANTS = (
-    ("fused+group", True, True, False),
-    ("overlap+chunked", True, True, True),
-    ("unfused+world", False, False, False),
+    ("fused+group", "smart", True, True, False),
+    ("overlap+chunked", "smart", True, True, True),
+    ("unfused+world", "smart", False, False, False),
+    ("sample", "sample", True, True, False),
 )
 
 
@@ -153,32 +161,35 @@ def _bench_end_to_end(
         keys = make_keys(N, seed=N % 104729)
         n = N // procs
 
+        def rank_sort(c, algorithm, fused, grouped, overlap):
+            shard = keys[c.rank * n : (c.rank + 1) * n]
+            if algorithm == "sample":
+                return spmd_sample_sort(c, shard)
+            return spmd_bitonic_sort(
+                c, shard, fused=fused, grouped=grouped,
+                overlap=overlap, chunks=BENCH_CHUNKS,
+            )
+
         def sort_on(
-            backend: str, fused: bool, grouped: bool, overlap: bool
+            backend: str, algorithm: str, fused: bool, grouped: bool,
+            overlap: bool,
         ) -> np.ndarray:
             def prog(c):
-                return spmd_bitonic_sort(
-                    c, keys[c.rank * n : (c.rank + 1) * n],
-                    fused=fused, grouped=grouped,
-                    overlap=overlap, chunks=BENCH_CHUNKS,
-                )
+                return rank_sort(c, algorithm, fused, grouped, overlap)
 
             return np.concatenate(
                 run_spmd(procs, prog, backend=backend, timeout=timeout)
             )
 
         def traced_phases(
-            backend: str, fused: bool, grouped: bool, overlap: bool
+            backend: str, algorithm: str, fused: bool, grouped: bool,
+            overlap: bool,
         ) -> Dict[str, Any]:
             # One separate traced run; the timed reps above stay untraced
             # so the span bookkeeping can never contaminate the timings.
             def prog(c):
                 c.tracer = Tracer(c.rank)
-                spmd_bitonic_sort(
-                    c, keys[c.rank * n : (c.rank + 1) * n],
-                    fused=fused, grouped=grouped,
-                    overlap=overlap, chunks=BENCH_CHUNKS,
-                )
+                rank_sort(c, algorithm, fused, grouped, overlap)
                 return c.tracer
 
             tracers = run_spmd(procs, prog, backend=backend, timeout=timeout)
@@ -194,8 +205,8 @@ def _bench_end_to_end(
 
         reference: Optional[bytes] = None
         for backend in backends:
-            for variant, fused, grouped, overlap in BENCH_VARIANTS:
-                output = sort_on(backend, fused, grouped, overlap)
+            for variant, algorithm, fused, grouped, overlap in BENCH_VARIANTS:
+                output = sort_on(backend, algorithm, fused, grouped, overlap)
                 if reference is None:
                     reference = output.tobytes()
                     if reference != np.sort(keys).tobytes():
@@ -210,12 +221,15 @@ def _bench_end_to_end(
                         f"{procs} ranks"
                     )
                 timing = _time(
-                    lambda: sort_on(backend, fused, grouped, overlap), reps
+                    lambda: sort_on(backend, algorithm, fused, grouped,
+                                    overlap),
+                    reps,
                 )
                 records.append(
                     {
                         "backend": backend,
                         "variant": variant,
+                        "algorithm": algorithm,
                         "fused": fused,
                         "grouped": grouped,
                         "overlap": overlap,
@@ -223,7 +237,8 @@ def _bench_end_to_end(
                         "keys": N,
                         "procs": procs,
                         **timing,
-                        **traced_phases(backend, fused, grouped, overlap),
+                        **traced_phases(backend, algorithm, fused, grouped,
+                                        overlap),
                     }
                 )
     return records
@@ -344,19 +359,29 @@ def _bench_service(
                 for P in SERVICE_CANDIDATE_P:
                     if N % P:
                         continue
-                    out = svc.sort(keys, backend=backend, P=P)  # warms the world
+                    # Pinned to the smart bitonic sort so the warm-vs-cold
+                    # and planner-P columns keep their schema-5 meaning;
+                    # the algorithms section audits the routing.
+                    out = svc.sort(
+                        keys, algorithm="smart", backend=backend, P=P
+                    )  # warms the world
                     if out.sorted_keys.tobytes() != expect:
                         raise ConfigurationError(
                             f"bench: warm service [{backend} x {P}] "
                             f"mis-sorted {N} keys"
                         )
                     warm_by_P[str(P)] = _time(
-                        lambda: svc.sort(keys, backend=backend, P=P), reps
+                        lambda: svc.sort(
+                            keys, algorithm="smart", backend=backend, P=P
+                        ),
+                        reps,
                     )
                 best_P = int(
                     min(warm_by_P, key=lambda p: warm_by_P[p]["best_s"])
                 )
-                planner_P = planner.plan(N, backend=backend).P
+                planner_P = planner.plan(
+                    N, backend=backend, algorithm="smart"
+                ).P
                 points += 1
                 matches += planner_P == best_P
                 warm_best = warm_by_P[str(planner_P)]["best_s"]
@@ -377,6 +402,86 @@ def _bench_service(
         "candidate_P": list(SERVICE_CANDIDATE_P),
         "records": records,
         "warm_over_cold": warm_over_cold,
+        "planner_matches": matches,
+        "planner_points": points,
+    }
+
+
+def _bench_algorithms(
+    sizes: Sequence[int],
+    backends: Sequence[str],
+    reps: int,
+    timeout: float,
+) -> Dict[str, Any]:
+    """The cross-algorithm planner audit: smart bitonic vs sample sort.
+
+    For every ``(backend, N)`` shape, both algorithms run warm through a
+    service at a *forced* world size (the largest candidate ``P`` — on
+    one rank the two are the same local sort and the routing question is
+    moot).  The planner is then asked to route the same shape
+    (``algorithm`` left free, same forced ``P``) and audited against the
+    best *measured* algorithm.  ``sample_over_bitonic`` > 1 means the
+    sample sort's single redistribution beat the bitonic remap sequence
+    on that shape.
+    """
+    from repro.service import Planner, SortService
+
+    planner = Planner(candidate_P=SERVICE_CANDIDATE_P)
+    audit_P = max(SERVICE_CANDIDATE_P)
+    records: List[Dict[str, Any]] = []
+    crossover: Dict[str, Dict[str, float]] = {}
+    matches = 0
+    points = 0
+    for backend in backends:
+        crossover[backend] = {}
+        with SortService(planner, timeout=timeout) as svc:
+            for N in sizes:
+                if N % audit_P:
+                    continue
+                keys = make_keys(N, seed=N % 104729)
+                expect = np.sort(keys).tobytes()
+                by_algo: Dict[str, Dict[str, float]] = {}
+                for algo in ("smart", "sample"):
+                    out = svc.sort(
+                        keys, algorithm=algo, backend=backend, P=audit_P
+                    )  # warms the world
+                    if out.sorted_keys.tobytes() != expect:
+                        raise ConfigurationError(
+                            f"bench: warm service [{algo}:{backend} x "
+                            f"{audit_P}] mis-sorted {N} keys"
+                        )
+                    by_algo[algo] = _time(
+                        lambda a=algo: svc.sort(
+                            keys, algorithm=a, backend=backend, P=audit_P
+                        ),
+                        reps,
+                    )
+                best_algo = min(
+                    by_algo, key=lambda a: by_algo[a]["best_s"]
+                )
+                planned = planner.plan(
+                    N, backend=backend, P=audit_P
+                ).algorithm
+                points += 1
+                matches += planned == best_algo
+                crossover[backend][str(N)] = (
+                    by_algo["smart"]["best_s"] / by_algo["sample"]["best_s"]
+                )
+                records.append(
+                    {
+                        "backend": backend,
+                        "keys": N,
+                        "P": audit_P,
+                        "by_algorithm": by_algo,
+                        "best_measured_algorithm": best_algo,
+                        "planner_algorithm": planned,
+                        "planner_match": planned == best_algo,
+                    }
+                )
+    return {
+        "P": audit_P,
+        "records": records,
+        "sample_over_bitonic": crossover,
         "planner_matches": matches,
         "planner_points": points,
     }
@@ -406,6 +511,7 @@ def run_bench(
     end_to_end = _bench_end_to_end(sizes, procs, backends, reps, timeout)
     kernels = _bench_kernels(sizes, reps)
     service = _bench_service(sizes, procs, backends, reps, timeout)
+    service["algorithms"] = _bench_algorithms(sizes, backends, reps, timeout)
     speedups: Dict[str, Dict[str, float]] = {}
     default_variant = BENCH_VARIANTS[0][0]
     if "threads" in backends:
@@ -449,6 +555,22 @@ def run_bench(
             str(r["keys"]): sync_best[r["keys"]] / r["best_s"]
             for r in end_to_end
             if r["backend"] == backend and r["variant"] == "overlap+chunked"
+        }
+    # The algorithm crossover: the sample sort against the default
+    # bitonic path, per backend and size — > 1 where one splitter-driven
+    # redistribution beats the bitonic remap sequence, < 1 where the
+    # sampling overhead wins.  This is the measured twin of
+    # repro.theory.crossover_keys_per_proc.
+    for backend in backends:
+        bitonic_best = {
+            r["keys"]: r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == default_variant
+        }
+        speedups[f"{backend}_sample_over_bitonic"] = {
+            str(r["keys"]): bitonic_best[r["keys"]] / r["best_s"]
+            for r in end_to_end
+            if r["backend"] == backend and r["variant"] == "sample"
         }
     return {
         "schema": BENCH_SCHEMA,

@@ -249,10 +249,11 @@ def _cmd_trace(args) -> int:
         report = sort(
             keys,
             args.procs,
+            algorithm=args.algorithm,
             backend=args.backend,
             trace=True,
             timeout=args.timeout,
-            backend_options=options,
+            options=options,
         )
     except ReproError as exc:
         print(f"trace failed: {exc}", file=sys.stderr)
@@ -318,6 +319,15 @@ def _cmd_bench(args) -> int:
         print(f"  planner matched best measured config on "
               f"{service['planner_matches']}/{service['planner_points']} "
               f"(backend, size) points")
+    algos = service.get("algorithms", {})
+    for backend, by_size in algos.get("sample_over_bitonic", {}).items():
+        pretty = ", ".join(f"{int(k):,}: {v:.2f}x" for k, v in by_size.items())
+        print(f"  sample-over-bitonic {backend} (warm, P="
+              f"{algos.get('P')}): {pretty}")
+    if algos.get("planner_points"):
+        print(f"  planner routed the best measured algorithm on "
+              f"{algos['planner_matches']}/{algos['planner_points']} "
+              f"(backend, size) shapes")
     return 0
 
 
@@ -566,6 +576,10 @@ def _cmd_submit(args) -> int:
         with SortService(planner, verify=True, timeout=args.timeout) as svc:
             outcome = svc.sort(
                 keys,
+                algorithm=(
+                    None if args.algorithm in (None, "auto")
+                    else args.algorithm
+                ),
                 backend=args.backend,
                 P=args.procs,
                 trace=args.trace is not None,
@@ -597,6 +611,7 @@ def _submit_remote(args, keys) -> int:
                 keys,
                 deadline_s=args.deadline,
                 tenant=args.tenant,
+                algorithm=args.algorithm,
                 backend=args.backend,
                 P=args.procs,
                 trace=args.trace is not None,
@@ -610,7 +625,8 @@ def _submit_remote(args, keys) -> int:
     print(f"shard {out.shard!r} sorted {keys.size:,} keys in "
           f"{out.wall_s * 1e3:.1f} ms wall "
           f"({srv.get('queue_wait_s', 0.0) * 1e3:.2f} ms queued, "
-          f"{srv.get('run_s', 0.0) * 1e3:.1f} ms running on "
+          f"{srv.get('run_s', 0.0) * 1e3:.1f} ms running "
+          f"{srv.get('algorithm', 'smart')} on "
           f"{srv.get('backend')} x {srv.get('P')}), "
           f"{out.attempts} attempt(s), "
           f"{'shm' if out.via_shm else 'frame'} payload, "
@@ -892,6 +908,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--keys", type=int, default=1 << 18)
     p_trace.add_argument("--procs", type=int, default=4)
+    p_trace.add_argument("--algorithm", default="smart",
+                         choices=("smart", "sample"),
+                         help="SPMD sort to trace (sample ignores the "
+                              "fused/group/overlap flags)")
     p_trace.add_argument("--backend", default="threads",
                          choices=("threads", "procs"),
                          help="SPMD runtime backend to trace")
@@ -994,6 +1014,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "submit", help="run one request through the sort service"
     )
     p_submit.add_argument("--keys", type=int, default=1 << 16)
+    p_submit.add_argument("--algorithm", default="auto",
+                          choices=("auto", "smart", "sample"),
+                          help="SPMD sort algorithm; 'auto' lets the "
+                               "planner route between them")
     p_submit.add_argument("--procs", type=int, default=None,
                           help="force the world size (default: planner)")
     p_submit.add_argument("--backend", default=None,

@@ -28,6 +28,7 @@ from repro.runtime.world import World
 from repro.runtime.threads import ThreadComm, ThreadWorld
 from repro.runtime.procs import ProcComm, ProcWorld, run_spmd_procs
 from repro.runtime.bitonic_spmd import spmd_bitonic_sort
+from repro.runtime.sample_spmd import spmd_sample_sort
 from repro.runtime.fft_spmd import (
     gather_natural_order,
     local_bitrev_slice,
@@ -48,6 +49,7 @@ __all__ = [
     "run_spmd_procs",
     "spawn_world",
     "spmd_bitonic_sort",
+    "spmd_sample_sort",
     "spmd_fft",
     "local_bitrev_slice",
     "gather_natural_order",

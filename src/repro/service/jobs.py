@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.runtime.bitonic_spmd import spmd_bitonic_sort
+from repro.runtime.sample_spmd import spmd_sample_sort
 from repro.trace.recorder import Tracer
 
 __all__ = ["sort_shards_job", "noop_job", "echo_nbytes_job", "pingpong_job"]
@@ -31,6 +32,7 @@ def sort_shards_job(
     injector: Optional[Any] = None,
     overlap: bool = False,
     chunks: int = 4,
+    algorithm: str = "smart",
 ) -> Tuple[List[np.ndarray], List[Optional[Tracer]]]:
     """Run one batch of same-shape sort requests back to back.
 
@@ -42,7 +44,9 @@ def sort_shards_job(
     fault-tolerant transport for the whole batch; the wrapped comm is
     not :attr:`~repro.runtime.api.Comm.overlap_capable`, so an armed
     injector transparently forces the synchronous schedule even when
-    ``overlap`` is requested.
+    ``overlap`` is requested.  ``algorithm`` picks the SPMD sort:
+    ``"smart"`` bitonic (honours the schedule flags) or ``"sample"``
+    (one splitter-driven redistribution; the flags do not apply).
     """
     base = comm
     if injector is not None:
@@ -54,12 +58,15 @@ def sort_shards_job(
     for shard in shards:
         tracer = Tracer(base.rank) if trace else None
         base.tracer = tracer
-        outs.append(
-            spmd_bitonic_sort(
-                comm, shard, fused=fused, grouped=grouped,
-                overlap=overlap, chunks=chunks,
+        if algorithm == "sample":
+            outs.append(spmd_sample_sort(comm, shard))
+        else:
+            outs.append(
+                spmd_bitonic_sort(
+                    comm, shard, fused=fused, grouped=grouped,
+                    overlap=overlap, chunks=chunks,
+                )
             )
-        )
         base.tracer = None
         tracers.append(tracer)
     return outs, tracers

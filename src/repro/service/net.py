@@ -7,7 +7,8 @@ so the serving layer can take traffic from other processes and hosts.
 
     offset  size  field
     0       4     magic  b"RBSF"
-    4       1     version (1)
+    4       1     version (2; receivers accept any version in
+                  [1, PROTO_VERSION] — minor revisions only add meta keys)
     5       1     frame type
     6       2     flags
     8       4     sequence number (per connection, per direction)
@@ -85,6 +86,7 @@ from repro.trace.recorder import Tracer, trace_span
 __all__ = [
     "HEADER_SIZE",
     "MAGIC",
+    "MIN_PROTO_VERSION",
     "PROTO_VERSION",
     "FrameType",
     "ClientOutcome",
@@ -96,7 +98,13 @@ __all__ = [
 ]
 
 MAGIC = b"RBSF"
-PROTO_VERSION = 1
+#: Current protocol version.  v2 added the optional ``algorithm`` meta
+#: key on SORT/RESULT frames; the frame layout is unchanged, so
+#: receivers accept any version in [MIN_PROTO_VERSION, PROTO_VERSION]
+#: and treat absent meta keys as their v1 defaults (``algorithm`` →
+#: ``"smart"``).
+PROTO_VERSION = 2
+MIN_PROTO_VERSION = 1
 _HEADER = struct.Struct("!4sBBHIII")
 HEADER_SIZE = _HEADER.size + 4  # + trailing CRC-32
 assert HEADER_SIZE == 24
@@ -161,7 +169,7 @@ def parse_header(header: bytes) -> Tuple[int, int, int, int, int, int]:
         raise FrameCorruptError(
             f"bad frame magic {magic!r}", frame_type=ftype, detail="magic"
         )
-    if version != PROTO_VERSION:
+    if not MIN_PROTO_VERSION <= version <= PROTO_VERSION:
         raise FrameCorruptError(
             f"unsupported frame version {version}", frame_type=ftype,
             detail="version",
@@ -642,8 +650,12 @@ class SortServer:
                         elapsed_s=float(meta["budget_s"]) - budget,
                         stage="admission",
                     )
+            # Absent on v1 frames: old clients asked for (and only knew)
+            # the smart bitonic sort; "auto" opts into planner routing.
+            algorithm = meta.get("algorithm", "smart")
             ticket = self.service.submit(
                 keys,
+                algorithm=None if algorithm == "auto" else algorithm,
                 backend=meta.get("backend"),
                 P=meta.get("P"),
                 fused=meta.get("fused"),
@@ -657,6 +669,7 @@ class SortServer:
             rmeta: Dict[str, Any] = {
                 "id": rid,
                 "shard": self.name,
+                "algorithm": outcome.decision.algorithm,
                 "backend": outcome.decision.backend,
                 "P": outcome.decision.P,
                 "queue_wait_s": outcome.queue_wait_s,
@@ -921,6 +934,7 @@ class SortClient:
         *,
         deadline_s: Optional[float] = None,
         tenant: Optional[str] = None,
+        algorithm: Optional[str] = None,
         backend: Optional[str] = None,
         P: Optional[int] = None,
         fused: Optional[bool] = None,
@@ -928,6 +942,10 @@ class SortClient:
         trace: bool = False,
     ) -> ClientOutcome:
         """Sort ``keys`` on the server; deadline-aware, retrying, typed.
+
+        ``algorithm`` is ``"smart"``, ``"sample"`` or ``"auto"`` (server
+        plans across algorithms); ``None`` omits the meta key, which a
+        server of any protocol version reads as ``"smart"``.
 
         The request id is generated once, so every retry is idempotent.
         Wire failures (reset, timeout, corrupt frames) retry with
@@ -959,8 +977,8 @@ class SortClient:
                     outcome, shm_name = self._attempt_sort(
                         rid, keys, shm_name, deadline_at, tracer,
                         deadline_s=deadline_s, tenant=tenant,
-                        backend=backend, P=P, fused=fused,
-                        grouped=grouped,
+                        algorithm=algorithm, backend=backend, P=P,
+                        fused=fused, grouped=grouped,
                     )
                     outcome.attempts = attempts
                     outcome.wall_s = time.monotonic() - started
@@ -1023,7 +1041,8 @@ class SortClient:
             "dtype": str(keys.dtype.str),
             "shape": [int(keys.size)],
         }
-        for key in ("tenant", "backend", "P", "fused", "grouped"):
+        for key in ("tenant", "algorithm", "backend", "P", "fused",
+                    "grouped"):
             if opts.get(key) is not None:
                 meta[key] = opts[key]
         if deadline_at is not None:

@@ -1,17 +1,19 @@
 """The LogGP-driven request planner.
 
 Given a request's ``(N, dtype, faults)`` the planner chooses the cheapest
-execution: backend (threads vs procs), world size ``P``, and the
-fused/grouped communication flags — using the paper's closed forms priced
-with the host's calibrated :class:`~repro.service.profile.HostProfile`,
-optionally biased by measured bench history (``BENCH_pr*.json``).  This
-mirrors how engineered distributed sorters pick algorithms from machine
-parameters instead of hardcoding one.
+execution: **algorithm** (smart bitonic vs sample sort — the Figure
+5.7/5.8 crossover, priced live), backend (threads vs procs), world size
+``P``, and the fused/grouped communication flags — using the paper's
+closed forms priced with the host's calibrated
+:class:`~repro.service.profile.HostProfile`, optionally biased by
+measured bench history (``BENCH_pr*.json``).  This mirrors how
+engineered distributed sorters pick algorithms from machine parameters
+instead of hardcoding one.
 
-Every choice has a **forced-override escape hatch**: pass ``backend=``,
-``P=``, ``fused=``, ``grouped=``, ``overlap=`` or ``chunks=`` to
-:meth:`Planner.plan` and the planner optimizes only the remaining free
-dimensions.
+Every choice has a **forced-override escape hatch**: pass
+``algorithm=``, ``backend=``, ``P=``, ``fused=``, ``grouped=``,
+``overlap=`` or ``chunks=`` to :meth:`Planner.plan` and the planner
+optimizes only the remaining free dimensions.
 
 One choice is a *safety clamp*, not an optimization: a request with an
 armed fault plan runs on the threads backend (the injector needs one
@@ -38,6 +40,10 @@ __all__ = ["PlanDecision", "Planner", "BenchHistory"]
 
 #: Candidate world sizes considered when ``P`` is not forced.
 _DEFAULT_CANDIDATE_P = (1, 2, 4, 8)
+
+#: Algorithms the planner prices against each other when ``algorithm``
+#: is not forced — the ones the SPMD runtime actually implements.
+PLANNABLE_ALGORITHMS = ("smart", "sample")
 
 
 @dataclass(frozen=True)
@@ -70,7 +76,11 @@ class PlanDecision:
 
     def explain(self) -> str:
         ranked = sorted(self.candidates.items(), key=lambda kv: kv[1])
-        chosen = f"{self.backend}x{self.P}" + ("+ov" if self.overlap else "")
+        chosen = (
+            ("" if self.algorithm == "smart" else f"{self.algorithm}:")
+            + f"{self.backend}x{self.P}"
+            + ("+ov" if self.overlap else "")
+        )
         lines = [
             f"plan: {self.algorithm} on {self.backend} x {self.P}, "
             f"fused={self.fused} grouped={self.grouped} "
@@ -82,7 +92,7 @@ class PlanDecision:
         ]
         for name, est in ranked:
             marker = "*" if name == chosen else " "
-            lines.append(f"  {marker} {name:<12} ~{est * 1e3:8.2f} ms")
+            lines.append(f"  {marker} {name:<18} ~{est * 1e3:8.2f} ms")
         return "\n".join(lines)
 
 
@@ -123,13 +133,19 @@ class BenchHistory:
     def __len__(self) -> int:
         return len(self._records)
 
-    def best(self, backend: str, N: int) -> Optional[Tuple[float, int]]:
-        """Best measured ``(seconds, keys)`` for ``backend`` at the
-        record size nearest ``N`` (within a factor of 4), fused variant
-        preferred implicitly by taking the minimum."""
+    def best(
+        self, backend: str, N: int, algorithm: str = "smart"
+    ) -> Optional[Tuple[float, int]]:
+        """Best measured ``(seconds, keys)`` for ``backend`` running
+        ``algorithm`` at the record size nearest ``N`` (within a factor
+        of 4), fused variant preferred implicitly by taking the minimum.
+        Records predating the algorithm field (schema < 6) are bitonic
+        trajectories and count as ``"smart"``."""
         nearby = [
             r for r in self._records
-            if r["backend"] == backend and N / 4 <= r["keys"] <= N * 4
+            if r["backend"] == backend
+            and r.get("algorithm", "smart") == algorithm
+            and N / 4 <= r["keys"] <= N * 4
         ]
         if not nearby:
             return None
@@ -203,6 +219,7 @@ class Planner:
         *,
         dtype_size: int = 4,
         faults: bool = False,
+        algorithm: Optional[str] = None,
         backend: Optional[str] = None,
         P: Optional[int] = None,
         fused: Optional[bool] = None,
@@ -218,6 +235,15 @@ class Planner:
         applies the safety clamp described in the module docstring —
         it wins even over forced ``fused``/``grouped``/``overlap``.
 
+        With ``algorithm=None`` (or ``"auto"``) the planner prices both
+        runnable algorithms — smart bitonic and sample sort — against
+        each other, each at its own bench-history bias, and the winner's
+        name lands on :attr:`PlanDecision.algorithm` (the ``sample:``-
+        prefixed rows of :meth:`PlanDecision.explain`'s candidate
+        table).  Forcing ``overlap=True`` pins the bitonic chunked
+        pipeline: sample sort's single exchange has nothing to overlap,
+        so the overlapped request is a bitonic request.
+
         With ``overlap=None`` the planner prices each ``(backend, P)``
         twice — synchronous and overlapped (the ``+ov`` candidates) —
         and picks overlap only when the estimate says hiding transfer
@@ -227,6 +253,13 @@ class Planner:
         """
         if N < 1:
             raise ConfigurationError(f"cannot plan a sort of {N} keys")
+        if algorithm == "auto":
+            algorithm = None
+        if algorithm is not None and algorithm not in PLANNABLE_ALGORITHMS:
+            raise ConfigurationError(
+                f"the planner cannot schedule algorithm {algorithm!r}; "
+                f"choose from {PLANNABLE_ALGORITHMS} (or None for auto)"
+            )
         clamped = False
         if faults:
             # Safety clamp: the fault transport needs one address space
@@ -277,31 +310,51 @@ class Planner:
                 if p == 1 or (N % p == 0 and N // p >= 2)
             ) or (1,)
 
+        # Which algorithms compete: one when forced; forcing the
+        # overlapped pipeline pins bitonic (sample's single exchange has
+        # nothing to overlap); otherwise both runnable algorithms.
+        if algorithm is not None:
+            algos: Tuple[str, ...] = (algorithm,)
+        elif overlap is True:
+            algos = ("smart",)
+        else:
+            algos = PLANNABLE_ALGORITHMS
         # Which overlap polarities compete: both when the planner is free
         # to choose, exactly one when forced (or fault-clamped).
         ov_options = (False, True) if overlap is None else (bool(overlap),)
         candidates: Dict[str, float] = {}
-        best: Optional[Tuple[float, str, int, bool]] = None
-        for b in backends:
-            scale = self._history_scale(b, N, dtype_size)
-            # Measured overlap payoff beats the profile's static number.
-            profile = self.profile
-            eff = self.history.overlap_efficiency(b)
-            if eff is not None and True in ov_options:
-                profile = replace(profile, overlap_efficiency=eff)
-            for p in candidates_P:
-                for ov in ov_options:
-                    est = profile.estimate(
-                        N, p, b,
-                        fused=use_fused, grouped=use_grouped,
-                        overlap=ov, chunks=use_chunks,
-                        warm=warm, dtype_size=dtype_size,
-                    ) * scale
-                    candidates[f"{b}x{p}" + ("+ov" if ov else "")] = est
-                    if best is None or est < best[0]:
-                        best = (est, b, p, ov)
+        best: Optional[Tuple[float, str, str, int, bool]] = None
+        for algo in algos:
+            # Sample sort never runs the chunked pipeline; its only
+            # overlap polarity is what was forced (ignored at runtime).
+            algo_ov = (
+                ov_options if algo == "smart"
+                else (bool(overlap),) if overlap is not None
+                else (False,)
+            )
+            prefix = "" if algo == "smart" else f"{algo}:"
+            for b in backends:
+                scale = self._history_scale(b, N, dtype_size, algo)
+                # Measured overlap payoff beats the profile's static number.
+                profile = self.profile
+                eff = self.history.overlap_efficiency(b)
+                if eff is not None and True in algo_ov:
+                    profile = replace(profile, overlap_efficiency=eff)
+                for p in candidates_P:
+                    for ov in algo_ov:
+                        est = profile.estimate(
+                            N, p, b,
+                            algorithm=algo,
+                            fused=use_fused, grouped=use_grouped,
+                            overlap=ov, chunks=use_chunks,
+                            warm=warm, dtype_size=dtype_size,
+                        ) * scale
+                        name = f"{prefix}{b}x{p}" + ("+ov" if ov else "")
+                        candidates[name] = est
+                        if best is None or est < best[0]:
+                            best = (est, algo, b, p, ov)
         assert best is not None
-        est, chosen_backend, chosen_P, chosen_ov = best
+        est, chosen_algo, chosen_backend, chosen_P, chosen_ov = best
         forced = backend is not None and P is not None
         source = (
             "forced" if forced
@@ -311,7 +364,7 @@ class Planner:
         return PlanDecision(
             backend=chosen_backend,
             P=chosen_P,
-            algorithm="smart",
+            algorithm=chosen_algo,
             fused=use_fused,
             grouped=use_grouped,
             overlap=chosen_ov,
@@ -322,12 +375,21 @@ class Planner:
             candidates=candidates,
         )
 
-    def _history_scale(self, backend: str, N: int, dtype_size: int) -> float:
+    def _history_scale(
+        self, backend: str, N: int, dtype_size: int,
+        algorithm: str = "smart",
+    ) -> float:
         """Measured/modeled ratio at the nearest benched size: scales the
-        model's estimate for ``backend`` so systematic model error (GIL
-        serialization, allocator behaviour) cancels out of the
-        backend-vs-backend comparison."""
-        hit = self.history.best(backend, N)
+        model's estimate for ``backend`` running ``algorithm`` so
+        systematic model error (GIL serialization, allocator behaviour)
+        cancels out of the algorithm- and backend-vs-backend comparison.
+        An algorithm with no bench records of its own falls back to the
+        backend's bitonic-derived ratio — the backend-systematic share of
+        the error transfers even before the algorithm is benched."""
+        hit = self.history.best(backend, N, algorithm)
+        if hit is None and algorithm != "smart":
+            algorithm = "smart"
+            hit = self.history.best(backend, N, algorithm)
         if hit is None:
             return 1.0
         measured, keys = hit
@@ -336,7 +398,8 @@ class Planner:
         # recorded per-history here, so use the bench default of 4.
         try:
             modeled = self.profile.estimate(
-                keys, 4, backend, warm=False, dtype_size=dtype_size
+                keys, 4, backend, algorithm=algorithm,
+                warm=False, dtype_size=dtype_size,
             )
         except ConfigurationError:
             return 1.0
@@ -356,14 +419,14 @@ class Planner:
         """Human-readable table of what the planner would pick per size
         (the "planner decision table" of docs/SERVING.md)."""
         lines = [
-            f"{'keys':>10}  {'backend':<8} {'P':>2}  {'fused':<5} "
-            f"{'grouped':<7} {'overlap':<7} {'est':>10}",
+            f"{'keys':>10}  {'algorithm':<9} {'backend':<8} {'P':>2}  "
+            f"{'fused':<5} {'grouped':<7} {'overlap':<7} {'est':>10}",
         ]
         for N in sizes:
             d = self.plan(N)
             lines.append(
-                f"{N:>10,}  {d.backend:<8} {d.P:>2}  {str(d.fused):<5} "
-                f"{str(d.grouped):<7} {str(d.overlap):<7} "
+                f"{N:>10,}  {d.algorithm:<9} {d.backend:<8} {d.P:>2}  "
+                f"{str(d.fused):<5} {str(d.grouped):<7} {str(d.overlap):<7} "
                 f"{d.est_seconds * 1e3:>8.2f}ms"
             )
         return "\n".join(lines)

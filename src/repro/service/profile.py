@@ -171,6 +171,7 @@ class HostProfile:
         P: int,
         backend: str,
         *,
+        algorithm: str = "smart",
         fused: bool = True,
         grouped: bool = True,
         overlap: bool = False,
@@ -178,10 +179,11 @@ class HostProfile:
         warm: bool = True,
         dtype_size: int = KEY_BYTES,
     ) -> float:
-        """Estimated end-to-end wall seconds for one smart-sort request.
+        """Estimated end-to-end wall seconds for one sort request.
 
         The per-processor busy time comes from the paper's closed form
-        (:func:`repro.theory.predict.predict` with this host's spec);
+        (:func:`repro.theory.predict.predict` with this host's spec) for
+        the requested ``algorithm`` (``"smart"`` bitonic or ``"sample"``);
         oversubscription scales it by ``P / min(P, cpus)`` because ranks
         beyond the core count serialize.  Ungrouped runs pay the full
         world-barrier fan-in per remap instead of the Lemma-4 group
@@ -190,9 +192,11 @@ class HostProfile:
         behind unpack/merge) and charges one extra per-chunk posting
         overhead ``o`` per remap — with the default efficiency of 0 the
         overlapped estimate is strictly *worse*, so the planner only
-        selects overlap once measurements justify it.  On top ride the
-        serving fixed costs: spawn (cold only), job dispatch, and shard
-        shipping through the job pipe.
+        selects overlap once measurements justify it.  Sample sort has
+        no chunked pipeline, so its estimate ignores the overlap flag
+        (equal estimates let the planner keep the synchronous spelling).
+        On top ride the serving fixed costs: spawn (cold only), job
+        dispatch, and shard shipping through the job pipe.
         """
         from repro.theory.counts import counts_for
         from repro.theory.predict import predict
@@ -204,21 +208,33 @@ class HostProfile:
                 f"knows {sorted(self.backends)}"
             )
         spec = self.machine_spec(backend, P)
-        pt = predict("smart", N, P, spec=spec, fused=fused)
+        if algorithm == "smart":
+            pt = predict("smart", N, P, spec=spec, fused=fused)
+        else:
+            pt = predict(algorithm, N, P, spec=spec)
         busy_us = pt.total
-        if overlap and P > 1:
+        if algorithm == "smart" and overlap and P > 1:
             eff = min(max(self.overlap_efficiency, 0.0), 1.0)
             busy_us -= eff * pt.times.get("transfer", 0.0)
             remaps = counts_for("smart", N, P).remaps
             busy_us += (max(int(chunks), 1) - 1) * remaps * costs.o
         if P > 1:
-            counts = counts_for("smart", N, P)
+            if algorithm == "smart":
+                counts = counts_for("smart", N, P)
+                remaps = counts.remaps
+                messages = counts.messages
+            else:
+                # Sample sort: one redistribution of P - 1 messages, and
+                # its single exchange always spans the whole world.
+                remaps, messages = 1, P - 1
             # Synchronization fan-in per remap: each member waits on the
             # group (Lemma 4) or on the whole world, one ``o`` per peer
             # it must observe.  Groups average far fewer members.
-            mean_group = max(2.0, counts.messages / counts.remaps + 1)
-            fanin = mean_group if grouped else float(P)
-            busy_us += counts.remaps * costs.o * fanin
+            mean_group = max(2.0, messages / remaps + 1)
+            fanin = (
+                mean_group if grouped and algorithm == "smart" else float(P)
+            )
+            busy_us += remaps * costs.o * fanin
         oversub = P / max(1, min(P, self.cpus))
         wall = busy_us * oversub / 1e6
         wall += costs.job_overhead_s

@@ -81,6 +81,7 @@ class LocalShard:
         *,
         deadline_s: Optional[float] = None,
         tenant: Optional[str] = None,
+        algorithm: Optional[str] = None,
         backend: Optional[str] = None,
         P: Optional[int] = None,
         fused: Optional[bool] = None,
@@ -90,6 +91,11 @@ class LocalShard:
         started = time.monotonic()
         ticket = self.service.submit(
             np.asarray(keys),
+            # The wire defaults an absent algorithm to "smart"; the local
+            # shard mirrors that so mixed deployments behave alike.
+            algorithm=(
+                None if algorithm == "auto" else (algorithm or "smart")
+            ),
             backend=backend,
             P=P,
             fused=fused,
@@ -107,6 +113,7 @@ class LocalShard:
             wall_s=time.monotonic() - started,
             server={
                 "shard": self.name,
+                "algorithm": outcome.decision.algorithm,
                 "backend": outcome.decision.backend,
                 "P": outcome.decision.P,
                 "queue_wait_s": outcome.queue_wait_s,
@@ -323,6 +330,7 @@ class ShardRouter:
         *,
         deadline_s: Optional[float] = None,
         tenant: Optional[str] = None,
+        algorithm: Optional[str] = None,
         backend: Optional[str] = None,
         P: Optional[int] = None,
         fused: Optional[bool] = None,
@@ -366,6 +374,7 @@ class ShardRouter:
                     keys,
                     deadline_s=remaining,
                     tenant=tenant,
+                    algorithm=algorithm,
                     backend=backend,
                     P=P,
                     fused=fused,

@@ -264,6 +264,7 @@ class SortService:
         self,
         keys: np.ndarray,
         *,
+        algorithm: Optional[str] = None,
         backend: Optional[str] = None,
         P: Optional[int] = None,
         fused: Optional[bool] = None,
@@ -277,9 +278,10 @@ class SortService:
     ) -> Ticket:
         """Enqueue one sort request; returns its :class:`Ticket`.
 
-        ``backend``/``P``/``fused``/``grouped``/``overlap``/``chunks``
-        are forced overrides for
-        the planner (``None`` = planner chooses).  Raises
+        ``algorithm``/``backend``/``P``/``fused``/``grouped``/
+        ``overlap``/``chunks`` are forced overrides for
+        the planner (``None`` = planner chooses, including the
+        smart-bitonic-vs-sample algorithm routing).  Raises
         :class:`~repro.errors.AdmissionError` when the queue is full, the
         deadline estimate says the request cannot finish in time, or the
         tenant is over its rate/fair-share entitlement — admission
@@ -305,6 +307,7 @@ class SortService:
             keys.size,
             dtype_size=keys.dtype.itemsize,
             faults=have_faults,
+            algorithm=algorithm,
             backend=backend,
             P=P,
             fused=fused,
@@ -385,7 +388,7 @@ class SortService:
             return None  # fault runs never share a world dispatch
         d = p.decision
         return (
-            p.keys.size, p.keys.dtype.str, d.backend, d.P,
+            p.keys.size, p.keys.dtype.str, d.backend, d.P, d.algorithm,
             d.fused, d.grouped, d.overlap, d.chunks,
         )
 
@@ -478,7 +481,7 @@ class SortService:
 
         rank_args = [
             (shards_for(r), d.fused, d.grouped, trace, injector,
-             d.overlap, d.chunks)
+             d.overlap, d.chunks, d.algorithm)
             for r in range(P)
         ]
         # Deadline propagation into the world dispatch: when every batch
@@ -522,7 +525,9 @@ class SortService:
             if self._verify:
                 from repro.sorts.base import verify_sorted
 
-                verify_sorted(p.keys, out, f"service[{d.backend}x{P}]")
+                verify_sorted(
+                    p.keys, out, f"service[{d.algorithm}:{d.backend}x{P}]"
+                )
             tracers = None
             if p.trace:
                 tracers = [rank_results[r][1][i] for r in range(P)]
@@ -551,6 +556,7 @@ class SortService:
                     {
                         "id": p.ticket.request_id,
                         "keys": int(p.keys.size),
+                        "algorithm": d.algorithm,
                         "backend": d.backend,
                         "P": P,
                         "fused": d.fused,

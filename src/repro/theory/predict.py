@@ -265,9 +265,19 @@ _PREDICTORS = {
 def predict(algorithm: str, N: int, P: int, spec: MachineSpec = MEIKO_CS2,
             **kwargs) -> PredictedTime:
     """Predict by algorithm name (``smart``, ``cyclic-blocked``,
-    ``blocked-merge``)."""
+    ``blocked-merge``, ``radix``, ``sample``)."""
+    if algorithm in ("radix", "sample"):
+        # Deferred: predict_comparators imports from this module.
+        from repro.theory.predict_comparators import (
+            predict_radix,
+            predict_sample,
+        )
+
+        fn = predict_radix if algorithm == "radix" else predict_sample
+        return fn(N, P, spec, **kwargs)
     if algorithm not in _PREDICTORS:
+        choices = sorted(_PREDICTORS) + ["radix", "sample"]
         raise ConfigurationError(
-            f"no predictor for {algorithm!r}; choose from {sorted(_PREDICTORS)}"
+            f"no predictor for {algorithm!r}; choose from {choices}"
         )
     return _PREDICTORS[algorithm](N, P, spec, **kwargs)

@@ -94,9 +94,14 @@ class TestSortRejections:
         with pytest.raises(ConfigurationError, match="unknown algorithm"):
             sort(make_keys(64), 2, algorithm="bogo")
 
-    def test_spmd_backends_are_smart_only(self):
-        with pytest.raises(ConfigurationError, match="only the 'smart'"):
+    def test_spmd_backends_reject_simulated_only_algorithms(self):
+        with pytest.raises(ConfigurationError,
+                           match="implements.*backend='simulated'"):
             sort(make_keys(64), 2, algorithm="radix", backend="threads")
+
+    def test_auto_needs_a_service(self):
+        with pytest.raises(ConfigurationError, match="planner routing"):
+            sort(make_keys(64), 2, algorithm="auto", backend="threads")
 
     def test_procs_rejects_faults(self):
         with pytest.raises(ConfigurationError, match="threads backend"):
@@ -106,6 +111,28 @@ class TestSortRejections:
     def test_simulated_rejects_backend_options(self):
         with pytest.raises(ConfigurationError, match="backend_options"):
             sort(make_keys(64), 2, backend_options=BackendOptions())
+
+
+class TestOptionsShim:
+    def test_options_is_the_canonical_spelling(self):
+        keys = make_keys(1 << 9, seed=11)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = sort(keys, 2, backend="threads",
+                          options=BackendOptions(fused=False))
+        np.testing.assert_array_equal(report.sorted_keys, np.sort(keys))
+
+    def test_backend_options_warns_and_still_works(self):
+        keys = make_keys(1 << 9, seed=12)
+        with pytest.warns(DeprecationWarning, match="options="):
+            report = sort(keys, 2, backend="threads",
+                          backend_options=BackendOptions(fused=False))
+        np.testing.assert_array_equal(report.sorted_keys, np.sort(keys))
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            sort(make_keys(64), 2, backend="threads",
+                 options=BackendOptions(), backend_options=BackendOptions())
 
 
 class TestBackendOptions:

@@ -26,6 +26,8 @@ from repro.service import SortClient, SortServer, SortService
 from repro.service.net import (
     HEADER_SIZE,
     MAGIC,
+    MIN_PROTO_VERSION,
+    PROTO_VERSION,
     FrameType,
     decode_frame,
     encode_frame,
@@ -74,6 +76,20 @@ class TestFrameCodec:
         with pytest.raises(FrameCorruptError) as exc:
             decode_frame(bytes(frame))
         assert exc.value.detail == "version"
+
+    def test_v1_header_still_decodes(self):
+        """Version tolerance: a frame stamped with the oldest supported
+        protocol version decodes cleanly (the header sits outside the
+        CRC-covered region, so patching the byte needs no recompute)."""
+        frame = bytearray(
+            encode_frame(FrameType.SORT, {"id": "v1"}, b"\x01\x02")
+        )
+        assert frame[4] == PROTO_VERSION
+        frame[4] = MIN_PROTO_VERSION
+        ftype, meta, body = decode_frame(bytes(frame))
+        assert ftype == FrameType.SORT
+        assert meta == {"id": "v1"}
+        assert body == b"\x01\x02"
 
     def test_truncated_header(self):
         with pytest.raises(FrameCorruptError) as exc:
@@ -246,6 +262,40 @@ class TestSortOverTheWire:
             np.frombuffer(body1, dtype=keys.dtype), np.sort(keys)
         )
         assert server.service.report().served == served_before + 1
+
+    def test_v1_sort_frame_defaults_to_smart(self, server):
+        """Mixed-version round trip: a v1-era SORT frame — old version
+        byte, no ``algorithm`` meta key — still sorts, and the server
+        reads the absent key as its v1 meaning, ``"smart"``."""
+        keys = make_keys(1024, seed=21)
+        meta = {
+            "id": "c" * 32,
+            "dtype": str(keys.dtype.str),
+            "backend": "threads",
+            "P": 2,
+        }
+        frame = bytearray(encode_frame(FrameType.SORT, meta, keys.tobytes()))
+        frame[4] = MIN_PROTO_VERSION
+        with socket.create_connection(server.address, timeout=30.0) as s:
+            s.sendall(bytes(frame))
+            ftype, rmeta, body = _raw_recv_frame(s)
+        assert ftype == FrameType.RESULT
+        assert rmeta["algorithm"] == "smart"
+        assert np.array_equal(
+            np.frombuffer(body, dtype=keys.dtype), np.sort(keys)
+        )
+
+    def test_algorithm_meta_round_trips(self, client):
+        keys = make_keys(1 << 11, seed=22)
+        out = client.sort(keys, algorithm="sample", backend="threads", P=2)
+        assert out.server["algorithm"] == "sample"
+        np.testing.assert_array_equal(out.sorted_keys, np.sort(keys))
+
+    def test_auto_algorithm_is_planned_server_side(self, client):
+        keys = make_keys(1 << 11, seed=23)
+        out = client.sort(keys, algorithm="auto")
+        assert out.server["algorithm"] in ("smart", "sample")
+        np.testing.assert_array_equal(out.sorted_keys, np.sort(keys))
 
     def test_corrupt_request_answers_typed_not_silent(self, server):
         keys = make_keys(512, seed=5)

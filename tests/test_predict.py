@@ -111,7 +111,13 @@ class TestPredictDispatch:
 
     def test_unknown(self):
         with pytest.raises(ConfigurationError):
-            predict("sample", 1 << 12, 8)
+            predict("bogo", 1 << 12, 8)
+
+    def test_sample_dispatches(self):
+        # The planner prices sample sort through this same front door.
+        pt = predict("sample", 1 << 12, 8)
+        assert pt.algorithm == "sample"
+        assert pt.us_per_key > 0
 
     def test_paper_scale_is_instant(self):
         """The whole point: predicting the paper's 1M keys/proc sweep takes

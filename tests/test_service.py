@@ -160,6 +160,34 @@ class TestPlanner:
         d = Planner().plan(1 << 12)
         assert f"{d.backend} x {d.P}" in d.explain()
 
+    def test_default_prices_both_algorithms(self):
+        d = Planner().plan(1 << 12)
+        assert d.algorithm in ("smart", "sample")
+        assert any(key.startswith("sample:") for key in d.candidates)
+        assert any(not key.startswith("sample:") for key in d.candidates)
+
+    def test_auto_is_the_default_spelling(self):
+        a = Planner().plan(1 << 12, algorithm="auto")
+        b = Planner().plan(1 << 12)
+        assert (a.algorithm, a.backend, a.P) == (b.algorithm, b.backend, b.P)
+
+    def test_forced_algorithm_respected(self):
+        d = Planner().plan(1 << 12, algorithm="sample", backend="threads",
+                           P=4)
+        assert d.algorithm == "sample"
+        assert (d.backend, d.P, d.source) == ("threads", 4, "forced")
+
+    def test_unplannable_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot schedule"):
+            Planner().plan(1 << 12, algorithm="radix")
+
+    def test_overlap_pins_smart(self):
+        # Sample sort has a single redistribution — there is no pipeline
+        # of remaps to overlap, so forcing overlap scopes the race to
+        # the bitonic algorithm.
+        d = Planner().plan(1 << 14, overlap=True)
+        assert d.algorithm == "smart"
+
 
 class TestBenchHistory:
     def test_biases_toward_measured_backend(self):
@@ -504,7 +532,22 @@ class TestSortFrontDoorBridge:
         with pytest.raises(ConfigurationError, match="P is required"):
             sort(make_keys(1 << 10, seed=93))
 
-    def test_service_runs_only_smart(self, service):
-        with pytest.raises(ConfigurationError, match="only the 'smart'"):
+    def test_service_runs_only_spmd_algorithms(self, service):
+        with pytest.raises(ConfigurationError,
+                           match="runs only the SPMD algorithms"):
             sort(make_keys(1 << 10, seed=94), 2, algorithm="radix",
                  service=service)
+
+    def test_default_routes_across_algorithms(self, service):
+        keys = make_keys(1 << 11, seed=95)
+        report = sort(keys, service=service)  # algorithm resolves to auto
+        assert report.algorithm in ("smart", "sample")
+        assert report.sorted_keys.tobytes() == np.sort(keys).tobytes()
+
+    def test_forced_sample_via_service(self, service):
+        keys = make_keys(1 << 11, seed=96)
+        report = sort(keys, 2, algorithm="sample", backend="threads",
+                      service=service)
+        assert report.algorithm == "sample"
+        assert (report.backend, report.P) == ("threads", 2)
+        assert report.sorted_keys.tobytes() == np.sort(keys).tobytes()
