@@ -21,7 +21,7 @@ Measures, on the machine actually running the sorts:
   dispatch/collect overhead, and shard-shipping bandwidth through the
   procs job pipe.
 
-The result is persisted as JSON (schema ``repro-bitonic-profile/1``) and
+The result is persisted as JSON (schema ``repro-bitonic-profile/2``) and
 loaded with :meth:`repro.service.HostProfile.load`; hand it to the CLI
 via ``repro-bitonic serve --profile PROFILE.json`` or to a
 :class:`repro.service.Planner` directly.  See docs/SERVING.md.

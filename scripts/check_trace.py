@@ -35,6 +35,11 @@ Fails (exit 1) if any given trace file:
   no ``wait``/``complete`` span — a posted-but-never-waited pipeline
   would mean the nonblocking schedule silently degenerated.
 
+With ``--expect-adapt`` each trace must additionally carry a positive
+``adapt.updates`` counter — the service-lane marker that the online
+adapter folded the traced request; a trace of an adapting service
+without it means the feedback loop silently disengaged.
+
 With ``--bench BENCH.json`` it additionally gates the quick benchmark
 trajectory: for every backend, the fused+group variant must not be more
 than 25% slower than the unfused world-wide baseline
@@ -45,7 +50,12 @@ than 10% slower than its synchronous twin (``*_overlap_over_sync`` >=
 here even when outputs stay correct.  Schema ``repro-bitonic-bench/6``+
 trajectories must additionally carry the ``*_sample_over_bitonic``
 crossover tables (positive ratios; no floor — which algorithm wins is
-the data).
+the data).  Schema ``repro-bitonic-bench/7`` documents may instead (or
+additionally) carry an ``adapt_replay`` section, whose
+``adapted_over_static`` ratio must be >= 1.0: the adapting service may
+never lose to the frozen-profile one on the recorded load.  The
+end-to-end gates apply when the end-to-end sections are present, the
+adapt gate when ``adapt_replay`` is; a /7 document with neither fails.
 """
 
 import argparse
@@ -70,8 +80,14 @@ BENCH_MIN_FUSED_SPEEDUP = 0.75
 #: chunking for nothing).
 BENCH_MIN_OVERLAP_SPEEDUP = 0.9
 
+#: Floor on the adapt-replay ratio: the adapting service must match or
+#: beat the frozen-profile service on the recorded load (the feedback
+#: loop may never make routing worse).
+BENCH_MIN_ADAPTED_OVER_STATIC = 1.0
 
-def check(path: str, allow_unfused: bool = False) -> list:
+
+def check(path: str, allow_unfused: bool = False,
+          expect_adapt: bool = False) -> list:
     errors = []
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -156,6 +172,11 @@ def check(path: str, allow_unfused: bool = False) -> list:
                 "coll.overlapped recorded without coll.chunks — the "
                 "overlapped remaps lost their chunk accounting"
             )
+    if expect_adapt and not counters.get("adapt.updates"):
+        errors.append(
+            "no adapt.updates counter — the traced request never reached "
+            "the online adapter (feedback loop silently disengaged)"
+        )
     return errors
 
 
@@ -167,6 +188,34 @@ def check_bench(path: str) -> list:
     schema = doc.get("schema", "")
     if not schema.startswith("repro-bitonic-bench/"):
         return [f"not a bench trajectory (schema {schema!r})"]
+    # A /7 document carries the end-to-end trajectory sections, the
+    # adapt_replay section, or both; each gate applies to the sections
+    # actually present, and a document with neither has nothing to
+    # stand on.
+    has_end_to_end = bool(
+        doc.get("end_to_end") or doc.get("end_to_end_speedup")
+    )
+    adapt_replay = doc.get("adapt_replay")
+    if not has_end_to_end and adapt_replay is None:
+        return [
+            "neither end-to-end trajectory sections nor an adapt_replay "
+            "section — nothing to gate"
+        ]
+    if adapt_replay is not None:
+        ratio = adapt_replay.get("adapted_over_static")
+        if not isinstance(ratio, (int, float)):
+            errors.append(
+                f"adapt_replay.adapted_over_static = {ratio!r}: not a "
+                "measured ratio"
+            )
+        elif ratio < BENCH_MIN_ADAPTED_OVER_STATIC:
+            errors.append(
+                f"adapt_replay.adapted_over_static = {ratio:.3f}x: the "
+                "adapting service lost to the frozen-profile service "
+                f"(floor {BENCH_MIN_ADAPTED_OVER_STATIC}x)"
+            )
+    if not has_end_to_end:
+        return errors
     speedups = doc.get("end_to_end_speedup", {})
     fused_tables = {
         name: table
@@ -242,13 +291,17 @@ def main(argv) -> int:
     parser.add_argument("--allow-unfused", action="store_true",
                         help="skip the fused-collective requirement (for "
                              "traces of deliberately unfused runs)")
+    parser.add_argument("--expect-adapt", action="store_true",
+                        help="require a positive adapt.updates counter "
+                             "(traces of an adapting service)")
     args = parser.parse_args(argv)
     if not args.traces and not args.bench:
         parser.print_help(sys.stderr)
         return 2
     failed = False
     for path in args.traces:
-        errors = check(path, allow_unfused=args.allow_unfused)
+        errors = check(path, allow_unfused=args.allow_unfused,
+                       expect_adapt=args.expect_adapt)
         if errors:
             failed = True
             print(f"FAIL {path}")
@@ -268,10 +321,22 @@ def main(argv) -> int:
             for err in errors:
                 print(f"  - {err}")
         else:
-            print(f"OK   {args.bench}: fused+group within "
-                  f"{BENCH_MIN_FUSED_SPEEDUP}x floor of the unfused "
-                  f"baseline; overlap within {BENCH_MIN_OVERLAP_SPEEDUP}x "
-                  "floor of sync")
+            with open(args.bench, encoding="utf-8") as fh:
+                bench_doc = json.load(fh)
+            parts = []
+            if bench_doc.get("end_to_end") or bench_doc.get("end_to_end_speedup"):
+                parts.append(
+                    f"fused+group within {BENCH_MIN_FUSED_SPEEDUP}x floor "
+                    f"of the unfused baseline; overlap within "
+                    f"{BENCH_MIN_OVERLAP_SPEEDUP}x floor of sync"
+                )
+            if bench_doc.get("adapt_replay") is not None:
+                ratio = bench_doc["adapt_replay"].get("adapted_over_static")
+                parts.append(
+                    f"adapted_over_static {ratio:.3f}x >= "
+                    f"{BENCH_MIN_ADAPTED_OVER_STATIC}x"
+                )
+            print(f"OK   {args.bench}: " + "; ".join(parts))
     return 1 if failed else 0
 
 

@@ -67,8 +67,14 @@ __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 #: ``overlap_over_sync`` speedup tables;
 #: /6 added the per-record ``algorithm`` field, the SPMD sample-sort
 #: variant, the ``sample_over_bitonic`` crossover tables, and the
-#: service section's cross-algorithm planner audit.
-BENCH_SCHEMA = "repro-bitonic-bench/6"
+#: service section's cross-algorithm planner audit;
+#: /7 added the optional ``adapt_replay`` section (record/replay of a
+#: load trace against a frozen-profile service vs an adapting one, with
+#: the ``adapted_over_static`` speedup CI gates at >= 1.0) — a /7 doc
+#: carries *either* the end-to-end trajectory sections *or* the
+#: adapt-replay section, and ``scripts/check_trace.py`` gates whichever
+#: is present.
+BENCH_SCHEMA = "repro-bitonic-bench/7"
 
 #: World sizes the service section sweeps when measuring warm latency
 #: (and the planner's candidate set for the match tally).

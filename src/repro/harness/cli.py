@@ -331,6 +331,55 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_adapt_replay(args) -> int:
+    """Record/replay proof of the online-adaptation loop: replay one
+    load trace against a frozen-profile service and an adapting one,
+    write the BENCH /7 ``adapted_over_static`` table, gate >= min."""
+    from repro.harness.adapt_replay import (
+        record_load_trace,
+        run_adapt_replay,
+        save_load_trace,
+    )
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.record_out:
+        save_load_trace(
+            record_load_trace(args.requests, sizes, args.seed),
+            args.record_out,
+        )
+        print(f"load trace recorded to {args.record_out}")
+    doc = run_adapt_replay(
+        requests=args.requests,
+        sizes=sizes,
+        seed=args.seed,
+        profile_path=args.profile,
+        load_path=args.record_out or args.load,
+        out=args.out,
+        drift=not args.no_drift,
+    )
+    ar = doc["adapt_replay"]
+    ratio = ar["adapted_over_static"]
+    print(f"adapt-replay written to {args.out}")
+    for side in ("static", "adapted"):
+        r = ar[side]
+        mix = ", ".join(f"{k} x{v}" for k, v in r["decision_mix"].items())
+        print(f"  {side:>7}: {r['requests']} requests, "
+              f"sum wall {r['sum_wall_s'] * 1e3:.0f} ms, "
+              f"p50 {r['p50_s'] * 1e3:.1f} ms, p99 {r['p99_s'] * 1e3:.1f} ms")
+        print(f"           [{mix}]")
+    adapt = ar["adapted"].get("adapt", {})
+    print(f"  adapter: {adapt.get('updates', 0)} updates, "
+          f"factors {adapt.get('factors', {})}, "
+          f"overlap eff {adapt.get('overlap_efficiency', {})}")
+    print(f"  adapted_over_static: {ratio:.3f}x "
+          f"(gate: >= {args.min_ratio})")
+    if ratio < args.min_ratio:
+        print(f"adapt-replay: adapting service was slower than the frozen "
+              f"one ({ratio:.3f}x < {args.min_ratio})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _service_planner(profile_path):
     """A Planner for the CLI service commands: calibrated profile when
     one is given (or the default path exists), bench history when any
@@ -901,6 +950,34 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-world SPMD timeout in seconds")
     p_bench.set_defaults(fn=_cmd_bench)
 
+    p_ar = sub.add_parser(
+        "adapt-replay",
+        help="record a load trace, replay it against a frozen-profile "
+             "service and an adapting one, gate adapted_over_static",
+    )
+    p_ar.add_argument("--requests", type=int, default=200,
+                      help="requests in a freshly recorded load trace")
+    p_ar.add_argument("--sizes", default="4096,16384",
+                      help="comma-separated key counts in the trace")
+    p_ar.add_argument("--seed", type=int, default=0)
+    p_ar.add_argument("--out", default="BENCH_adapt.json",
+                      help="BENCH /7 output JSON path")
+    p_ar.add_argument("--record-out", default=None,
+                      help="also persist the recorded load trace here "
+                           "(and replay exactly that file)")
+    p_ar.add_argument("--load", default=None,
+                      help="replay a previously recorded load trace "
+                           "instead of recording a fresh one")
+    p_ar.add_argument("--profile", default=None,
+                      help="calibrated host profile JSON to start from")
+    p_ar.add_argument("--no-drift", action="store_true",
+                      help="replay against the undrifted profile (checks "
+                           "the adapter does no harm when the model is "
+                           "already right)")
+    p_ar.add_argument("--min-ratio", type=float, default=1.0,
+                      help="fail when adapted_over_static falls below this")
+    p_ar.set_defaults(fn=_cmd_adapt_replay)
+
     p_trace = sub.add_parser(
         "trace",
         help="run the SPMD sort traced; print the phase table, write a "
@@ -1056,7 +1133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Back-compat: `repro-bitonic table5.1` == `repro-bitonic experiment table5.1`.
     known = {"experiment", "sort", "schedule", "predict", "fft", "gantt",
              "chaos", "bench", "trace", "serve", "submit", "chaos-serve",
-             "-h", "--help"}
+             "adapt-replay", "-h", "--help"}
     if argv and argv[0] not in known:
         argv = ["experiment"] + argv
     parser = _build_parser()

@@ -12,10 +12,16 @@ PR 6 adds the wire: :mod:`repro.service.net` frames requests over TCP
 and idempotent retries), :mod:`repro.service.router` spreads them across
 shards with health-checked circuit breaking and failover
 (:class:`ShardRouter`), and :mod:`repro.service.admission` arbitrates
-tenants at the queue door (:class:`TenantAdmission`).  See
+tenants at the queue door (:class:`TenantAdmission`).
+
+PR 9 closes the feedback loop: :mod:`repro.service.adapt` folds every
+served request's measurements back into live per-``(backend, P,
+algorithm)`` correction factors (:class:`RequestAdapter`) the planner
+prices with, and the pool autoscales itself from queue pressure.  See
 ``docs/SERVING.md``.
 """
 
+from repro.service.adapt import RequestAdapter
 from repro.service.admission import DEFAULT_TENANT, TenantAdmission, TenantPolicy
 from repro.service.net import ClientOutcome, SortClient, SortServer
 from repro.service.planner import BenchHistory, PlanDecision, Planner
@@ -34,6 +40,7 @@ __all__ = [
     "PROFILE_SCHEMA",
     "PlanDecision",
     "Planner",
+    "RequestAdapter",
     "ServiceReport",
     "ShardRouter",
     "SortClient",

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.service.adapt import RequestAdapter
 from repro.service.profile import HostProfile
 
 __all__ = ["PlanDecision", "Planner", "BenchHistory"]
@@ -73,6 +74,13 @@ class PlanDecision:
     clamped: bool = False
     source: str = "model"
     candidates: Dict[str, float] = field(default_factory=dict)
+    #: The same candidates priced by the *static* model (profile + bench
+    #: history, no live corrections).  Empty unless an online
+    #: :class:`~repro.service.adapt.RequestAdapter` repriced the table —
+    #: then ``candidates`` holds the adapted estimates the choice rode on
+    #: and this column shows what the frozen model believed, side by side
+    #: in :meth:`explain`.
+    static_candidates: Dict[str, float] = field(default_factory=dict)
 
     def explain(self) -> str:
         ranked = sorted(self.candidates.items(), key=lambda kv: kv[1])
@@ -90,9 +98,24 @@ class PlanDecision:
             + (", fault-clamped" if self.clamped else "")
             + ")"
         ]
-        for name, est in ranked:
-            marker = "*" if name == chosen else " "
-            lines.append(f"  {marker} {name:<18} ~{est * 1e3:8.2f} ms")
+        if self.static_candidates:
+            lines.append(
+                f"    {'candidate':<18} {'static':>11}  {'adapted':>11}"
+            )
+            for name, est in ranked:
+                marker = "*" if name == chosen else " "
+                static = self.static_candidates.get(name)
+                static_txt = (
+                    "-" if static is None else f"{static * 1e3:8.2f} ms"
+                )
+                lines.append(
+                    f"  {marker} {name:<18} {static_txt:>11}  "
+                    f"{est * 1e3:8.2f} ms"
+                )
+        else:
+            for name, est in ranked:
+                marker = "*" if name == chosen else " "
+                lines.append(f"  {marker} {name:<18} ~{est * 1e3:8.2f} ms")
         return "\n".join(lines)
 
 
@@ -189,6 +212,12 @@ class Planner:
     ``candidate_P`` the world sizes considered.  ``history`` supplies
     measured latencies used to scale the model's per-backend estimates
     (estimate × measured/modeled at the nearest benched size).
+    ``adapter`` closes the online feedback loop: when a
+    :class:`~repro.service.adapt.RequestAdapter` is attached, ``plan()``
+    reprices every candidate with its live correction factors and
+    measured overlap efficiency (unless the caller passes
+    ``adapt=False`` or the fault clamp engages — those paths stay
+    byte-identical to the static planner).
     """
 
     def __init__(
@@ -197,6 +226,7 @@ class Planner:
         backends: Sequence[str] = ("threads", "procs"),
         candidate_P: Sequence[int] = _DEFAULT_CANDIDATE_P,
         history: Optional[BenchHistory] = None,
+        adapter: Optional[RequestAdapter] = None,
     ):
         self.profile = profile or HostProfile.default()
         unknown = [b for b in backends if b not in self.profile.backends]
@@ -210,6 +240,7 @@ class Planner:
         self.backends = tuple(backends)
         self.candidate_P = tuple(sorted(set(candidate_P)))
         self.history = history if history is not None else BenchHistory()
+        self.adapter = adapter
 
     # -- the decision --------------------------------------------------
 
@@ -227,13 +258,28 @@ class Planner:
         overlap: Optional[bool] = None,
         chunks: Optional[int] = None,
         warm: bool = True,
+        adapt: bool = True,
     ) -> PlanDecision:
         """Plan one sort request of ``N`` keys.
 
-        Keyword arguments other than ``faults``/``warm`` are forced
-        overrides: ``None`` means "planner chooses".  ``faults=True``
-        applies the safety clamp described in the module docstring —
-        it wins even over forced ``fused``/``grouped``/``overlap``.
+        Keyword arguments other than ``faults``/``warm``/``adapt`` are
+        forced overrides: ``None`` means "planner chooses".
+        ``faults=True`` applies the safety clamp described in the module
+        docstring — it wins even over forced
+        ``fused``/``grouped``/``overlap``.
+
+        ``adapt`` engages the attached
+        :class:`~repro.service.adapt.RequestAdapter` (a no-op without
+        one): every candidate is priced twice — statically (profile +
+        bench history, exactly the computation run without an adapter)
+        and with the live corrections — and the *adapted* estimates pick
+        the winner, with both columns kept on the decision
+        (:attr:`PlanDecision.static_candidates`).  An unobserved
+        candidate's adapted price equals its static price, so adaptation
+        only moves decisions on evidence.  ``adapt=False``, a missing
+        adapter, or an armed fault plan (live corrections reflect the
+        unclamped fast path, not the fault transport) all fall back to
+        the static path, byte-identical to a planner with no adapter.
 
         With ``algorithm=None`` (or ``"auto"``) the planner prices both
         runnable algorithms — smart bitonic and sample sort — against
@@ -322,7 +368,12 @@ class Planner:
         # Which overlap polarities compete: both when the planner is free
         # to choose, exactly one when forced (or fault-clamped).
         ov_options = (False, True) if overlap is None else (bool(overlap),)
+        # Live corrections engage only when an adapter is attached, the
+        # caller kept ``adapt``, and no fault clamp is armed — every
+        # other path runs exactly the static computation below.
+        adapter = self.adapter if (adapt and not faults) else None
         candidates: Dict[str, float] = {}
+        static_candidates: Dict[str, float] = {}
         best: Optional[Tuple[float, str, str, int, bool]] = None
         for algo in algos:
             # Sample sort never runs the chunked pipeline; its only
@@ -340,7 +391,21 @@ class Planner:
                 eff = self.history.overlap_efficiency(b)
                 if eff is not None and True in algo_ov:
                     profile = replace(profile, overlap_efficiency=eff)
+                adapted_profile = profile
+                if adapter is not None and True in algo_ov:
+                    # Live wait-split evidence beats committed history for
+                    # the overlapped candidates — copy-on-write, the
+                    # planner's own profile object is never mutated.
+                    live_eff = adapter.overlap_efficiency(b)
+                    if live_eff is not None:
+                        adapted_profile = replace(
+                            profile, overlap_efficiency=live_eff
+                        )
                 for p in candidates_P:
+                    corr = (
+                        adapter.correction(b, p, algo)
+                        if adapter is not None else None
+                    )
                     for ov in algo_ov:
                         est = profile.estimate(
                             N, p, b,
@@ -350,7 +415,27 @@ class Planner:
                             warm=warm, dtype_size=dtype_size,
                         ) * scale
                         name = f"{prefix}{b}x{p}" + ("+ov" if ov else "")
-                        candidates[name] = est
+                        if adapter is not None:
+                            # Adapted price: the live measured/modeled
+                            # factor replaces the bench-history scale for
+                            # observed keys (live beats committed); an
+                            # unobserved key keeps the static price, so
+                            # adaptation never diverges without evidence.
+                            if corr is None and adapted_profile is profile:
+                                adapted = est
+                            else:
+                                adapted = adapted_profile.estimate(
+                                    N, p, b,
+                                    algorithm=algo,
+                                    fused=use_fused, grouped=use_grouped,
+                                    overlap=ov, chunks=use_chunks,
+                                    warm=warm, dtype_size=dtype_size,
+                                ) * (corr if corr is not None else scale)
+                            static_candidates[name] = est
+                            candidates[name] = adapted
+                            est = adapted
+                        else:
+                            candidates[name] = est
                         if best is None or est < best[0]:
                             best = (est, algo, b, p, ov)
         assert best is not None
@@ -358,6 +443,7 @@ class Planner:
         forced = backend is not None and P is not None
         source = (
             "forced" if forced
+            else "adapted" if adapter is not None and adapter.updates
             else "history" if len(self.history) and not faults
             else "model"
         )
@@ -373,6 +459,7 @@ class Planner:
             clamped=clamped,
             source=source,
             candidates=candidates,
+            static_candidates=static_candidates if adapter is not None else {},
         )
 
     def _history_scale(
@@ -417,16 +504,40 @@ class Planner:
         sizes: Sequence[int] = (1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20),
     ) -> str:
         """Human-readable table of what the planner would pick per size
-        (the "planner decision table" of docs/SERVING.md)."""
-        lines = [
+        (the "planner decision table" of docs/SERVING.md).  With an
+        attached adapter the table grows a static column: what the frozen
+        model priced the chosen candidate at, next to the adapted
+        estimate the choice actually rode on."""
+        adapted = self.adapter is not None
+        header = (
             f"{'keys':>10}  {'algorithm':<9} {'backend':<8} {'P':>2}  "
-            f"{'fused':<5} {'grouped':<7} {'overlap':<7} {'est':>10}",
-        ]
+            f"{'fused':<5} {'grouped':<7} {'overlap':<7}"
+        )
+        if adapted:
+            header += f" {'static':>10} {'adapted':>10}"
+        else:
+            header += f" {'est':>10}"
+        lines = [header]
         for N in sizes:
             d = self.plan(N)
-            lines.append(
+            row = (
                 f"{N:>10,}  {d.algorithm:<9} {d.backend:<8} {d.P:>2}  "
-                f"{str(d.fused):<5} {str(d.grouped):<7} {str(d.overlap):<7} "
-                f"{d.est_seconds * 1e3:>8.2f}ms"
+                f"{str(d.fused):<5} {str(d.grouped):<7} {str(d.overlap):<7}"
             )
+            if adapted:
+                chosen = (
+                    ("" if d.algorithm == "smart" else f"{d.algorithm}:")
+                    + f"{d.backend}x{d.P}"
+                    + ("+ov" if d.overlap else "")
+                )
+                static = d.static_candidates.get(chosen)
+                static_txt = (
+                    "-" if static is None else f"{static * 1e3:>8.2f}ms"
+                )
+                row += (
+                    f" {static_txt:>10} {d.est_seconds * 1e3:>8.2f}ms"
+                )
+            else:
+                row += f" {d.est_seconds * 1e3:>8.2f}ms"
+            lines.append(row)
         return "\n".join(lines)

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.model.cache import CacheModel
@@ -37,7 +38,15 @@ from repro.model.machines import KEY_BYTES, ComputeCosts, MachineSpec
 __all__ = ["BackendCosts", "HostProfile", "PROFILE_SCHEMA"]
 
 #: Schema string embedded in persisted profiles; bump on layout changes.
-PROFILE_SCHEMA = "repro-bitonic-profile/1"
+#: History: /1 = calibrated LogGP + serving fixed costs; /2 adds an
+#: optional ``adapt`` blob (the :class:`~repro.service.adapt.RequestAdapter`
+#: state snapshot) so a restarted service resumes its online corrections
+#: warm.  /1 files still load — with a warning and without adapted state.
+PROFILE_SCHEMA = "repro-bitonic-profile/2"
+
+#: The prior schema, accepted read-only (warn-and-ignore the missing
+#: adapt blob) so one calibration file survives the /2 bump.
+_LEGACY_PROFILE_SCHEMA = "repro-bitonic-profile/1"
 
 
 def _usable_cpus() -> int:
@@ -246,30 +255,61 @@ class HostProfile:
 
     # -- persistence ---------------------------------------------------
 
-    def save(self, path: str) -> None:
-        doc = {
+    def save(self, path: str, adapt: Optional[Dict[str, Any]] = None) -> None:
+        """Persist the profile; ``adapt`` (a
+        :meth:`~repro.service.adapt.RequestAdapter.state_blob`) rides
+        along so a restarted service resumes its corrections warm."""
+        doc: Dict[str, Any] = {
             "schema": PROFILE_SCHEMA,
             "profile": asdict(self),
         }
+        if adapt is not None:
+            doc["adapt"] = adapt
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
 
     @classmethod
-    def load(cls, path: str) -> "HostProfile":
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-        if doc.get("schema") != PROFILE_SCHEMA:
+    def _parse(cls, path: str, doc: Dict[str, Any]) -> "HostProfile":
+        schema = doc.get("schema")
+        if schema == _LEGACY_PROFILE_SCHEMA:
+            warnings.warn(
+                f"{path}: stale profile schema {schema!r} "
+                f"(current: {PROFILE_SCHEMA!r}); loading calibration "
+                "without adapted state — re-run scripts/calibrate_loggp.py "
+                "to refresh",
+                stacklevel=3,
+            )
+        elif schema != PROFILE_SCHEMA:
             raise ConfigurationError(
-                f"{path}: profile schema {doc.get('schema')!r} != "
+                f"{path}: profile schema {schema!r} != "
                 f"{PROFILE_SCHEMA!r} — re-run scripts/calibrate_loggp.py"
             )
         raw = dict(doc["profile"])
+        known = {f.name for f in fields(cls)}
+        raw = {k: v for k, v in raw.items() if k in known}
         raw["backends"] = {
             name: BackendCosts(**costs)
             for name, costs in raw.get("backends", {}).items()
         }
         return cls(**raw)
+
+    @classmethod
+    def load(cls, path: str) -> "HostProfile":
+        profile, _ = cls.load_with_state(path)
+        return profile
+
+    @classmethod
+    def load_with_state(
+        cls, path: str
+    ) -> Tuple["HostProfile", Optional[Dict[str, Any]]]:
+        """The profile plus its persisted adapt blob (``None`` when the
+        file predates schema /2 or was saved without one)."""
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        profile = cls._parse(path, doc)
+        blob = doc.get("adapt")
+        return profile, blob if isinstance(blob, dict) else None
 
     def with_backend(self, name: str, costs: BackendCosts) -> "HostProfile":
         merged = dict(self.backends)

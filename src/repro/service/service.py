@@ -18,7 +18,14 @@ with the LogGP planner, and runs it on a warm world from the pool:
 * **per-request tracing** — each request can carry its own per-rank
   :class:`~repro.trace.recorder.Tracer` set plus a service-lane tracer
   recording the queue wait as a ``wait/queue`` span on the same
-  monotonic timebase, exported per request (not blurred per batch).
+  monotonic timebase, exported per request (not blurred per batch);
+* **online adaptation** — when the planner carries a
+  :class:`~repro.service.adapt.RequestAdapter`, every served request's
+  measured run time (and, for traced requests, its per-rank tracers)
+  feeds back into the adapter, so the next plan prices with live
+  corrections; every planned arrival is also reported to the pool
+  (:meth:`~repro.service.pool.WorldPool.note_arrival`) as the
+  queue-pressure signal its autoscaler prespawns from.
 
 Everything observable lands in :class:`ServiceReport`.
 """
@@ -133,7 +140,10 @@ class ServiceReport:
     expired: int = 0
     batches: int = 0
     world_retries: int = 0
-    pool: Dict[str, int] = field(default_factory=dict)
+    pool: Dict[str, Any] = field(default_factory=dict)
+    #: Online-adaptation snapshot (update count, live correction factors,
+    #: measured overlap efficiency) when the planner carries an adapter.
+    adapt: Dict[str, Any] = field(default_factory=dict)
     #: Per-tenant admission counters (queued/admitted/rejections) when a
     #: TenantAdmission controller is attached.
     tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -157,6 +167,11 @@ class ServiceReport:
             f"{self.batches} batches, {self.world_retries} world retries",
             f"  pool: {self.pool}",
         ]
+        if self.adapt:
+            lines.append(
+                f"  adapt: {self.adapt.get('updates', 0)} updates, "
+                f"factors {self.adapt.get('factors', {})}"
+            )
         for tenant, st in sorted(self.tenants.items()):
             lines.append(
                 f"  tenant {tenant}: {st['admitted']:.0f} admitted, "
@@ -205,6 +220,10 @@ class SortService:
         controller layered on the bounded queue; when attached,
         ``submit(tenant=...)`` is rate-limited and fair-share-bounded per
         tenant and :meth:`report` carries per-tenant counters.
+    autoscale:
+        Enable queue-driven autoscaling on the default-constructed pool
+        (ignored when ``pool`` is supplied — configure that pool
+        directly).
     """
 
     def __init__(
@@ -219,6 +238,7 @@ class SortService:
         timeout: float = 120.0,
         prewarm: Sequence[Tuple[str, int]] = (),
         admission: Optional[TenantAdmission] = None,
+        autoscale: bool = False,
     ):
         if queue_depth < 1:
             raise ConfigurationError(
@@ -235,7 +255,8 @@ class SortService:
             budget = self.planner.profile.spin_budget
             pool = WorldPool(
                 options=BackendOptions(spin_budget=budget)
-                if budget is not None else None
+                if budget is not None else None,
+                autoscale=autoscale,
             )
         self.pool = pool
         self._queue_depth = queue_depth
@@ -364,6 +385,10 @@ class SortService:
                 )
             )
             self._cond.notify()
+        # Queue-pressure signal for the pool's autoscaler: one planned
+        # arrival headed for the decision's shape (admitted requests
+        # only — rejections never exert pressure).
+        self.pool.note_arrival(decision.backend, decision.P)
         return ticket
 
     def sort(self, keys: np.ndarray, **kwargs: Any) -> SortOutcome:
@@ -459,6 +484,10 @@ class SortService:
         return live
 
     def _run_batch(self, batch: List[_Pending]) -> None:
+        # The whole batch leaves the queue here — served, expired, or
+        # failed, it no longer exerts queue pressure on the autoscaler.
+        head = batch[0].decision
+        self.pool.note_done(head.backend, head.P, len(batch))
         batch = self._expire_overdue(batch)
         if not batch:
             return
@@ -519,6 +548,13 @@ class SortService:
         self.pool.release(world)
         done_at = time.perf_counter()
         run_s = done_at - dispatched_at
+        # Close the feedback loop: fold each served request's measured
+        # run into the planner's adapter (fault runs excluded — the
+        # clamped fault transport measures a different machine than the
+        # fast path the adapter corrects).
+        adapter = getattr(self.planner, "adapter", None)
+        if injector is not None:
+            adapter = None
 
         for i, p in enumerate(batch):
             out = np.concatenate([rank_results[r][0][i] for r in range(P)])
@@ -529,13 +565,33 @@ class SortService:
                     p.keys, out, f"service[{d.algorithm}:{d.backend}x{P}]"
                 )
             tracers = None
+            rank_tracers = None
             if p.trace:
-                tracers = [rank_results[r][1][i] for r in range(P)]
+                rank_tracers = [
+                    t for t in (rank_results[r][1][i] for r in range(P))
+                    if t is not None
+                ]
                 lane = Tracer(rank=P)  # the service lane, after the ranks
                 lane.spans.append(
                     ["wait", "queue", p.enqueued_at, dispatched_at, -1]
                 )
-                tracers = [t for t in tracers if t is not None] + [lane]
+                if adapter is not None:
+                    lane.add("adapt.updates", 1)
+                tracers = rank_tracers + [lane]
+            if adapter is not None:
+                adapter.observe(
+                    N=int(p.keys.size),
+                    backend=d.backend,
+                    P=P,
+                    algorithm=d.algorithm,
+                    measured_s=run_s / len(batch),
+                    dtype_size=p.keys.dtype.itemsize,
+                    fused=d.fused,
+                    grouped=d.grouped,
+                    overlap=d.overlap,
+                    chunks=d.chunks,
+                    tracers=rank_tracers,
+                )
             outcome = SortOutcome(
                 request_id=p.ticket.request_id,
                 sorted_keys=out,
@@ -590,6 +646,11 @@ class SortService:
                 batches=self._report.batches,
                 world_retries=self._report.world_retries,
                 pool=self.pool.stats(),
+                adapt=(
+                    self.planner.adapter.stats()
+                    if getattr(self.planner, "adapter", None) is not None
+                    else {}
+                ),
                 tenants=(
                     self._admission.stats()
                     if self._admission is not None

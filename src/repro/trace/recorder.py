@@ -59,6 +59,9 @@ COUNTERS = (
     "remaps",           # data remaps performed by the sort
     "retries",          # retransmission rounds (reliable transport)
     "resent_elements",  # elements retransmitted across those rounds
+    "adapt.updates",    # online-adaptation observations folded (service lane)
+    "pool.scale_up",    # worlds pre-spawned by the pool autoscaler
+    "pool.scale_down",  # idle worlds shrunk by the pool autoscaler
 )
 
 #: Shared no-op context manager for the ``tracer=None`` fast path.  It is
