@@ -19,9 +19,15 @@ Measures, on the machine actually running the sorts:
   anyway);
 * **serving fixed costs** — world spawn per rank, warm job
   dispatch/collect overhead, and shard-shipping bandwidth through the
-  procs job pipe.
+  procs job pipe;
+* **disk lane** — sequential write and read bandwidth plus fsync
+  latency, measured through the same temp-file path the out-of-core
+  external sort spills through.  These fields are the planner's
+  *evidence* that the external regime can be priced: without them the
+  planner never auto-chooses it (forced or budget-degraded requests
+  still run, priced with conservative defaults).
 
-The result is persisted as JSON (schema ``repro-bitonic-profile/2``) and
+The result is persisted as JSON (schema ``repro-bitonic-profile/3``) and
 loaded with :meth:`repro.service.HostProfile.load`; hand it to the CLI
 via ``repro-bitonic serve --profile PROFILE.json`` or to a
 :class:`repro.service.Planner` directly.  See docs/SERVING.md.
@@ -78,6 +84,52 @@ def calibrate_compute(n, reps):
         "unpack_us": unpack_s / n * 1e6,
         "fused_pack_us": fused_s / n * 1e6,
         "address_us": addr_s / n * 1e6,
+    }
+
+
+def calibrate_disk(nbytes, reps):
+    """Sequential disk write/read bandwidth (bytes/s) and fsync latency
+    (s), measured through the spill tier's own directory and file idiom
+    (``tofile``/``fromfile`` on the external sort's default spill root's
+    parent, so the numbers reflect the filesystem spills actually hit)."""
+    import os
+    import tempfile
+
+    from repro.extsort import default_spill_root
+
+    root = os.path.dirname(default_spill_root())
+    payload = np.arange(nbytes // 4, dtype=np.uint32)
+    fd, path = tempfile.mkstemp(prefix="rxcal_", suffix=".bin", dir=root)
+    os.close(fd)
+    try:
+        def write():
+            payload.tofile(path)
+            # Count the flush: spilled runs are durably on disk before
+            # the merge reads them back, so the priced bandwidth must be
+            # through-the-page-cache, not into it.
+            fd = os.open(path, os.O_WRONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        write_s = _best_of(write, reps)
+        read_s = _best_of(lambda: np.fromfile(path, dtype=np.uint32), reps)
+
+        def fsync_only():
+            fd = os.open(path, os.O_WRONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        fsync_s = _best_of(fsync_only, reps)
+    finally:
+        os.unlink(path)
+    return {
+        "disk_write_bytes_per_s": round(payload.nbytes / max(write_s, 1e-9), 0),
+        "disk_read_bytes_per_s": round(payload.nbytes / max(read_s, 1e-9), 0),
+        "fsync_s": round(fsync_s, 7),
     }
 
 
@@ -148,6 +200,13 @@ def main(argv=None):
     for name, us in compute.items():
         print(f"  {name:<16} {us:9.5f} us/element")
 
+    disk_bytes = 1 << 22 if args.quick else 1 << 26
+    print(f"calibrating disk lane ({disk_bytes >> 20} MiB sequential) ...")
+    disk = calibrate_disk(disk_bytes, args.reps)
+    print(f"  write={disk['disk_write_bytes_per_s'] / 1e6:.0f} MB/s  "
+          f"read={disk['disk_read_bytes_per_s'] / 1e6:.0f} MB/s  "
+          f"fsync={disk['fsync_s'] * 1e3:.2f} ms")
+
     backends = {}
     for backend in ("threads", "procs"):
         print(f"calibrating {backend} backend ...")
@@ -163,6 +222,7 @@ def main(argv=None):
         backends=backends,
         source="calibrated",
         **compute,
+        **disk,
     )
     profile.save(args.out)
     print(f"profile written to {args.out} ({profile.cpus} usable cores)")

@@ -16,7 +16,9 @@ Fails (exit 1) if any given trace file:
 * carries an unexpected schema string (bump `CHROME_TRACE_SCHEMA` and the
   golden file together, deliberately);
 * lacks the core counters a traced sort must produce
-  (``remaps``, ``messages``, ``bytes_sent``);
+  (``remaps``, ``messages``, ``bytes_sent``) — pure out-of-core traces
+  (``algo.external`` > 0, no remaps) are exempt: the external sort moves
+  bytes through the filesystem, not a transport;
 * ran the default (fused) bitonic sort but shows no ``coll.fused``
   collectives, or fused collectives that all fell back off the zero-copy
   path (``coll.fused_direct`` == 0) — the compatibility fallback must
@@ -35,10 +37,21 @@ Fails (exit 1) if any given trace file:
   no ``wait``/``complete`` span — a posted-but-never-waited pipeline
   would mean the nonblocking schedule silently degenerated.
 
+Out-of-core traces (``algo.external`` > 0) must carry their own lane:
+``spill`` spans for both the write and read sides, a ``merge/external``
+span, and positive ``ext.runs`` / ``ext.spill_bytes`` counters — an
+external sort that spilled nothing or never merged means the spill
+instrumentation silently stopped.
+
 With ``--expect-adapt`` each trace must additionally carry a positive
 ``adapt.updates`` counter — the service-lane marker that the online
 adapter folded the traced request; a trace of an adapting service
 without it means the feedback loop silently disengaged.
+
+With ``--expect-external`` each trace must be (or contain) an
+out-of-core run: a positive ``algo.external`` counter, with the spill
+lane checks above then applying.  Use it for traces produced under a
+memory budget that must have degraded to the external sort.
 
 With ``--bench BENCH.json`` it additionally gates the quick benchmark
 trajectory: for every backend, the fused+group variant must not be more
@@ -56,6 +69,9 @@ additionally) carry an ``adapt_replay`` section, whose
 never lose to the frozen-profile one on the recorded load.  The
 end-to-end gates apply when the end-to-end sections are present, the
 adapt gate when ``adapt_replay`` is; a /7 document with neither fails.
+Schema ``repro-bitonic-bench/8`` end-to-end trajectories must
+additionally carry the ``external_over_inmem`` crossover table (positive
+ratios; no floor — where spilling starts to pay is the data).
 """
 
 import argparse
@@ -87,7 +103,7 @@ BENCH_MIN_ADAPTED_OVER_STATIC = 1.0
 
 
 def check(path: str, allow_unfused: bool = False,
-          expect_adapt: bool = False) -> list:
+          expect_adapt: bool = False, expect_external: bool = False) -> list:
     errors = []
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -111,9 +127,12 @@ def check(path: str, allow_unfused: bool = False,
     if rogue:
         errors.append(f"span events use undocumented categories: {sorted(rogue)}")
     counters = other.get("counters", {})
-    missing = [c for c in REQUIRED_COUNTERS if not counters.get(c)]
-    if missing:
-        errors.append(f"required counters missing or zero: {missing}")
+    external_runs = counters.get("algo.external", 0)
+    pure_external = external_runs and not counters.get("remaps", 0)
+    if not pure_external:
+        missing = [c for c in REQUIRED_COUNTERS if not counters.get(c)]
+        if missing:
+            errors.append(f"required counters missing or zero: {missing}")
     sample_runs = counters.get("algo.sample", 0)
     if sample_runs:
         # Each sample-sort run is exactly one splitter-driven
@@ -130,9 +149,38 @@ def check(path: str, allow_unfused: bool = False,
                 "algo.sample recorded but no merge span — the p-way "
                 "merge never ran (or stopped tracing)"
             )
+    if expect_external and not external_runs:
+        errors.append(
+            "no algo.external counter — the trace never took the "
+            "out-of-core path (the memory budget did not degrade it)"
+        )
+    if external_runs:
+        spill_names = {
+            e.get("name") for e in spans if e.get("cat") == "spill"
+        }
+        for side in ("write", "read"):
+            if side not in spill_names:
+                errors.append(
+                    f"algo.external recorded but no spill/{side} span — "
+                    "the spill instrumentation silently stopped"
+                )
+        if not any(
+            e.get("cat") == "merge" and e.get("name") == "external"
+            for e in spans
+        ):
+            errors.append(
+                "algo.external recorded but no merge/external span — the "
+                "bucket merge never ran (or stopped tracing)"
+            )
+        for counter in ("ext.runs", "ext.spill_bytes"):
+            if not counters.get(counter):
+                errors.append(
+                    f"algo.external recorded but {counter} is missing or "
+                    "zero — an external sort that spilled nothing"
+                )
     fused = counters.get("coll.fused", 0)
     if not allow_unfused:
-        if not fused and not sample_runs:
+        if not fused and not sample_runs and not external_runs:
             errors.append(
                 "no coll.fused collectives — the default sort fuses every "
                 "remap (pass --allow-unfused for deliberately unfused runs)"
@@ -269,6 +317,21 @@ def check_bench(path: str) -> list:
                     f"{name}[{size}] = {ratio!r}: crossover ratios must "
                     "be positive measured speedups"
                 )
+    # Schema /8+: the out-of-core crossover table must be present and
+    # well-formed (positive ratios); no floor — at what budget the
+    # spill-to-disk path starts to pay is exactly what it records.
+    external_table = doc.get("external_over_inmem")
+    if schema_version >= 8 and not external_table:
+        errors.append(
+            "no external_over_inmem crossover table — schema "
+            f"{schema!r} promises the out-of-core variant"
+        )
+    for size, ratio in (external_table or {}).items():
+        if not isinstance(ratio, (int, float)) or not ratio > 0:
+            errors.append(
+                f"external_over_inmem[{size}] = {ratio!r}: crossover "
+                "ratios must be positive measured speedups"
+            )
     for name, table in overlap_tables.items():
         for size, ratio in table.items():
             if ratio < BENCH_MIN_OVERLAP_SPEEDUP:
@@ -294,6 +357,9 @@ def main(argv) -> int:
     parser.add_argument("--expect-adapt", action="store_true",
                         help="require a positive adapt.updates counter "
                              "(traces of an adapting service)")
+    parser.add_argument("--expect-external", action="store_true",
+                        help="require a positive algo.external counter "
+                             "(traces of budget-degraded out-of-core runs)")
     args = parser.parse_args(argv)
     if not args.traces and not args.bench:
         parser.print_help(sys.stderr)
@@ -301,7 +367,8 @@ def main(argv) -> int:
     failed = False
     for path in args.traces:
         errors = check(path, allow_unfused=args.allow_unfused,
-                       expect_adapt=args.expect_adapt)
+                       expect_adapt=args.expect_adapt,
+                       expect_external=args.expect_external)
         if errors:
             failed = True
             print(f"FAIL {path}")

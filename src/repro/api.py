@@ -30,16 +30,23 @@ backend      algorithms                  trace  faults
 ===========  ==========================  =====  ======
 simulated    smart, cyclic-blocked,      yes    yes
              blocked-merge, radix,
-             sample
-threads      smart, sample               yes    yes
-procs        smart, sample               yes    no (injector needs one
+             sample, external*
+threads      smart, sample, external*    yes    yes
+procs        smart, sample, external*    yes    no (injector needs one
                                                 address space)
 ===========  ==========================  =====  ======
 
-``algorithm="auto"`` is a routing directive, not a sixth algorithm: with
-a ``service=`` attached (where it is the default) the service planner
-prices smart bitonic against sample sort per request and runs the
-winner.
+``external*`` is the out-of-core spill-to-disk sort
+(:mod:`repro.extsort`): it runs in-process on the calling host whatever
+``backend`` says (the report's backend reads ``"local"``), and it is
+also what ``memory_budget=`` degrades to automatically when the
+estimated in-memory working set does not fit.  Fault plans cannot ride
+it — there is no transport to inject into.
+
+``algorithm="auto"`` is a routing directive, not a seventh algorithm:
+with a ``service=`` attached (where it is the default) the service
+planner prices smart bitonic against sample sort (and, with measured
+disk evidence, the external sort) per request and runs the winner.
 """
 
 from __future__ import annotations
@@ -69,21 +76,27 @@ SORT_BACKENDS = ("simulated", "threads", "procs")
 #: :data:`BACKEND_ALGORITHMS` lists for it).  ``"auto"`` — planner
 #: routing with a service attached — is deliberately not in this tuple:
 #: it names a dispatch policy, not an algorithm.
-SORT_ALGORITHMS = ("smart", "cyclic-blocked", "blocked-merge", "radix", "sample")
+SORT_ALGORITHMS = (
+    "smart", "cyclic-blocked", "blocked-merge", "radix", "sample", "external",
+)
 
 #: The capability table: which algorithms each backend executes.  The
 #: simulated machine runs every comparator of the paper's Ch. 5; the
 #: SPMD runtimes implement the smart bitonic sort and the sample sort
-#: (the two the service planner prices against each other).
+#: (the two the service planner prices against each other).  The
+#: out-of-core ``external`` sort is backend-independent — it runs
+#: in-process whatever backend the call named — so every row carries it.
 BACKEND_ALGORITHMS = {
     "simulated": SORT_ALGORITHMS,
-    "threads": ("smart", "sample"),
-    "procs": ("smart", "sample"),
+    "threads": ("smart", "sample", "external"),
+    "procs": ("smart", "sample", "external"),
 }
 
 #: Algorithms with a closed-form predictor (fills the ``predicted`` column
 #: of a traced report).
-_PREDICTABLE = ("smart", "cyclic-blocked", "blocked-merge", "radix", "sample")
+_PREDICTABLE = (
+    "smart", "cyclic-blocked", "blocked-merge", "radix", "sample", "external",
+)
 
 
 @dataclass
@@ -212,6 +225,7 @@ def sort(
     options: Optional["BackendOptions"] = None,  # noqa: F821
     backend_options: Optional["BackendOptions"] = None,  # noqa: F821
     service: Optional["SortService"] = None,  # noqa: F821 — forward ref
+    memory_budget: Optional[int] = None,
 ) -> SortReport:
     """Sort ``keys`` across ``P`` processors/ranks and report everything.
 
@@ -266,24 +280,45 @@ def sort(
         planner overrides, anything left unsaid (including
         ``backend="simulated"``, which the service never runs) is the
         planner's choice.
+    memory_budget:
+        Working-set bound in bytes.  When the estimated in-memory
+        working set of ``keys`` exceeds it, the call degrades to the
+        out-of-core ``external`` sort (spill-to-disk, in-process)
+        instead of allocating past the budget — the same degradation the
+        service's admission applies.  ``None`` disables the check.
     """
     options = _merge_options_shim(options, backend_options)
     if service is not None:
         return _sort_service(
             keys, P, algorithm, backend, trace, faults, verify,
-            options, service,
+            options, service, memory_budget,
+        )
+    if backend not in SORT_BACKENDS:
+        raise ConfigurationError(
+            f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
+        )
+    keys = np.asarray(keys)
+    degraded = False
+    if memory_budget is not None and algorithm != "external":
+        from repro.extsort import inmem_working_set_bytes
+
+        degraded = (
+            inmem_working_set_bytes(keys.size, keys.dtype.itemsize)
+            > memory_budget
+        )
+    if algorithm == "external" or degraded:
+        # The out-of-core path is backend-independent: it intercepts
+        # before any substrate dispatch and runs in-process.
+        return _sort_external(
+            keys, P, trace, faults, verify, options, memory_budget,
+            degraded=degraded,
         )
     if P is None:
         raise ConfigurationError(
             "P is required unless a service= routes the request "
             "(only the service's planner can choose P)"
         )
-    if backend not in SORT_BACKENDS:
-        raise ConfigurationError(
-            f"unknown sort backend {backend!r}; choose from {list(SORT_BACKENDS)}"
-        )
     algorithm = _resolve_algorithm(algorithm, backend, routed=False)
-    keys = np.asarray(keys)
     if backend == "simulated":
         if options is not None:
             raise ConfigurationError(
@@ -322,9 +357,83 @@ def _predicted(algorithm: str, N: int, P: int):
     return predict(algorithm, N, P)
 
 
+def _sort_external(
+    keys, P, trace, faults, verify, options, memory_budget,
+    degraded=False,
+) -> SortReport:
+    """Run the out-of-core spill-to-disk sort in-process.
+
+    Reached two ways: ``algorithm="external"`` forced, or
+    ``memory_budget=`` degradation when the in-memory working set does
+    not fit.  Single-host by construction: a forced-external call must
+    not name a multi-rank ``P`` or SPMD options (rejected rather than
+    ignored), while a *degraded* call's ``P``/options targeted the
+    in-memory plan the budget just overrode — they are clamped away,
+    exactly as the service planner clamps them.  Fault plans are an
+    error on both routes: there is no transport to inject into.
+    """
+    from repro.extsort import external_sort
+    from repro.sorts.base import verify_sorted
+
+    if faults is not None and not getattr(faults, "is_null", False):
+        raise ConfigurationError(
+            "the external sort runs in-process with no fault transport; "
+            "drop the fault plan or raise the memory budget"
+        )
+    if not degraded:
+        if P is not None and P != 1:
+            raise ConfigurationError(
+                f"the external sort is single-host: P must be 1 (or "
+                f"None), got {P}"
+            )
+        if options is not None:
+            raise ConfigurationError(
+                "backend options tune the SPMD backends; the external "
+                "sort takes none"
+            )
+    budget = memory_budget if memory_budget is not None else 64 << 20
+    tracer = None
+    if trace:
+        from repro.trace.recorder import Tracer
+
+        tracer = Tracer(0)
+    start = time.perf_counter()
+    out, _ext = external_sort(keys, budget, tracer=tracer)
+    wall = time.perf_counter() - start
+    if verify:
+        verify_sorted(keys, out, "external[local]")
+    phases = tracers = None
+    if trace:
+        from repro.theory.predict import predict_external
+        from repro.trace.report import build_phase_report
+
+        tracers = [tracer]
+        phases = build_phase_report(
+            tracers=tracers,
+            predicted=predict_external(
+                keys.size, 1,
+                memory_budget=budget,
+                dtype_size=keys.dtype.itemsize,
+            ),
+            P=1,
+            n=int(keys.size),
+        )
+    return SortReport(
+        algorithm="external",
+        backend="local",
+        P=1,
+        n=int(keys.size),
+        sorted_keys=out,
+        wall_seconds=wall,
+        verified=verify,
+        phases=phases,
+        tracers=tracers,
+    )
+
+
 def _sort_service(
     keys, P, algorithm, backend, trace, faults, verify, options,
-    service,
+    service, memory_budget=None,
 ) -> SortReport:
     """Bridge the front door onto a running SortService.
 
@@ -364,6 +473,7 @@ def _sort_service(
         chunks=chunks,
         faults=faults,
         trace=trace,
+        memory_budget=memory_budget,
     )
     d = outcome.decision
     if verify:
@@ -377,10 +487,14 @@ def _sort_service(
 
         # The last tracer is the service lane (queue wait); the phase
         # table aligns the rank tracers against simulation + theory.
-        sim = _sorter(d.algorithm).run(keys, d.P)
+        # The out-of-core sort has no simulated twin — predicted only.
+        sim_stats = (
+            None if d.algorithm == "external"
+            else _sorter(d.algorithm).run(keys, d.P).stats
+        )
         phases = build_phase_report(
             tracers=outcome.tracers[: d.P],
-            stats=sim.stats,
+            stats=sim_stats,
             predicted=_predicted(d.algorithm, keys.size, d.P),
             P=d.P,
             n=keys.size // d.P,

@@ -17,6 +17,7 @@ The full hierarchy::
     │   └── CorruptPayloadError       — a checksum rejected a payload
     ├── ServiceError                  (also RuntimeError)
     │   ├── AdmissionError            — request rejected/shed at the door
+    │   │   └── MemoryBudgetError     — too big even for the spill-to-disk path
     │   ├── ServiceClosedError        — submitted to a closed service
     │   ├── ShardUnavailableError     — no healthy shard could take the request
     │   ├── RequestTimeoutError       (also TimeoutError) — client deadline expired
@@ -178,6 +179,31 @@ class AdmissionError(ServiceError):
         super().__init__(message)
         self.reason = reason
         self.est_seconds = est_seconds
+
+
+class MemoryBudgetError(AdmissionError):
+    """A request does not fit even the out-of-core path's budgets.
+
+    A request whose estimated in-memory working set exceeds the service's
+    memory budget degrades to the spill-to-disk external sort; this error
+    is the escalation when *that* is impossible too — the estimated spill
+    footprint exceeds the configured disk budget.  A subclass of
+    :class:`AdmissionError` (``reason="memory-budget"``) because it is an
+    admission verdict: the request was never enqueued.
+
+    Attributes
+    ----------
+    required_bytes:
+        Estimated bytes the cheapest viable path would need.
+    budget_bytes:
+        The budget it did not fit (disk budget for external rejections).
+    """
+
+    def __init__(self, message: str, required_bytes: int = 0,
+                 budget_bytes: int = 0):
+        super().__init__(message, reason="memory-budget")
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
 
 
 class ServiceClosedError(ServiceError):

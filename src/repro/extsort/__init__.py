@@ -1,0 +1,41 @@
+"""The out-of-core tier: spill-to-disk external sorting.
+
+When a request's keys do not fit the memory budget, the sort degrades
+to this subsystem instead of OOMing a world: the input streams through
+budget-sized sorted runs on disk, oversampled splitters partition the
+runs into buckets that each fit the budget, and a k-way bucket merge
+streams the globally sorted output back out — byte-identical to
+``np.sort``.  See ``docs/EXTERNAL_SORT.md`` for the design, the budget
+semantics, and the crash-safety story.
+
+* :func:`external_sort` — the algorithm (:mod:`repro.extsort.core`);
+* :class:`SpillDir` / :func:`sweep_orphaned_spill_dirs` — pid-guarded
+  spill directories with the worlds' leak-sweep discipline
+  (:mod:`repro.extsort.spill`).
+"""
+
+from repro.extsort.core import (
+    INMEM_WORKING_SET_FACTOR,
+    ExternalSortReport,
+    estimate_spill_bytes,
+    external_sort,
+    inmem_working_set_bytes,
+)
+from repro.extsort.spill import (
+    SpillDir,
+    default_spill_root,
+    live_spill_dirs,
+    sweep_orphaned_spill_dirs,
+)
+
+__all__ = [
+    "INMEM_WORKING_SET_FACTOR",
+    "ExternalSortReport",
+    "SpillDir",
+    "default_spill_root",
+    "estimate_spill_bytes",
+    "external_sort",
+    "inmem_working_set_bytes",
+    "live_spill_dirs",
+    "sweep_orphaned_spill_dirs",
+]

@@ -73,8 +73,13 @@ __all__ = ["run_bench", "write_bench", "BENCH_SCHEMA"]
 #: the ``adapted_over_static`` speedup CI gates at >= 1.0) — a /7 doc
 #: carries *either* the end-to-end trajectory sections *or* the
 #: adapt-replay section, and ``scripts/check_trace.py`` gates whichever
-#: is present.
-BENCH_SCHEMA = "repro-bitonic-bench/7"
+#: is present;
+#: /8 added the out-of-core tier: the ``external`` section (spill-to-disk
+#: external sort timed at budgets forcing 1 and several merge passes,
+#: against the unconstrained in-memory local sort on the same keys) and
+#: the ``external_over_inmem`` crossover table CI checks for presence and
+#: positivity — where spilling starts to pay is the data, not a floor.
+BENCH_SCHEMA = "repro-bitonic-bench/8"
 
 #: World sizes the service section sweeps when measuring warm latency
 #: (and the planner's candidate set for the match tally).
@@ -493,6 +498,68 @@ def _bench_algorithms(
     }
 
 
+def _bench_external(sizes: Sequence[int], reps: int) -> Dict[str, Any]:
+    """The out-of-core A/B: spill-to-disk external sort vs the in-memory
+    local sort on the same keys.
+
+    Each size runs at two constrained budgets — one sized so the input
+    splits into runs but merges in a single pass, one with the fan-in
+    shrunk to force cascaded merge passes — against the unconstrained
+    in-memory sort.  ``external_over_inmem`` < 1 records what a byte
+    through the filesystem costs relative to memory; the table is the
+    measured twin of :func:`repro.theory.predict_external`'s closed form.
+    """
+    from repro.extsort import external_sort
+
+    records: List[Dict[str, Any]] = []
+    crossover: Dict[str, float] = {}
+    for N in sizes:
+        keys = make_keys(N, seed=N % 104729)
+        expect = np.sort(keys)
+        inmem = _time(lambda: np.sort(keys), reps)
+        # Budget = nbytes/4: the working set (2x nbytes) splits into ~8
+        # runs, well under the default fan-in — a single merge pass.
+        budget = max(keys.nbytes // 4, 64)
+        out, rep_single = external_sort(keys, budget)
+        if out.tobytes() != expect.tobytes():
+            raise ConfigurationError(
+                f"bench: external sort mis-sorted {N} keys at "
+                f"budget {budget}"
+            )
+        single = _time(lambda: external_sort(keys, budget), reps)
+        # Same budget, fan-in 2: every merge level becomes its own pass.
+        out, rep_multi = external_sort(keys, budget, fan_in=2)
+        if out.tobytes() != expect.tobytes():
+            raise ConfigurationError(
+                f"bench: multi-pass external sort mis-sorted {N} keys"
+            )
+        multi = _time(lambda: external_sort(keys, budget, fan_in=2), reps)
+        crossover[str(N)] = inmem["best_s"] / single["best_s"]
+        records.append(
+            {
+                "keys": N,
+                "budget_bytes": budget,
+                "inmem": inmem,
+                "single_pass": {
+                    **single,
+                    "runs": rep_single.runs,
+                    "merge_passes": rep_single.merge_passes,
+                    "spill_bytes": rep_single.spill_bytes,
+                    "peak_resident_bytes": rep_single.peak_resident_bytes,
+                },
+                "multi_pass": {
+                    **multi,
+                    "fan_in": 2,
+                    "runs": rep_multi.runs,
+                    "merge_passes": rep_multi.merge_passes,
+                    "spill_bytes": rep_multi.spill_bytes,
+                    "peak_resident_bytes": rep_multi.peak_resident_bytes,
+                },
+            }
+        )
+    return {"records": records, "external_over_inmem": crossover}
+
+
 def run_bench(
     quick: bool = False,
     sizes: Optional[Sequence[int]] = None,
@@ -518,6 +585,7 @@ def run_bench(
     kernels = _bench_kernels(sizes, reps)
     service = _bench_service(sizes, procs, backends, reps, timeout)
     service["algorithms"] = _bench_algorithms(sizes, backends, reps, timeout)
+    external = _bench_external(sizes, reps)
     speedups: Dict[str, Dict[str, float]] = {}
     default_variant = BENCH_VARIANTS[0][0]
     if "threads" in backends:
@@ -601,6 +669,8 @@ def run_bench(
         "end_to_end_speedup": speedups,
         "kernels": kernels,
         "service": service,
+        "external": external["records"],
+        "external_over_inmem": external["external_over_inmem"],
         "outputs_match": True,  # a mismatch raises before we get here
     }
 

@@ -404,6 +404,16 @@ def _shm_segments() -> set:
     }
 
 
+def _spill_dirs() -> set:
+    """Names of live external-sort spill directories (the disk twin of
+    :func:`_shm_segments` for the soak leak gate)."""
+    import os as _os
+
+    from repro.extsort import live_spill_dirs
+
+    return {_os.path.basename(p) for p in live_spill_dirs()}
+
+
 def _parse_listen(spec: str):
     """``host:port`` / ``:port`` / ``port`` -> ``(host, int(port))``."""
     host, _, port = str(spec).rpartition(":")
@@ -450,6 +460,8 @@ def _cmd_listen(args) -> int:
             queue_depth=args.queue_depth,
             batch_max=args.batch_max,
             timeout=args.timeout,
+            memory_budget=args.memory_budget,
+            disk_budget=args.disk_budget,
         )
         host, port = _parse_listen(args.listen)
         server = SortServer(svc, host, port, name=args.name,
@@ -492,6 +504,7 @@ def _cmd_serve(args) -> int:
         print(f"serve failed: {exc}", file=sys.stderr)
         return 1
     shm_before = _shm_segments()
+    spill_before = _spill_dirs()
     # The mixed request shapes: every (size, backend, P) combination the
     # soak cycles through.  P >= 2 shapes exercise real communication;
     # the P chosen freely by the planner exercises the planner.
@@ -513,6 +526,8 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         batch_max=args.batch_max,
         timeout=args.timeout,
+        memory_budget=args.memory_budget,
+        disk_budget=args.disk_budget,
     )
     if args.traces_dir:
         os.makedirs(args.traces_dir, exist_ok=True)
@@ -565,23 +580,29 @@ def _cmd_serve(args) -> int:
     # arena unlinked.
     children = multiprocessing.active_children()
     shm_leaked = _shm_segments() - shm_before
+    spill_leaked = _spill_dirs() - spill_before
     if children:
         print(f"LEAK: {len(children)} child processes still alive: "
               f"{[p.name for p in children]}", file=sys.stderr)
     if shm_leaked:
         print(f"LEAK: {len(shm_leaked)} shared-memory segments left in "
               f"/dev/shm: {sorted(shm_leaked)[:8]}", file=sys.stderr)
+    if spill_leaked:
+        print(f"LEAK: {len(spill_leaked)} spill directories left on "
+              f"disk: {sorted(spill_leaked)[:8]}", file=sys.stderr)
     p50 = report.latency_percentile(0.50)
     p99 = report.latency_percentile(0.99)
     print(f"  latency p50 {p50 * 1e3:.1f} ms   p99 {p99 * 1e3:.1f} ms")
     slow = _gate_percentiles(
         p50, p99, _load_baseline(args.baseline, "service_soak"), "soak"
     )
-    if failures or children or shm_leaked or report.failed or slow:
+    if (failures or children or shm_leaked or spill_leaked
+            or report.failed or slow):
         print(f"soak FAILED: {failures} bad outputs, {report.failed} "
               f"failed requests, {len(children)} leaked processes, "
-              f"{len(shm_leaked)} leaked segments, {slow} latency-gate "
-              "breaches", file=sys.stderr)
+              f"{len(shm_leaked)} leaked segments, {len(spill_leaked)} "
+              f"leaked spill dirs, {slow} latency-gate breaches",
+              file=sys.stderr)
         return 1
     print(f"soak ok: {report.served} requests served, zero leaks")
     return 0
@@ -622,7 +643,10 @@ def _cmd_submit(args) -> int:
         return _submit_remote(args, keys)
     try:
         planner = _service_planner(args.profile)
-        with SortService(planner, verify=True, timeout=args.timeout) as svc:
+        with SortService(
+            planner, verify=True, timeout=args.timeout,
+            memory_budget=args.memory_budget,
+        ) as svc:
             outcome = svc.sort(
                 keys,
                 algorithm=(
@@ -632,11 +656,18 @@ def _cmd_submit(args) -> int:
                 backend=args.backend,
                 P=args.procs,
                 trace=args.trace is not None,
+                memory_budget=args.memory_budget,
             )
     except ReproError as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
         return 1
     print(outcome.decision.explain())
+    if args.memory_budget is not None:
+        # The regime split at this budget: where the planner stops
+        # placing worlds and starts spilling.
+        print(f"planner decision table at a {args.memory_budget:,}-byte "
+              "memory budget:")
+        print(planner.decision_table(memory_budget=args.memory_budget))
     print(f"sorted {keys.size:,} keys in {outcome.wall_s * 1e3:.1f} ms "
           f"({outcome.queue_wait_s * 1e3:.2f} ms queued, "
           f"{outcome.run_s * 1e3:.1f} ms running), verified")
@@ -1043,6 +1074,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--name", default="shard0",
                          help="shard name reported on the wire "
                               "(with --listen)")
+    p_serve.add_argument("--memory-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="per-request in-memory working-set budget; "
+                              "oversized requests degrade to the "
+                              "out-of-core external sort")
+    p_serve.add_argument("--disk-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="spill-bytes ceiling for degraded requests; "
+                              "requests that cannot fit even on disk are "
+                              "rejected with MemoryBudgetError")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_cserve = sub.add_parser(
@@ -1092,9 +1133,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument("--keys", type=int, default=1 << 16)
     p_submit.add_argument("--algorithm", default="auto",
-                          choices=("auto", "smart", "sample"),
-                          help="SPMD sort algorithm; 'auto' lets the "
-                               "planner route between them")
+                          choices=("auto", "smart", "sample", "external"),
+                          help="sort algorithm; 'auto' lets the planner "
+                               "route between them, 'external' forces "
+                               "the out-of-core spill-to-disk path")
     p_submit.add_argument("--procs", type=int, default=None,
                           help="force the world size (default: planner)")
     p_submit.add_argument("--backend", default=None,
@@ -1117,6 +1159,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--tenant", default=None,
                           help="tenant label for --connect (admission "
                                "fairness)")
+    p_submit.add_argument("--memory-budget", type=int, default=None,
+                          metavar="BYTES",
+                          help="in-memory working-set budget; requests "
+                               "whose working set exceeds it degrade to "
+                               "the out-of-core external sort")
     p_submit.set_defaults(fn=_cmd_submit)
 
     p_fft = sub.add_parser("fft", help="run the parallel FFT generalization")

@@ -16,12 +16,16 @@ Category map (µs, per processor):
 ``unpack``         scattering received long messages into the local array
 ``transfer``       LogP/LogGP wire time: overheads, gaps, bytes, latency
 ``retransmit``     recovery wire time under fault injection (resends, NACKs)
+``spill``          out-of-core disk traffic: writing/reading spilled runs
 ``wait``           idle time at barriers / waiting for arrivals
 =================  ==========================================================
 
 Computation categories = ``local_sort + merge + compare_exchange``;
 communication categories = ``address + pack + transfer + unpack`` (the
 paper's communication phase includes packing and unpacking — §5.4).
+``spill`` is its own I/O group (:data:`IO_CATEGORIES`): the external
+sort's disk traffic is neither the paper's computation nor its network
+communication, so it must not perturb either split.
 """
 
 from __future__ import annotations
@@ -36,14 +40,16 @@ __all__ = [
     "CATEGORY_DESCRIPTIONS",
     "COMPUTE_CATEGORIES",
     "COMM_CATEGORIES",
+    "IO_CATEGORIES",
     "PhaseBreakdown",
     "RunStats",
 ]
 
 COMPUTE_CATEGORIES = ("local_sort", "merge", "compare_exchange")
 COMM_CATEGORIES = ("address", "pack", "transfer", "retransmit", "unpack")
+IO_CATEGORIES = ("spill",)
 OTHER_CATEGORIES = ("wait",)
-CATEGORIES = COMPUTE_CATEGORIES + COMM_CATEGORIES + OTHER_CATEGORIES
+CATEGORIES = COMPUTE_CATEGORIES + COMM_CATEGORIES + IO_CATEGORIES + OTHER_CATEGORIES
 
 #: One-line meaning per category — the *single* vocabulary shared by the
 #: simulator's accounting, the SPMD runtime tracer (:mod:`repro.trace`),
@@ -58,6 +64,7 @@ CATEGORY_DESCRIPTIONS = {
     "unpack": "scattering received long messages into the local array",
     "transfer": "wire time: overheads, gaps, bytes, latency",
     "retransmit": "recovery traffic under faults (resends, NACKs)",
+    "spill": "out-of-core disk traffic: writing/reading spilled runs",
     "wait": "idle time at barriers / waiting for arrivals",
 }
 assert set(CATEGORY_DESCRIPTIONS) == set(CATEGORIES)

@@ -1115,6 +1115,14 @@ def _sweep_leaked_worlds() -> None:
             continue
         with suppress(Exception):
             world.close(join_timeout=0.2)
+    # Same hygiene for the out-of-core tier: spill directories whose
+    # owning process is gone are dead weight on the same host, so the
+    # shm sweep reclaims them too (deferred import — the sweep must
+    # never be the thing that fails interpreter exit).
+    with suppress(Exception):
+        from repro.extsort import sweep_orphaned_spill_dirs
+
+        sweep_orphaned_spill_dirs()
 
 
 atexit.register(_sweep_leaked_worlds)

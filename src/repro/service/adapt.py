@@ -30,7 +30,7 @@ calibration.  :class:`RequestAdapter` closes the loop
 
 State persists through the profile schema
 (:meth:`~repro.service.profile.HostProfile.save` with
-``adapt=adapter.state_blob()``, schema ``repro-bitonic-profile/2``), so a
+``adapt=adapter.state_blob()``, schema ``repro-bitonic-profile/3``), so a
 restarted service resumes warm via :meth:`RequestAdapter.restore`.
 
 ``repro-bitonic adapt-replay`` is the proof harness: record a mixed-shape

@@ -37,14 +37,26 @@ from repro.errors import ConfigurationError
 from repro.service.adapt import RequestAdapter
 from repro.service.profile import HostProfile
 
-__all__ = ["PlanDecision", "Planner", "BenchHistory"]
+__all__ = ["PlanDecision", "Planner", "BenchHistory", "EXTERNAL_BACKEND"]
 
 #: Candidate world sizes considered when ``P`` is not forced.
 _DEFAULT_CANDIDATE_P = (1, 2, 4, 8)
 
 #: Algorithms the planner prices against each other when ``algorithm``
-#: is not forced — the ones the SPMD runtime actually implements.
-PLANNABLE_ALGORITHMS = ("smart", "sample")
+#: is not forced: the two the SPMD runtime implements in memory, plus
+#: the out-of-core external sort (auto-considered only once the profile
+#: carries measured disk evidence; always available forced or
+#: budget-degraded).
+PLANNABLE_ALGORITHMS = ("smart", "sample", "external")
+
+#: The in-memory subset — what competes when the profile has no disk
+#: evidence and no budget forces the request out of core.
+_INMEM_ALGORITHMS = ("smart", "sample")
+
+#: The external regime's pseudo-backend name: the request runs
+#: in-process on the serving host, not on an SPMD world — the world
+#: pool must never try to spawn it.
+EXTERNAL_BACKEND = "local"
 
 
 @dataclass(frozen=True)
@@ -54,9 +66,11 @@ class PlanDecision:
     ``est_seconds`` is the model's estimate for the chosen config;
     ``candidates`` maps every considered ``(backend, P)`` to its
     estimate, so callers (and the decision table in SERVING.md) can see
-    the margins.  ``clamped`` is True when fault safety overrode a
-    request's own flags; ``source`` records what the choice rode on
-    (``"model"``, ``"history"`` or ``"forced"``).
+    the margins.  ``clamped`` is True when fault safety or the memory
+    budget overrode a request's own flags; ``source`` records what the
+    choice rode on (``"model"``, ``"history"``, ``"adapted"``,
+    ``"forced"`` or ``"budget"`` — the last meaning the memory budget
+    degraded the request to the out-of-core external sort).
     """
 
     backend: str
@@ -95,7 +109,11 @@ class PlanDecision:
             f"overlap={self.overlap}"
             + (f" chunks={self.chunks}" if self.overlap else "")
             + f" (~{self.est_seconds * 1e3:.1f} ms, source={self.source}"
-            + (", fault-clamped" if self.clamped else "")
+            + (
+                ", budget-clamped"
+                if self.clamped and self.source == "budget"
+                else ", fault-clamped" if self.clamped else ""
+            )
             + ")"
         ]
         if self.static_candidates:
@@ -259,6 +277,7 @@ class Planner:
         chunks: Optional[int] = None,
         warm: bool = True,
         adapt: bool = True,
+        memory_budget: Optional[int] = None,
     ) -> PlanDecision:
         """Plan one sort request of ``N`` keys.
 
@@ -296,6 +315,21 @@ class Planner:
         wait beats the pipeline's per-chunk overhead; with the default
         profile (``overlap_efficiency=0``) and no bench history that is
         never, so overlap stays opt-in until measured.
+
+        ``memory_budget`` (bytes) engages the third regime: when the
+        request's estimated in-memory working set
+        (:func:`~repro.extsort.inmem_working_set_bytes`) exceeds the
+        budget the planner degrades to the out-of-core ``"external"``
+        algorithm — a single-host spill-to-disk run on the ``"local"``
+        pseudo-backend at ``P=1`` — overriding even forced
+        ``algorithm``/``backend``/``P`` (``clamped=True``,
+        ``source="budget"``).  A budget-degraded *fault* request is a
+        contradiction (the external path has no fault transport) and
+        raises :class:`~repro.errors.ConfigurationError`.  Within
+        budget, external competes in the auto-priced table only when the
+        profile carries measured disk evidence
+        (:attr:`~repro.service.profile.HostProfile.has_disk_evidence`)
+        — never chosen on conservative defaults alone.
         """
         if N < 1:
             raise ConfigurationError(f"cannot plan a sort of {N} keys")
@@ -307,6 +341,62 @@ class Planner:
                 f"choose from {PLANNABLE_ALGORITHMS} (or None for auto)"
             )
         clamped = False
+        budget_forced = False
+        if memory_budget is not None and memory_budget < 1:
+            raise ConfigurationError(
+                f"memory_budget must be >= 1 byte, got {memory_budget}"
+            )
+        if memory_budget is not None:
+            from repro.extsort import inmem_working_set_bytes
+
+            if inmem_working_set_bytes(N, dtype_size) > memory_budget:
+                if faults:
+                    raise ConfigurationError(
+                        f"request of {N} keys exceeds the "
+                        f"{memory_budget}-byte memory budget but carries "
+                        f"an armed fault plan; the out-of-core path has "
+                        f"no fault transport — raise the budget or drop "
+                        f"the fault plan"
+                    )
+                # Budget degradation: the working set does not fit, so
+                # the request runs out of core regardless of what was
+                # forced — like the fault clamp, the planner must never
+                # select a configuration it knows will OOM.
+                budget_forced = True
+                if (
+                    algorithm not in (None, "external")
+                    or backend not in (None, EXTERNAL_BACKEND)
+                    or (P is not None and P != 1)
+                    or overlap is True
+                ):
+                    clamped = True
+                algorithm = "external"
+                backend = None
+                P = None
+                overlap = False
+        if algorithm == "external":
+            if faults:
+                raise ConfigurationError(
+                    "the external sort runs in-process with no fault "
+                    "transport; fault injection needs an SPMD algorithm"
+                )
+            if backend not in (None, EXTERNAL_BACKEND):
+                raise ConfigurationError(
+                    f"algorithm 'external' runs on the "
+                    f"{EXTERNAL_BACKEND!r} pseudo-backend, not "
+                    f"{backend!r}"
+                )
+            if P is not None and P != 1:
+                raise ConfigurationError(
+                    f"the external sort is single-host: P must be 1, "
+                    f"got {P}"
+                )
+            if overlap is True:
+                raise ConfigurationError(
+                    "the external sort has no remap pipeline to overlap"
+                )
+            backend = None
+            P = None
         if faults:
             # Safety clamp: the fault transport needs one address space
             # and cannot fuse, group or overlap (ReliableComm wraps every
@@ -358,13 +448,17 @@ class Planner:
 
         # Which algorithms compete: one when forced; forcing the
         # overlapped pipeline pins bitonic (sample's single exchange has
-        # nothing to overlap); otherwise both runnable algorithms.
+        # nothing to overlap); otherwise every runnable algorithm — the
+        # out-of-core regime only once the profile carries measured disk
+        # bandwidth (conservative defaults must never win an auto race).
         if algorithm is not None:
             algos: Tuple[str, ...] = (algorithm,)
         elif overlap is True:
             algos = ("smart",)
-        else:
+        elif self.profile.has_disk_evidence:
             algos = PLANNABLE_ALGORITHMS
+        else:
+            algos = _INMEM_ALGORITHMS
         # Which overlap polarities compete: both when the planner is free
         # to choose, exactly one when forced (or fault-clamped).
         ov_options = (False, True) if overlap is None else (bool(overlap),)
@@ -376,6 +470,30 @@ class Planner:
         static_candidates: Dict[str, float] = {}
         best: Optional[Tuple[float, str, str, int, bool]] = None
         for algo in algos:
+            if algo == "external":
+                # The out-of-core regime is a single candidate: it runs
+                # in-process on the serving host (``local`` pseudo-
+                # backend, P=1), so there is no backend/P sweep — just
+                # the I/O closed form, biased by its own bench history
+                # and live EWMA correction like every other candidate.
+                scale = self._history_scale(
+                    EXTERNAL_BACKEND, N, dtype_size, "external"
+                )
+                est = self.profile.estimate_external(
+                    N, dtype_size=dtype_size, memory_budget=memory_budget,
+                ) * scale
+                name = f"external:{EXTERNAL_BACKEND}x1"
+                if adapter is not None:
+                    corr = adapter.correction(EXTERNAL_BACKEND, 1, "external")
+                    adapted = est if corr is None else est / scale * corr
+                    static_candidates[name] = est
+                    candidates[name] = adapted
+                    est = adapted
+                else:
+                    candidates[name] = est
+                if best is None or est < best[0]:
+                    best = (est, "external", EXTERNAL_BACKEND, 1, False)
+                continue
             # Sample sort never runs the chunked pipeline; its only
             # overlap polarity is what was forced (ignored at runtime).
             algo_ov = (
@@ -442,7 +560,8 @@ class Planner:
         est, chosen_algo, chosen_backend, chosen_P, chosen_ov = best
         forced = backend is not None and P is not None
         source = (
-            "forced" if forced
+            "budget" if budget_forced
+            else "forced" if forced
             else "adapted" if adapter is not None and adapter.updates
             else "history" if len(self.history) and not faults
             else "model"
@@ -474,7 +593,10 @@ class Planner:
         backend's bitonic-derived ratio — the backend-systematic share of
         the error transfers even before the algorithm is benched."""
         hit = self.history.best(backend, N, algorithm)
-        if hit is None and algorithm != "smart":
+        if hit is None and algorithm not in ("smart", "external"):
+            # An SPMD algorithm with no records of its own borrows the
+            # backend's bitonic ratio; the external sort shares nothing
+            # with the SPMD backends and never borrows.
             algorithm = "smart"
             hit = self.history.best(backend, N, algorithm)
         if hit is None:
@@ -482,12 +604,18 @@ class Planner:
         measured, keys = hit
         # Bench records run cold at their recorded procs count; compare
         # against the cold model estimate at the benched size.  P is not
-        # recorded per-history here, so use the bench default of 4.
+        # recorded per-history here, so use the bench default of 4 (the
+        # external sort is always P=1 and modeled by its own form).
         try:
-            modeled = self.profile.estimate(
-                keys, 4, backend, algorithm=algorithm,
-                warm=False, dtype_size=dtype_size,
-            )
+            if algorithm == "external":
+                modeled = self.profile.estimate_external(
+                    keys, dtype_size=dtype_size
+                )
+            else:
+                modeled = self.profile.estimate(
+                    keys, 4, backend, algorithm=algorithm,
+                    warm=False, dtype_size=dtype_size,
+                )
         except ConfigurationError:
             return 1.0
         if modeled <= 0 or measured <= 0:
@@ -502,12 +630,15 @@ class Planner:
     def decision_table(
         self,
         sizes: Sequence[int] = (1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20),
+        memory_budget: Optional[int] = None,
     ) -> str:
         """Human-readable table of what the planner would pick per size
         (the "planner decision table" of docs/SERVING.md).  With an
         attached adapter the table grows a static column: what the frozen
         model priced the chosen candidate at, next to the adapted
-        estimate the choice actually rode on."""
+        estimate the choice actually rode on.  ``memory_budget`` shows
+        the regime split: sizes whose working set exceeds it degrade to
+        ``external`` rows (the planner's third regime)."""
         adapted = self.adapter is not None
         header = (
             f"{'keys':>10}  {'algorithm':<9} {'backend':<8} {'P':>2}  "
@@ -519,7 +650,7 @@ class Planner:
             header += f" {'est':>10}"
         lines = [header]
         for N in sizes:
-            d = self.plan(N)
+            d = self.plan(N, memory_budget=memory_budget)
             row = (
                 f"{N:>10,}  {d.algorithm:<9} {d.backend:<8} {d.P:>2}  "
                 f"{str(d.fused):<5} {str(d.grouped):<7} {str(d.overlap):<7}"

@@ -41,12 +41,19 @@ __all__ = ["BackendCosts", "HostProfile", "PROFILE_SCHEMA"]
 #: History: /1 = calibrated LogGP + serving fixed costs; /2 adds an
 #: optional ``adapt`` blob (the :class:`~repro.service.adapt.RequestAdapter`
 #: state snapshot) so a restarted service resumes its online corrections
-#: warm.  /1 files still load — with a warning and without adapted state.
-PROFILE_SCHEMA = "repro-bitonic-profile/2"
+#: warm; /3 adds measured sequential disk read/write bandwidth and fsync
+#: latency, which price the out-of-core external-sort regime.  Older
+#: files still load — with a warning and conservative disk defaults, so
+#: the planner never auto-chooses the external path without measured
+#: evidence (the overlap-efficiency precedent).
+PROFILE_SCHEMA = "repro-bitonic-profile/3"
 
-#: The prior schema, accepted read-only (warn-and-ignore the missing
-#: adapt blob) so one calibration file survives the /2 bump.
-_LEGACY_PROFILE_SCHEMA = "repro-bitonic-profile/1"
+#: Prior schemas, accepted read-only (warn; missing fields default) so
+#: one calibration file survives the bumps.
+_LEGACY_PROFILE_SCHEMAS = (
+    "repro-bitonic-profile/1",
+    "repro-bitonic-profile/2",
+)
 
 
 def _usable_cpus() -> int:
@@ -105,6 +112,14 @@ class HostProfile:
     #: handshakes (``None`` = let the backend default from the core
     #: count); plumbed into :class:`~repro.runtime.driver.BackendOptions`.
     spin_budget: Optional[int] = None
+    #: Measured sequential disk bandwidths (bytes/s) and fsync latency
+    #: (s) from ``scripts/calibrate_loggp.py``; ``None`` = unmeasured —
+    #: :meth:`estimate_external` then prices with conservative defaults
+    #: and the planner never auto-chooses the external regime
+    #: (:attr:`has_disk_evidence`).
+    disk_read_bytes_per_s: Optional[float] = None
+    disk_write_bytes_per_s: Optional[float] = None
+    fsync_s: Optional[float] = None
     #: ``"default"`` for the built-in guess, ``"calibrated"`` after
     #: ``scripts/calibrate_loggp.py`` measured this host.
     source: str = "default"
@@ -210,6 +225,11 @@ class HostProfile:
         from repro.theory.counts import counts_for
         from repro.theory.predict import predict
 
+        if algorithm == "external":
+            # The out-of-core path runs in-process on one box: no world,
+            # no backend costs — ``backend`` is the planner's "local"
+            # pseudo-backend and is deliberately not validated here.
+            return self.estimate_external(N, dtype_size=dtype_size)
         costs = self.backends.get(backend)
         if costs is None:
             raise ConfigurationError(
@@ -253,6 +273,56 @@ class HostProfile:
             wall += (N * dtype_size) / costs.ship_bytes_per_s
         return wall
 
+    @property
+    def has_disk_evidence(self) -> bool:
+        """True once calibration measured this host's disk — the gate on
+        the planner *auto-choosing* the external regime (a forced or
+        budget-degraded external request runs either way)."""
+        return (
+            self.disk_read_bytes_per_s is not None
+            and self.disk_write_bytes_per_s is not None
+        )
+
+    def estimate_external(
+        self,
+        N: int,
+        *,
+        dtype_size: int = KEY_BYTES,
+        memory_budget: Optional[int] = None,
+        fan_in: int = 64,
+    ) -> float:
+        """Estimated wall seconds for one out-of-core external sort.
+
+        The I/O-bandwidth + merge-pass closed form
+        (:func:`repro.theory.predict.predict_external`) priced with this
+        host's measured disk rates and compute kernels; unmeasured disk
+        falls back to the conservative defaults, which keeps an
+        evidence-free external estimate pessimistic.
+        """
+        from repro.theory.predict import predict_external
+
+        pt = predict_external(
+            N,
+            spec=self.machine_spec_local(),
+            memory_budget=memory_budget or (64 << 20),
+            fan_in=fan_in,
+            dtype_size=dtype_size,
+            disk_read_bytes_per_s=self.disk_read_bytes_per_s,
+            disk_write_bytes_per_s=self.disk_write_bytes_per_s,
+            fsync_s=self.fsync_s,
+        )
+        return pt.total / 1e6
+
+    def machine_spec_local(self) -> MachineSpec:
+        """This host's compute rates with a null network — what the
+        single-box predictors (external sort) price against."""
+        return MachineSpec(
+            name="host/local",
+            network=LogGPParams(L=0.0, o=0.0, g=0.0, G=0.0, P=1),
+            compute=self.compute_costs(),
+            cache=CacheModel(capacity_bytes=1 << 30, key_bytes=KEY_BYTES, alpha=0.0),
+        )
+
     # -- persistence ---------------------------------------------------
 
     def save(self, path: str, adapt: Optional[Dict[str, Any]] = None) -> None:
@@ -272,12 +342,12 @@ class HostProfile:
     @classmethod
     def _parse(cls, path: str, doc: Dict[str, Any]) -> "HostProfile":
         schema = doc.get("schema")
-        if schema == _LEGACY_PROFILE_SCHEMA:
+        if schema in _LEGACY_PROFILE_SCHEMAS:
             warnings.warn(
                 f"{path}: stale profile schema {schema!r} "
                 f"(current: {PROFILE_SCHEMA!r}); loading calibration "
-                "without adapted state — re-run scripts/calibrate_loggp.py "
-                "to refresh",
+                "with conservative defaults for the missing fields — "
+                "re-run scripts/calibrate_loggp.py to refresh",
                 stacklevel=3,
             )
         elif schema != PROFILE_SCHEMA:

@@ -45,14 +45,21 @@ from repro.errors import (
     AdmissionError,
     CommunicationError,
     ConfigurationError,
+    MemoryBudgetError,
     RequestTimeoutError,
     ServiceClosedError,
     SpmdTimeoutError,
 )
+from repro.extsort import (
+    estimate_spill_bytes,
+    external_sort,
+    inmem_working_set_bytes,
+    sweep_orphaned_spill_dirs,
+)
 from repro.runtime.driver import BackendOptions
 from repro.service.admission import DEFAULT_TENANT, TenantAdmission
 from repro.service.jobs import sort_shards_job
-from repro.service.planner import PlanDecision, Planner
+from repro.service.planner import EXTERNAL_BACKEND, PlanDecision, Planner
 from repro.service.pool import WorldPool
 from repro.trace.recorder import Tracer
 
@@ -122,6 +129,9 @@ class _Pending:
     trace: bool
     enqueued_at: float
     tenant: str = DEFAULT_TENANT
+    #: The memory budget (bytes) this request was planned under; carried
+    #: so the out-of-core path spills at the budget admission priced.
+    memory_budget: Optional[int] = None
     #: Absolute monotonic expiry (enqueue time + the caller's budget);
     #: ``None`` means the caller waits forever.
     deadline_at: Optional[float] = None
@@ -135,6 +145,13 @@ class ServiceReport:
     failed: int = 0
     rejected_queue_full: int = 0
     shed_deadline: int = 0
+    #: Requests too big even for the spill-to-disk path (the estimated
+    #: spill footprint exceeded the disk budget); rejected at the door
+    #: with a typed MemoryBudgetError.
+    rejected_memory: int = 0
+    #: Requests the memory-budget admission degraded to the out-of-core
+    #: external sort instead of dispatching to a world.
+    degraded_external: int = 0
     #: Requests whose deadline passed while they queued; failed with
     #: RequestTimeoutError *before* dispatch (never run past a give-up).
     expired: int = 0
@@ -167,6 +184,12 @@ class ServiceReport:
             f"{self.batches} batches, {self.world_retries} world retries",
             f"  pool: {self.pool}",
         ]
+        if self.rejected_memory or self.degraded_external:
+            lines.insert(
+                1,
+                f"  memory budget: {self.degraded_external} degraded to "
+                f"external, {self.rejected_memory} rejected (disk budget)",
+            )
         if self.adapt:
             lines.append(
                 f"  adapt: {self.adapt.get('updates', 0)} updates, "
@@ -224,6 +247,20 @@ class SortService:
         Enable queue-driven autoscaling on the default-constructed pool
         (ignored when ``pool`` is supplied — configure that pool
         directly).
+    memory_budget:
+        Default per-request memory budget in bytes.  A request whose
+        estimated in-memory working set exceeds it is degraded to the
+        out-of-core external sort (run in-process, never dispatched to a
+        world) instead of OOMing; ``None`` disables the check.
+    disk_budget:
+        Cap in bytes on a degraded request's estimated spill footprint;
+        a request too big even for the external path is rejected at the
+        door with :class:`~repro.errors.MemoryBudgetError`.  ``None``
+        means unbounded disk.
+    spill_root:
+        Directory external-sort spill dirs are created under (default
+        ``$REPRO_SPILL_ROOT`` or the system tempdir).  Orphaned spill
+        dirs from crashed processes are swept here at service start.
     """
 
     def __init__(
@@ -239,6 +276,9 @@ class SortService:
         prewarm: Sequence[Tuple[str, int]] = (),
         admission: Optional[TenantAdmission] = None,
         autoscale: bool = False,
+        memory_budget: Optional[int] = None,
+        disk_budget: Optional[int] = None,
+        spill_root: Optional[str] = None,
     ):
         if queue_depth < 1:
             raise ConfigurationError(
@@ -266,6 +306,12 @@ class SortService:
         self._verify = verify
         self._timeout = timeout
         self._admission = admission
+        self._memory_budget = memory_budget
+        self._disk_budget = disk_budget
+        self._spill_root = spill_root
+        # Crash hygiene mirrors the pool's shm sweep: spill dirs leaked
+        # by dead processes are reclaimed before this service spills.
+        sweep_orphaned_spill_dirs(spill_root)
         self._queue: deque = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -296,6 +342,7 @@ class SortService:
         deadline_s: Optional[float] = None,
         trace: Optional[bool] = None,
         tenant: str = DEFAULT_TENANT,
+        memory_budget: Optional[int] = None,
     ) -> Ticket:
         """Enqueue one sort request; returns its :class:`Ticket`.
 
@@ -312,17 +359,48 @@ class SortService:
         budget: if it is still queued when the budget runs out, it fails
         with :class:`~repro.errors.RequestTimeoutError` instead of ever
         dispatching — work is never done for a caller that has given up.
+
+        ``memory_budget`` (bytes, default the service-wide budget)
+        engages the memory-budget admission: a request whose estimated
+        working set exceeds it degrades to the out-of-core external sort
+        (run in-process on the serving host); when even the external
+        path's estimated spill footprint exceeds the service's disk
+        budget the request is rejected with
+        :class:`~repro.errors.MemoryBudgetError`.
         """
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size < 1:
             raise ConfigurationError(
                 f"service sorts 1-D non-empty arrays, got shape {keys.shape}"
             )
-        if keys.size & (keys.size - 1):
+        budget = (
+            memory_budget if memory_budget is not None
+            else self._memory_budget
+        )
+        # The external path streams runs of any length; only the SPMD
+        # network paths need the power-of-two shape.
+        will_external = algorithm == "external" or (
+            budget is not None
+            and inmem_working_set_bytes(keys.size, keys.dtype.itemsize)
+            > budget
+        )
+        if not will_external and keys.size & (keys.size - 1):
             raise ConfigurationError(
                 f"the bitonic network needs a power-of-two input, "
                 f"got {keys.size} keys"
             )
+        if will_external and self._disk_budget is not None:
+            spill = estimate_spill_bytes(keys.nbytes)
+            if spill > self._disk_budget:
+                with self._report_lock:
+                    self._report.rejected_memory += 1
+                raise MemoryBudgetError(
+                    f"request of {keys.size} keys needs ~{spill} spill "
+                    f"bytes, over the {self._disk_budget}-byte disk "
+                    f"budget; too big even for the out-of-core path",
+                    required_bytes=spill,
+                    budget_bytes=self._disk_budget,
+                )
         have_faults = faults is not None and not getattr(faults, "is_null", False)
         decision = self.planner.plan(
             keys.size,
@@ -335,7 +413,11 @@ class SortService:
             grouped=grouped,
             overlap=overlap,
             chunks=chunks,
+            memory_budget=budget,
         )
+        if decision.source == "budget":
+            with self._report_lock:
+                self._report.degraded_external += 1
         ticket = Ticket(next(self._ids))
         deadline = deadline_s if deadline_s is not None else self._deadline_s
         with self._cond:
@@ -382,13 +464,16 @@ class SortService:
                     deadline_at=(
                         None if deadline is None else now + deadline
                     ),
+                    memory_budget=budget,
                 )
             )
             self._cond.notify()
         # Queue-pressure signal for the pool's autoscaler: one planned
         # arrival headed for the decision's shape (admitted requests
-        # only — rejections never exert pressure).
-        self.pool.note_arrival(decision.backend, decision.P)
+        # only — rejections never exert pressure, and external requests
+        # never touch a world, so they must not make the pool prespawn).
+        if decision.backend != EXTERNAL_BACKEND:
+            self.pool.note_arrival(decision.backend, decision.P)
         return ticket
 
     def sort(self, keys: np.ndarray, **kwargs: Any) -> SortOutcome:
@@ -411,6 +496,8 @@ class SortService:
     def _batch_key(self, p: _Pending) -> Optional[Tuple]:
         if p.faults is not None or not 1 <= p.decision.P <= p.keys.size:
             return None  # fault runs never share a world dispatch
+        if p.decision.backend == EXTERNAL_BACKEND:
+            return None  # out-of-core runs are in-process, one at a time
         d = p.decision
         return (
             p.keys.size, p.keys.dtype.str, d.backend, d.P, d.algorithm,
@@ -487,9 +574,13 @@ class SortService:
         # The whole batch leaves the queue here — served, expired, or
         # failed, it no longer exerts queue pressure on the autoscaler.
         head = batch[0].decision
-        self.pool.note_done(head.backend, head.P, len(batch))
+        if head.backend != EXTERNAL_BACKEND:
+            self.pool.note_done(head.backend, head.P, len(batch))
         batch = self._expire_overdue(batch)
         if not batch:
+            return
+        if head.backend == EXTERNAL_BACKEND:
+            self._run_external(batch)
             return
         d = batch[0].decision
         dispatched_at = time.perf_counter()
@@ -632,6 +723,93 @@ class SortService:
         with self._report_lock:
             self._report.batches += 1
 
+    def _run_external(self, batch: List[_Pending]) -> None:
+        """Serve out-of-core requests in-process: no world, no pool —
+        the dispatcher streams each request through the spill-to-disk
+        external sort under the memory budget its admission priced."""
+        adapter = getattr(self.planner, "adapter", None)
+        for p in batch:
+            d = p.decision
+            dispatched_at = time.perf_counter()
+            budget = (
+                p.memory_budget if p.memory_budget is not None
+                else 64 << 20  # estimate_external's default working set
+            )
+            tracer = Tracer(rank=0) if p.trace else None
+            out, ext = external_sort(
+                p.keys,
+                budget,
+                spill_root=self._spill_root,
+                disk_budget=self._disk_budget,
+                tracer=tracer,
+            )
+            done_at = time.perf_counter()
+            run_s = done_at - dispatched_at
+            if self._verify:
+                from repro.sorts.base import verify_sorted
+
+                verify_sorted(p.keys, out, "service[external:localx1]")
+            tracers = None
+            if tracer is not None:
+                lane = Tracer(rank=1)  # the service lane, after rank 0
+                lane.spans.append(
+                    ["wait", "queue", p.enqueued_at, dispatched_at, -1]
+                )
+                if adapter is not None:
+                    lane.add("adapt.updates", 1)
+                tracers = [tracer, lane]
+            if adapter is not None:
+                adapter.observe(
+                    N=int(p.keys.size),
+                    backend=EXTERNAL_BACKEND,
+                    P=1,
+                    algorithm="external",
+                    measured_s=run_s,
+                    dtype_size=p.keys.dtype.itemsize,
+                    fused=d.fused,
+                    grouped=d.grouped,
+                    overlap=d.overlap,
+                    chunks=d.chunks,
+                    tracers=[tracer] if tracer is not None else None,
+                )
+            outcome = SortOutcome(
+                request_id=p.ticket.request_id,
+                sorted_keys=out,
+                decision=d,
+                queue_wait_s=dispatched_at - p.enqueued_at,
+                run_s=run_s,
+                wall_s=done_at - p.enqueued_at,
+                batch_size=1,
+                tracers=tracers,
+            )
+            with self._report_lock:
+                self._report.served += 1
+                self._report.batches += 1
+                self._report.requests.append(
+                    {
+                        "id": p.ticket.request_id,
+                        "keys": int(p.keys.size),
+                        "algorithm": "external",
+                        "backend": EXTERNAL_BACKEND,
+                        "P": 1,
+                        "fused": d.fused,
+                        "grouped": d.grouped,
+                        "overlap": d.overlap,
+                        "chunks": d.chunks,
+                        "est_s": d.est_seconds,
+                        "queue_wait_s": outcome.queue_wait_s,
+                        "run_s": run_s,
+                        "wall_s": outcome.wall_s,
+                        "batch_size": 1,
+                        "tenant": p.tenant,
+                        "memory_budget": budget,
+                        "spill_bytes": ext.spill_bytes,
+                        "merge_passes": ext.merge_passes,
+                    }
+                )
+            self._release_tenant(p)
+            p.ticket._resolve(outcome)
+
     # -- lifecycle -------------------------------------------------------
 
     def report(self) -> ServiceReport:
@@ -642,6 +820,8 @@ class SortService:
                 failed=self._report.failed,
                 rejected_queue_full=self._report.rejected_queue_full,
                 shed_deadline=self._report.shed_deadline,
+                rejected_memory=self._report.rejected_memory,
+                degraded_external=self._report.degraded_external,
                 expired=self._report.expired,
                 batches=self._report.batches,
                 world_retries=self._report.world_retries,

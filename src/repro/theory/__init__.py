@@ -17,6 +17,7 @@ from repro.theory.predict import (
     predict,
     predict_blocked_merge,
     predict_cyclic_blocked,
+    predict_external,
     predict_smart,
 )
 from repro.theory.predict_comparators import (
@@ -31,6 +32,7 @@ __all__ = [
     "predict_smart",
     "predict_cyclic_blocked",
     "predict_blocked_merge",
+    "predict_external",
     "predict_radix",
     "predict_sample",
     "crossover_keys_per_proc",

@@ -19,7 +19,7 @@ category, for all three bitonic algorithms in all message modes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.layouts.schedule import (
@@ -27,13 +27,17 @@ from repro.layouts.schedule import (
     cyclic_blocked_schedule,
 )
 from repro.localsort.radix import num_passes
-from repro.machine.metrics import COMM_CATEGORIES, COMPUTE_CATEGORIES
+from repro.machine.metrics import (
+    COMM_CATEGORIES,
+    COMPUTE_CATEGORIES,
+    IO_CATEGORIES,
+)
 from repro.model.machines import MEIKO_CS2, MachineSpec
 from repro.utils.bits import ilog2
 from repro.utils.validation import require_sizes
 
 __all__ = ["PredictedTime", "predict_smart", "predict_cyclic_blocked",
-           "predict_blocked_merge", "predict"]
+           "predict_blocked_merge", "predict_external", "predict"]
 
 
 @dataclass
@@ -58,10 +62,15 @@ class PredictedTime:
         return sum(self.times.get(c, 0.0) for c in COMM_CATEGORIES)
 
     @property
+    def io(self) -> float:
+        """Disk time of the out-of-core path (zero for in-memory sorts)."""
+        return sum(self.times.get(c, 0.0) for c in IO_CATEGORIES)
+
+    @property
     def total(self) -> float:
         """Busy time (excludes barrier waits, which depend on skew; the
         smart schedule is perfectly balanced so busy time ≈ makespan)."""
-        return self.computation + self.communication
+        return self.computation + self.communication + self.io
 
     @property
     def us_per_key(self) -> float:
@@ -255,17 +264,93 @@ def predict_blocked_merge(
     return pt
 
 
+#: Conservative disk rates used when a caller supplies none — slow
+#: spinning-rust numbers, so an unmeasured external estimate is
+#: pessimistic and the planner never wanders out of core on optimism.
+CONSERVATIVE_DISK_READ_BPS = 200e6
+CONSERVATIVE_DISK_WRITE_BPS = 120e6
+CONSERVATIVE_FSYNC_S = 0.005
+
+
+def external_merge_passes(
+    N: int, memory_budget: int, dtype_size: int = 4, fan_in: int = 64
+) -> Tuple[int, int]:
+    """``(runs, passes)`` of the external sort's spill schedule: how many
+    budget-sized sorted runs form, and how many times each byte crosses
+    the disk (run formation plus the fan-in-limited merge cascade)."""
+    if memory_budget < 1:
+        raise ConfigurationError(
+            f"memory_budget must be positive, got {memory_budget}"
+        )
+    chunk = max(memory_budget // (dtype_size * 4), 1)
+    runs = max(-(-N // chunk), 1)
+    passes, remaining = 1, runs
+    while remaining > fan_in:
+        remaining = -(-remaining // fan_in)
+        passes += 1
+    return runs, passes
+
+
+def predict_external(
+    N: int,
+    P: int = 1,
+    spec: MachineSpec = MEIKO_CS2,
+    *,
+    memory_budget: int = 64 << 20,
+    fan_in: int = 64,
+    dtype_size: int = 4,
+    disk_read_bytes_per_s: float = None,
+    disk_write_bytes_per_s: float = None,
+    fsync_s: float = None,
+    key_bits: int = 32,
+    radix_bits: int = 8,
+) -> PredictedTime:
+    """Predict the spill-to-disk external sort's busy time.
+
+    The closed form is I/O bandwidth plus merge passes: every byte is
+    written and read once per pass (run formation, then each fan-in
+    cascade level), charged at the measured — or conservatively assumed
+    — sequential disk rates under ``spill``; run formation pays the
+    radix kernel under ``local_sort`` and each pass pays one vectorized
+    merge sweep under ``merge``.  ``P`` is accepted for signature
+    symmetry but the external path runs on one box (``P=1``).
+    """
+    if N < 1:
+        raise ConfigurationError(f"cannot predict a sort of {N} keys")
+    if P != 1:
+        raise ConfigurationError(
+            f"the external sort runs out-of-core on one box (P=1), got P={P}"
+        )
+    read_bps = disk_read_bytes_per_s or CONSERVATIVE_DISK_READ_BPS
+    write_bps = disk_write_bytes_per_s or CONSERVATIVE_DISK_WRITE_BPS
+    sync_s = CONSERVATIVE_FSYNC_S if fsync_s is None else fsync_s
+    runs, passes = external_merge_passes(N, memory_budget, dtype_size, fan_in)
+    nbytes = N * dtype_size
+    pt = PredictedTime("external", N, 1)
+    pt._add(
+        "local_sort",
+        N * num_passes(key_bits, radix_bits) * spec.compute.radix_pass,
+    )
+    pt._add("merge", passes * N * spec.compute.merge)
+    io_s = passes * (nbytes / write_bps + nbytes / read_bps)
+    # One manifest fsync per run file written across the cascade.
+    io_s += sync_s * runs
+    pt._add("spill", io_s * 1e6)
+    return pt
+
+
 _PREDICTORS = {
     "smart": predict_smart,
     "cyclic-blocked": predict_cyclic_blocked,
     "blocked-merge": predict_blocked_merge,
+    "external": predict_external,
 }
 
 
 def predict(algorithm: str, N: int, P: int, spec: MachineSpec = MEIKO_CS2,
             **kwargs) -> PredictedTime:
     """Predict by algorithm name (``smart``, ``cyclic-blocked``,
-    ``blocked-merge``, ``radix``, ``sample``)."""
+    ``blocked-merge``, ``radix``, ``sample``, ``external``)."""
     if algorithm in ("radix", "sample"):
         # Deferred: predict_comparators imports from this module.
         from repro.theory.predict_comparators import (

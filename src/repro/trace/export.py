@@ -30,8 +30,10 @@ __all__ = [
     "trace_to_dict",
 ]
 
-#: Bumped whenever the exported structure changes shape.
-CHROME_TRACE_SCHEMA = "repro-bitonic-trace/1"
+#: Bumped whenever the exported structure changes shape.  /2 added the
+#: ``spill`` I/O category (the out-of-core external sort's disk lane) to
+#: the advertised vocabulary.
+CHROME_TRACE_SCHEMA = "repro-bitonic-trace/2"
 
 
 def to_chrome_trace(tracers: Sequence[Tracer]) -> Dict:

@@ -62,6 +62,9 @@ COUNTERS = (
     "adapt.updates",    # online-adaptation observations folded (service lane)
     "pool.scale_up",    # worlds pre-spawned by the pool autoscaler
     "pool.scale_down",  # idle worlds shrunk by the pool autoscaler
+    "ext.runs",         # sorted runs the external sort spilled to disk
+    "ext.buckets",      # splitter-bounded buckets merged back out
+    "ext.spill_bytes",  # bytes written to the spill directory
 )
 
 #: Shared no-op context manager for the ``tracer=None`` fast path.  It is

@@ -18,6 +18,15 @@ class TestSortSimulated:
     @pytest.mark.parametrize("algorithm", SORT_ALGORITHMS)
     def test_every_algorithm_sorts(self, algorithm):
         keys = make_keys(1 << 10, seed=2)
+        if algorithm == "external":
+            # The out-of-core path is single-rank and in-process: no
+            # simulated machine, no world, P implied 1.
+            report = sort(keys, algorithm=algorithm)
+            assert isinstance(report, SortReport)
+            np.testing.assert_array_equal(report.sorted_keys, np.sort(keys))
+            assert (report.backend, report.P) == ("local", 1)
+            assert report.verified and report.stats is None
+            return
         report = sort(keys, 4, algorithm=algorithm)
         assert isinstance(report, SortReport)
         np.testing.assert_array_equal(report.sorted_keys, np.sort(keys))

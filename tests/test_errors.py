@@ -16,6 +16,7 @@ from repro.errors import (
     CorruptPayloadError,
     FrameCorruptError,
     LayoutError,
+    MemoryBudgetError,
     PeerFailedError,
     ReproError,
     RequestTimeoutError,
@@ -34,8 +35,8 @@ class TestHierarchy:
         ConfigurationError, SizeError, LayoutError, ScheduleError,
         CommunicationError, PeerFailedError, SpmdTimeoutError,
         CorruptPayloadError, VerificationError, ServiceError,
-        AdmissionError, ServiceClosedError, ShardUnavailableError,
-        RequestTimeoutError, FrameCorruptError,
+        AdmissionError, MemoryBudgetError, ServiceClosedError,
+        ShardUnavailableError, RequestTimeoutError, FrameCorruptError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -65,6 +66,7 @@ class TestHierarchy:
             CorruptPayloadError: CommunicationError,
             ServiceError: ReproError,
             AdmissionError: ServiceError,
+            MemoryBudgetError: AdmissionError,
             ServiceClosedError: ServiceError,
             ShardUnavailableError: ServiceError,
             RequestTimeoutError: ServiceError,
@@ -101,6 +103,10 @@ class TestHierarchy:
         rt = RequestTimeoutError("late", deadline_s=1.5, elapsed_s=1.6,
                                  stage="router")
         assert (rt.deadline_s, rt.elapsed_s, rt.stage) == (1.5, 1.6, "router")
+        mb = MemoryBudgetError("too big", required_bytes=2048,
+                               budget_bytes=1024)
+        assert (mb.required_bytes, mb.budget_bytes) == (2048, 1024)
+        assert mb.reason == "memory-budget"
         fc = FrameCorruptError("bad crc", frame_type=4, detail="crc")
         assert (fc.frame_type, fc.detail) == (4, "crc")
 
